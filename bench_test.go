@@ -1,0 +1,274 @@
+// Benchmark harness: one benchmark per paper figure (Figs. 3–14), each
+// regenerating the figure's data series and reporting its headline
+// numbers as custom metrics, plus micro-benchmarks for the core
+// algorithms. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benches print the same rows/series the paper plots (via
+// the experiments package); EXPERIMENTS.md records the paper-vs-measured
+// comparison.
+package sheriff
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sheriff/internal/arima"
+	"sheriff/internal/experiments"
+	"sheriff/internal/kmedian"
+	"sheriff/internal/matching"
+	"sheriff/internal/narnet"
+	"sheriff/internal/sim"
+	"sheriff/internal/timeseries"
+	"sheriff/internal/traces"
+)
+
+const benchSeed = 20150707
+
+// benchFigure runs one figure generator per iteration and keeps its table
+// alive so the work is not optimized away.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	gen := experiments.Registry[id]
+	if gen == nil {
+		b.Fatalf("unknown figure %s", id)
+	}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		tab, err := gen(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(tab.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkFig03RawCPU(b *testing.B)     { benchFigure(b, "3") }
+func BenchmarkFig04RawIO(b *testing.B)      { benchFigure(b, "4") }
+func BenchmarkFig05RawTraffic(b *testing.B) { benchFigure(b, "5") }
+func BenchmarkFig06ARIMA(b *testing.B)      { benchFigure(b, "6") }
+func BenchmarkFig07NARNET(b *testing.B)     { benchFigure(b, "7") }
+func BenchmarkFig08Combined(b *testing.B)   { benchFigure(b, "8") }
+func BenchmarkFig09FatTreeStd(b *testing.B) { benchFigure(b, "9") }
+func BenchmarkFig10BcubeStd(b *testing.B)   { benchFigure(b, "10") }
+
+// The Figs. 11–14 sweeps are heavier; each bench reports the final
+// sweep point's headline metric so regressions in the *result*, not just
+// the runtime, are visible.
+
+func BenchmarkFig11FatTreeCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig11FatTreeCost(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		b.ReportMetric(last[1], "sheriff_cost")
+		b.ReportMetric(last[2], "optimal_cost")
+	}
+}
+
+func BenchmarkFig12FatTreeSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig12FatTreeSpace(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		b.ReportMetric(last[1], "sheriff_space")
+		b.ReportMetric(last[2], "central_space")
+	}
+}
+
+func BenchmarkFig13BcubeCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig13BcubeCost(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		b.ReportMetric(last[1], "sheriff_cost")
+		b.ReportMetric(last[2], "optimal_cost")
+	}
+}
+
+func BenchmarkFig14BcubeSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Fig14BcubeSpace(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		b.ReportMetric(last[1], "sheriff_space")
+		b.ReportMetric(last[2], "central_space")
+	}
+}
+
+// BenchmarkFig11FullSweep runs the paper's complete 8→48-pod x-axis (the
+// default figure sweep stops at 24 to keep test time bounded).
+func BenchmarkFig11FullSweep(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full sweep")
+	}
+	for i := 0; i < b.N; i++ {
+		for _, pods := range experiments.FatTreePodsFull {
+			res, err := sim.Compare(sim.Config{Kind: sim.FatTree, Size: pods, Seed: benchSeed, VMsPerHost: 6})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pods == 48 {
+				b.ReportMetric(res.SheriffCost, "sheriff_cost_48pods")
+				b.ReportMetric(float64(res.CentralSpace)/float64(res.SheriffSpace), "space_ratio_48pods")
+			}
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+func BenchmarkAblationSwapSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationSwapSize(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationModelSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationModelSelection(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRegionSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRegionSize(benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Core algorithm micro-benches ---
+
+func benchSeries(n int) *timeseries.Series {
+	return traces.WeeklyTraffic(traces.TrafficConfig{Days: n/64 + 1, PerDay: 64, Seed: benchSeed}).Slice(0, n)
+}
+
+func BenchmarkARIMAFit(b *testing.B) {
+	s := benchSeries(448)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arima.Fit(s, arima.Order{P: 1, D: 1, Q: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkARIMAForecast(b *testing.B) {
+	s := benchSeries(448)
+	m, err := arima.Fit(s, arima.Order{P: 1, D: 1, Q: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forecast(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNARNETTrain(b *testing.B) {
+	s := benchSeries(320)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := narnet.Train(s, narnet.Config{Inputs: 16, Hidden: 20, Seed: benchSeed, Epochs: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNARNETForecast(b *testing.B) {
+	s := benchSeries(320)
+	n, err := narnet.Train(s, narnet.Config{Inputs: 16, Hidden: 20, Seed: benchSeed, Epochs: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Forecast(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHungarianMatching(b *testing.B) {
+	for _, size := range []int{16, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(benchSeed))
+			cost := make([][]float64, size)
+			for i := range cost {
+				cost[i] = make([]float64, size)
+				for j := range cost[i] {
+					cost[i][j] = rng.Float64() * 100
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := matching.Solve(cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKMedianLocalSearch(b *testing.B) {
+	for _, p := range []int{1, 2} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(benchSeed))
+			n := 40
+			xs := make([]float64, n)
+			ys := make([]float64, n)
+			for i := range xs {
+				xs[i], ys[i] = rng.Float64(), rng.Float64()
+			}
+			cost := make([][]float64, n)
+			idx := make([]int, n)
+			for i := range cost {
+				idx[i] = i
+				cost[i] = make([]float64, n)
+				for j := range cost[i] {
+					dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+					cost[i][j] = dx*dx + dy*dy
+				}
+			}
+			inst := &kmedian.Instance{Cost: cost, Clients: idx, Facilities: idx, K: 5}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := kmedian.LocalSearch(inst, kmedian.Options{P: p, Seed: benchSeed}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkShimProcessAlerts(b *testing.B) {
+	s, err := sim.Build(sim.Config{Kind: sim.FatTree, Size: 8, Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.PopulateSkewed(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.BalancingRound(0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command benchfig regenerates the paper's figures as text tables.
+//
+// Usage:
+//
+//	benchfig                # every figure, Figs. 3–14
+//	benchfig -fig 11        # one figure
+//	benchfig -ablation swap-size
+//	benchfig -seed 42       # change the deterministic seed
+//	benchfig -summary       # one line per figure instead of full tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sheriff/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (3..14); empty = all")
+	ablation := flag.String("ablation", "", "ablation to run (swap-size, model-selection, priority, region-size)")
+	seed := flag.Int64("seed", 20150707, "deterministic seed")
+	summary := flag.Bool("summary", false, "print only headers and notes, not data rows")
+	flag.Parse()
+
+	if *ablation != "" {
+		gen, ok := experiments.Ablations[*ablation]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchfig: unknown ablation %q\n", *ablation)
+			os.Exit(2)
+		}
+		emit(gen, *seed, *summary)
+		return
+	}
+	ids := experiments.FigureIDs()
+	if *fig != "" {
+		ids = []string{*fig}
+	}
+	for _, id := range ids {
+		gen, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", id)
+			os.Exit(2)
+		}
+		emit(gen, *seed, *summary)
+	}
+}
+
+func emit(gen func(int64) (*experiments.Table, error), seed int64, summary bool) {
+	tab, err := gen(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		os.Exit(1)
+	}
+	if summary {
+		fmt.Printf("%s — %s (%d rows)\n", tab.Name, tab.Title, len(tab.Rows))
+		for _, n := range tab.Notes {
+			fmt.Printf("  # %s\n", n)
+		}
+		return
+	}
+	if _, err := tab.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+}

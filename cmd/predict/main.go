@@ -1,0 +1,197 @@
+// Command predict runs Sheriff's prediction phase on a workload trace:
+// it generates (or reads) a series, fits the candidate models, runs the
+// dynamic-selection rolling forecast over the test split, and reports
+// per-model and combined errors.
+//
+// Usage:
+//
+//	predict                     # weekly-traffic trace, default split
+//	predict -trace cpu          # diurnal CPU trace
+//	predict -trace io           # bursty disk I/O trace
+//	predict -file data.txt      # newline-separated float series
+//	predict -split 0.5 -seed 7
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sheriff/internal/arima"
+	"sheriff/internal/narnet"
+	"sheriff/internal/predictor"
+	"sheriff/internal/timeseries"
+	"sheriff/internal/traces"
+)
+
+func main() {
+	trace := flag.String("trace", "traffic", "synthetic trace: traffic, cpu, io")
+	file := flag.String("file", "", "read the series from a file instead (one float per line)")
+	split := flag.Float64("split", 0.7, "train fraction")
+	seed := flag.Int64("seed", 1, "generator / trainer seed")
+	horizon := flag.Int("horizon", 5, "closing k-step-ahead forecast horizon")
+	flag.Parse()
+
+	series, err := loadSeries(*file, *trace, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(traces.Describe("series", series))
+
+	train, test := series.Split(*split)
+	if test.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "predict: empty test split")
+		os.Exit(1)
+	}
+
+	// Detect a dominant season and hand it to the extended pool, which
+	// adds Holt and Holt–Winters beside the ARIMA/NARNET candidates.
+	period := timeseries.DetectPeriod(train, 4, train.Len()/3)
+	if period > 0 {
+		fmt.Printf("detected season length: %d samples\n", period)
+	}
+	pool, err := predictor.ExtendedPool(train, period, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predict: building pool: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("candidates: ")
+	for i, c := range pool {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(c.Name)
+	}
+	fmt.Println()
+
+	// Individual rolling forecasts.
+	for _, c := range pool {
+		pred := rolling(c.F, train, test)
+		if pred == nil {
+			fmt.Printf("%-16s rolling forecast failed\n", c.Name)
+			continue
+		}
+		mse, _ := timeseries.MSE(test.Raw(), pred)
+		mae, _ := timeseries.MAE(test.Raw(), pred)
+		fmt.Printf("%-16s test MSE %10.4f  MAE %8.4f\n", c.Name, mse, mae)
+	}
+
+	// Combined dynamic selection.
+	sel, err := predictor.NewSelector(train, predictor.Config{Window: 15}, pool...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predict: %v\n", err)
+		os.Exit(1)
+	}
+	combined, shares, err := sel.Run(test)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predict: selector: %v\n", err)
+		os.Exit(1)
+	}
+	mse, _ := timeseries.MSE(test.Raw(), combined)
+	fmt.Printf("%-16s test MSE %10.4f  selection shares %v\n", "combined", mse, shares)
+
+	// Closing k-step-ahead forecast from the full series.
+	best, err := arima.AutoFit(series, arima.DefaultSearchSpace)
+	if err == nil {
+		fc, ferr := best.Forecast(*horizon)
+		if ferr == nil {
+			fmt.Printf("%s %d-step-ahead: %v\n", best.Order, *horizon, round2(fc))
+		}
+	}
+}
+
+func rolling(f predictor.Forecaster, train, test *timeseries.Series) []float64 {
+	type roller interface {
+		RollingForecast(train, test *timeseries.Series) ([]float64, error)
+	}
+	switch m := f.(type) {
+	case *arima.Model:
+		out, err := m.RollingForecast(train, test)
+		if err != nil {
+			return nil
+		}
+		return out
+	case *narnet.Network:
+		out, err := m.RollingForecast(train, test)
+		if err != nil {
+			return nil
+		}
+		return out
+	case roller:
+		out, err := m.RollingForecast(train, test)
+		if err != nil {
+			return nil
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func loadSeries(file, trace string, seed int64) (*timeseries.Series, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		// Two accepted layouts: tracegen's "t,value" CSV, or one float
+		// per line. Sniff the first non-comment line for a comma.
+		var data []float64
+		sc := bufio.NewScanner(f)
+		csv := false
+		first := true
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if first {
+				first = false
+				if strings.Contains(line, ",") {
+					csv = true
+				}
+			}
+			if csv {
+				break // re-read through the CSV parser below
+			}
+			v, err := strconv.ParseFloat(line, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", line, err)
+			}
+			data = append(data, v)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		if csv {
+			if _, err := f.Seek(0, 0); err != nil {
+				return nil, err
+			}
+			return traces.ReadCSV(f)
+		}
+		return timeseries.New(data), nil
+	}
+	switch trace {
+	case "traffic":
+		return traces.WeeklyTraffic(traces.TrafficConfig{Days: 7, PerDay: 64, Seed: seed}), nil
+	case "cpu":
+		return traces.CPU(traces.CPUConfig{Hours: 24, Seed: seed}), nil
+	case "io":
+		return traces.DiskIO(traces.DiskIOConfig{Hours: 24, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("unknown trace %q (want traffic, cpu, io)", trace)
+	}
+}
+
+func round2(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*100+0.5)) / 100
+	}
+	return out
+}

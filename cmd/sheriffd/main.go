@@ -1,0 +1,113 @@
+// Command sheriffd runs the assembled Sheriff system in simulated time:
+// per period it collects workload profiles, forecasts, raises pre-alerts,
+// reroutes flows around hot switches, and migrates VMs — printing one
+// status line per step.
+//
+// Usage:
+//
+//	sheriffd -topology fat-tree -size 8 -steps 50
+//	sheriffd -topology bcube -size 6 -steps 30 -hosts 2 -vms 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/metrics"
+	"sheriff/internal/runtime"
+	"sheriff/internal/topology"
+)
+
+func main() {
+	topo := flag.String("topology", "fat-tree", "fat-tree or bcube")
+	size := flag.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
+	steps := flag.Int("steps", 50, "collection periods to simulate")
+	hostsPerRack := flag.Int("hosts", 2, "hosts per rack")
+	vmsPerHost := flag.Int("vms", 3, "VMs per host")
+	depProb := flag.Float64("deps", 0.5, "dependency probability between VM pairs")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var g *topology.Graph
+	switch strings.ToLower(*topo) {
+	case "fat-tree", "fattree", "ft":
+		ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: *size})
+		if err != nil {
+			fail(err)
+		}
+		g = ft.Graph
+	case "bcube", "bc":
+		b, err := topology.NewBCube(topology.BCubeConfig{SwitchesPerLevel: *size})
+		if err != nil {
+			fail(err)
+		}
+		g = b.Graph
+	default:
+		fail(fmt.Errorf("unknown topology %q", *topo))
+	}
+
+	cluster, err := dcn.NewCluster(g, dcn.Config{
+		HostsPerRack: *hostsPerRack,
+		HostCapacity: 100,
+		ToRCapacity:  100 * float64(*hostsPerRack),
+	})
+	if err != nil {
+		fail(err)
+	}
+	n := cluster.Populate(dcn.PopulateOptions{
+		VMsPerHost:              *vmsPerHost,
+		MinCapacity:             5,
+		MaxCapacity:             20,
+		DependencyProb:          *depProb,
+		CrossRackDependencyProb: *depProb,
+		Seed:                    *seed,
+	})
+	model, err := cost.New(cluster, cost.PaperParams())
+	if err != nil {
+		fail(err)
+	}
+	rt, err := runtime.New(cluster, model, runtime.Options{Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("sheriffd: %s size %d — %d racks, %d hosts, %d VMs, %d dependency edges\n",
+		*topo, *size, len(cluster.Racks), len(cluster.Hosts()), n, cluster.Deps.NumEdges())
+	fmt.Println("step  srv-alerts tor-alerts sw-alerts  migr     cost  reroutes  hot  stddev  maxuplink")
+
+	var totalMigr, totalReroutes int
+	var totalCost float64
+	var sdSummary, uplinkSummary metrics.Summary
+	uplinkP95, err := metrics.NewQuantile(0.95)
+	if err != nil {
+		fail(err)
+	}
+	for i := 0; i < *steps; i++ {
+		s, err := rt.Step()
+		if err != nil {
+			fail(err)
+		}
+		totalMigr += s.Migrations
+		totalReroutes += s.Reroutes
+		totalCost += s.MigrationCost
+		sdSummary.Observe(s.WorkloadStdDev)
+		uplinkSummary.Observe(s.MaxUplinkUtil)
+		uplinkP95.Observe(s.MaxUplinkUtil)
+		fmt.Printf("%4d  %10d %10d %9d %5d %8.1f %9d %4d %7.2f %10.2f\n",
+			s.Step, s.ServerAlerts, s.ToRAlerts, s.SwitchAlerts,
+			s.Migrations, s.MigrationCost, s.Reroutes, s.HotSwitches,
+			s.WorkloadStdDev, s.MaxUplinkUtil)
+	}
+	fmt.Printf("totals: %d migrations (cost %.1f), %d flow reroutes over %d steps\n",
+		totalMigr, totalCost, totalReroutes, *steps)
+	fmt.Printf("workload stddev: %s\n", sdSummary.String())
+	fmt.Printf("max uplink util: %s p95=%.3f\n", uplinkSummary.String(), uplinkP95.Value())
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sheriffd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command sheriffsim runs the Sec. VI.B migration simulations.
+//
+// Usage:
+//
+//	sheriffsim -mode balance -topology fat-tree -size 8 -rounds 24
+//	sheriffsim -mode compare -topology bcube -size 12
+//	sheriffsim -mode sweep -topology fat-tree -sizes 8,16,24,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sheriff/internal/sim"
+)
+
+func main() {
+	mode := flag.String("mode", "balance", "balance, compare, or sweep")
+	topo := flag.String("topology", "fat-tree", "fat-tree or bcube")
+	size := flag.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
+	sizes := flag.String("sizes", "", "comma-separated size sweep (mode=sweep)")
+	rounds := flag.Int("rounds", 24, "balancing rounds (mode=balance)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	hostsPerRack := flag.Int("hosts", 4, "hosts per rack")
+	vmsPerHost := flag.Int("vms", 4, "VMs per host")
+	flag.Parse()
+
+	kind, err := parseKind(*topo)
+	if err != nil {
+		fail(err)
+	}
+	cfg := sim.Config{
+		Kind:         kind,
+		Size:         *size,
+		Seed:         *seed,
+		HostsPerRack: *hostsPerRack,
+		VMsPerHost:   *vmsPerHost,
+	}
+
+	switch *mode {
+	case "balance":
+		runBalance(cfg, *rounds)
+	case "compare":
+		runCompare(cfg)
+	case "sweep":
+		list, err := parseSizes(*sizes, *size)
+		if err != nil {
+			fail(err)
+		}
+		for _, sz := range list {
+			c := cfg
+			c.Size = sz
+			runCompare(c)
+		}
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func runBalance(cfg sim.Config, rounds int) {
+	s, err := sim.Build(cfg)
+	if err != nil {
+		fail(err)
+	}
+	n := s.PopulateSkewed(0.5)
+	fmt.Printf("%s size %d: %d racks, %d hosts, %d VMs\n",
+		cfg.Kind, cfg.Size, len(s.Cluster.Racks), len(s.Cluster.Hosts()), n)
+	series, err := s.RunBalancing(rounds, 0.05)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("round  workload-stddev(%)")
+	for i, sd := range series {
+		fmt.Printf("%5d  %8.3f\n", i, sd)
+	}
+	fmt.Printf("reduction: %.1f%% -> %.1f%% over %d rounds\n",
+		series[0], series[len(series)-1], rounds)
+}
+
+func runCompare(cfg sim.Config) {
+	res, err := sim.Compare(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s size %-3d racks %-5d VMs %-6d alerted %-4d | sheriff cost %10.1f space %8d | central cost %10.1f space %8d\n",
+		cfg.Kind, cfg.Size, res.Racks, res.VMs, res.Alerted,
+		res.SheriffCost, res.SheriffSpace, res.CentralCost, res.CentralSpace)
+}
+
+func parseKind(s string) (sim.Kind, error) {
+	switch strings.ToLower(s) {
+	case "fat-tree", "fattree", "ft":
+		return sim.FatTree, nil
+	case "bcube", "bc":
+		return sim.BCube, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q (want fat-tree or bcube)", s)
+	}
+}
+
+func parseSizes(csv string, fallback int) ([]int, error) {
+	if csv == "" {
+		return []int{fallback}, nil
+	}
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sheriffsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command tracegen generates the synthetic workload traces (the stand-ins
+// for the paper's ZopleCloud data) and writes them as CSV, ready to be
+// fed back through `predict -file` or external tooling.
+//
+// Usage:
+//
+//	tracegen -trace traffic -days 7 -o traffic.csv
+//	tracegen -trace cpu -hours 24 -seed 3 -o -
+//	tracegen -trace profile -hours 4 -o profiles.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sheriff/internal/traces"
+)
+
+func main() {
+	trace := flag.String("trace", "traffic", "traffic, cpu, io, or profile")
+	days := flag.Int("days", 7, "trace length in days (traffic)")
+	hours := flag.Int("hours", 24, "trace length in hours (cpu, io, profile)")
+	perDay := flag.Int("per-day", 64, "samples per day (traffic)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "-", "output file; - for stdout")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		w = f
+	}
+
+	switch *trace {
+	case "traffic":
+		s := traces.WeeklyTraffic(traces.TrafficConfig{Days: *days, PerDay: *perDay, Seed: *seed})
+		if err := traces.WriteCSV(w, "traffic_mb", s); err != nil {
+			fail(err)
+		}
+	case "cpu":
+		s := traces.CPU(traces.CPUConfig{Hours: *hours, Seed: *seed})
+		if err := traces.WriteCSV(w, "cpu_pct", s); err != nil {
+			fail(err)
+		}
+	case "io":
+		s := traces.DiskIO(traces.DiskIOConfig{Hours: *hours, Seed: *seed})
+		if err := traces.WriteCSV(w, "io_mbps", s); err != nil {
+			fail(err)
+		}
+	case "profile":
+		g := traces.NewWorkloadGen(*hours, *seed)
+		n := g.Len()
+		profiles := make([]traces.Profile, n)
+		for i := range profiles {
+			profiles[i] = g.Next()
+		}
+		if err := traces.WriteProfileCSV(w, profiles); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown trace %q (want traffic, cpu, io, profile)", *trace))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Congestion control: the switch-side half of Sheriff (Sec. III.B) — a
+// QCN loop converging an end-host sender onto a bottleneck, followed by
+// FLOWREROUTE steering flows around a hot aggregation switch.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sheriff/internal/flow"
+	"sheriff/internal/qcn"
+	"sheriff/internal/topology"
+)
+
+func main() {
+	// Part 1: one QCN tunnel. A sender at line rate 10 shares a
+	// bottleneck that drains 6 per step. The congestion point samples
+	// Fb = −(Q_off + w·Q_delta); the reaction point backs off and then
+	// recovers toward the bottleneck rate.
+	cp, err := qcn.NewCongestionPoint(qcn.CPConfig{QEq: 600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rp, err := qcn.NewReactionPoint(qcn.RPConfig{LineRate: 10, BCLimit: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunnel, err := qcn.NewTunnel(cp, rp, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("QCN convergence (line rate 10, bottleneck 6):")
+	fmt.Println("step   rate   queue  occupancy")
+	for i := 0; i <= 2000; i++ {
+		tunnel.Step()
+		if i%250 == 0 {
+			fmt.Printf("%4d  %5.2f  %6.0f  %8.2f\n", i, rp.Rate(), cp.Len(), cp.Occupancy())
+		}
+	}
+	fmt.Printf("feedback messages delivered: %d, drops: %.0f\n\n", tunnel.Feedbacks(), cp.Dropped())
+
+	// Part 2: FLOWREROUTE. Load one aggregation switch of a Fat-Tree past
+	// 90% and steer the conflict flows around it.
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := flow.NewNetwork(ft.Graph)
+	src, dst := ft.RackIDs[0][0], ft.RackIDs[0][1]
+	for i := 0; i < 3; i++ {
+		if _, err := net.AddFlow(src, dst, 0.5, i == 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	hot := net.HotSwitches(0.9)
+	fmt.Printf("hot switches before reroute: %v\n", names(ft.Graph, hot))
+	for _, sw := range hot {
+		moved := net.RerouteAroundHot(sw, 0.9)
+		fmt.Printf("rerouted %d flows around %s (delay-sensitive flows stay)\n",
+			len(moved), ft.Graph.Node(sw).Name)
+		for _, f := range moved {
+			fmt.Printf("  flow %d now via %v\n", f.ID, names(ft.Graph, f.Path()))
+		}
+	}
+	fmt.Printf("hot switches after reroute: %v\n", names(ft.Graph, net.HotSwitches(0.9)))
+
+	// The residual bandwidth flows leave behind feeds the migration cost
+	// model (B(e) in Eqn. 1).
+	net.UpdateGraphBandwidth()
+	e, _ := ft.Graph.EdgeBetween(src, hot[0])
+	fmt.Printf("residual bandwidth on the hot uplink: %.2f of %.2f\n", e.Bandwidth, e.Capacity)
+}
+
+func names(g *topology.Graph, ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Node(id).Name
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+// Traffic forecast: the Figs. 6–8 prediction study end to end — generate
+// a weekly switch-traffic trace, fit ARIMA(1,1,1) and a NARNET, run the
+// dynamic-selection combined predictor over the test region, and compare
+// errors. Finishes with the pre-alert check: does the predicted next
+// value cross the threshold?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sheriff"
+	"sheriff/internal/timeseries"
+	"sheriff/internal/traces"
+)
+
+func main() {
+	// Seven days of switch traffic, 64 samples/day (the paper's ~450
+	// time units), with daily+weekly periodicity and a nonlinear
+	// amplitude envelope.
+	trace := traces.WeeklyTraffic(traces.TrafficConfig{Days: 7, PerDay: 64, Seed: 7})
+	fmt.Println(traces.Describe("weekly traffic", trace))
+
+	data := trace.Values()
+	nTrain := int(0.7 * float64(len(data)))
+	train, test := data[:nTrain], data[nTrain:]
+
+	// Single models.
+	am, err := sheriff.FitARIMA(train, 1, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nn, err := sheriff.TrainNARNET(train, 16, 20, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aPred, err := am.RollingForecast(timeseries.New(train), timeseries.New(test))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nPred, err := nn.RollingForecast(timeseries.New(train), timeseries.New(test))
+	if err != nil {
+		log.Fatal(err)
+	}
+	aMSE, _ := timeseries.MSE(test, aPred)
+	nMSE, _ := timeseries.MSE(test, nPred)
+
+	// Combined dynamic selection (Sec. IV.B): at each step the candidate
+	// with the lowest sliding-window MSE predicts.
+	sel, err := sheriff.NewCombinedPredictor(train, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	combined := make([]float64, len(test))
+	for t := range test {
+		p, err := sel.Predict()
+		if err != nil {
+			log.Fatal(err)
+		}
+		combined[t] = p
+		sel.Observe(test[t])
+	}
+	cMSE, _ := timeseries.MSE(test, combined)
+
+	fmt.Printf("ARIMA(1,1,1)  test MSE: %8.3f\n", aMSE)
+	fmt.Printf("NARNET(16,20) test MSE: %8.3f\n", nMSE)
+	fmt.Printf("combined      test MSE: %8.3f\n", cMSE)
+
+	// Pre-alert: normalize the prediction into the profile and apply the
+	// THRESHOLD rule.
+	next, err := sel.Predict()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hi := trace.Max()
+	profile := sheriff.Profile{TRF: next / hi}
+	value, fired := sheriff.EvaluateAlert(profile, sheriff.DefaultThresholds())
+	fmt.Printf("next predicted traffic %.1f MB (%.0f%% of peak) -> alert=%v (value %.2f)\n",
+		next, profile.TRF*100, fired, value)
+}

@@ -1,0 +1,355 @@
+// Package arima implements the autoregressive integrated moving average
+// model family used by Sheriff's prediction phase (paper Sec. IV.B).
+//
+// An ARIMA(p,d,q) process satisfies φ(L)∇ᵈY_t = c + θ(L)Z_t with
+// φ(L) = 1 − φ₁L − … − φ_pLᵖ and θ(L) = 1 + θ₁L + … + θ_qL^q, where {Z_t}
+// is white noise. Parameters are estimated by the Hannan–Rissanen two-stage
+// regression (a standard realization of the Box–Jenkins methodology), and
+// forecasts are minimum mean-square-error (MMSE) predictions: one-step-ahead
+// directly, k-step-ahead by the recursion of the paper's Eqn. (12).
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sheriff/internal/linalg"
+	"sheriff/internal/timeseries"
+)
+
+// Order identifies an ARIMA(p,d,q) specification.
+type Order struct {
+	P int // autoregressive order
+	D int // differencing order
+	Q int // moving-average order
+}
+
+// String renders the order in the paper's ARIMA(p,d,q) notation.
+func (o Order) String() string { return fmt.Sprintf("ARIMA(%d,%d,%d)", o.P, o.D, o.Q) }
+
+// Validate reports whether the order is well formed.
+func (o Order) Validate() error {
+	if o.P < 0 || o.D < 0 || o.Q < 0 {
+		return fmt.Errorf("arima: negative order component in %s", o)
+	}
+	if o.P == 0 && o.Q == 0 {
+		return fmt.Errorf("arima: %s has no ARMA terms", o)
+	}
+	return nil
+}
+
+// Model is a fitted ARIMA model. Create one with Fit or AutoFit.
+type Model struct {
+	Order     Order
+	Phi       []float64 // AR coefficients φ₁..φ_p
+	Theta     []float64 // MA coefficients θ₁..θ_q
+	Intercept float64   // constant c of the ARMA equation on ∇ᵈY
+	Sigma2    float64   // residual variance estimate
+	N         int       // number of observations used in fitting
+
+	history *timeseries.Series // original-scale training series
+}
+
+// minObservations returns the minimum series length required to fit o.
+func minObservations(o Order) int {
+	m := o.P
+	if o.Q > m {
+		m = o.Q
+	}
+	// Stage-one long AR plus enough rows for the stage-two regression.
+	return o.D + 4*(m+1) + 8
+}
+
+// Fit estimates an ARIMA model of the given order on s using the
+// Hannan–Rissanen procedure.
+func Fit(s *timeseries.Series, order Order) (*Model, error) {
+	if err := order.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Len() < minObservations(order) {
+		return nil, fmt.Errorf("arima: series length %d too short for %s (need >= %d)",
+			s.Len(), order, minObservations(order))
+	}
+	w, err := timeseries.DiffN(s, order.D)
+	if err != nil {
+		return nil, fmt.Errorf("arima: differencing: %w", err)
+	}
+	phi, theta, intercept, err := hannanRissanen(w.Raw(), order.P, order.Q)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Order:     order,
+		Phi:       phi,
+		Theta:     theta,
+		Intercept: intercept,
+		N:         s.Len(),
+		history:   s.Clone(),
+	}
+	res := m.residuals(w.Raw())
+	m.Sigma2 = variance(res)
+	if math.IsNaN(m.Sigma2) || math.IsInf(m.Sigma2, 0) {
+		return nil, errors.New("arima: estimation produced non-finite residual variance")
+	}
+	return m, nil
+}
+
+// hannanRissanen runs the two-stage regression on the (already
+// differenced) series w and returns (phi, theta, intercept).
+func hannanRissanen(w []float64, p, q int) (phi, theta []float64, intercept float64, err error) {
+	n := len(w)
+	// Stage 1: long autoregression to obtain preliminary innovations.
+	longAR := p + q + 3
+	if cap := n / 4; longAR > cap {
+		longAR = cap
+	}
+	if longAR < 1 {
+		longAR = 1
+	}
+	innov := make([]float64, n)
+	if q > 0 {
+		arCoef, c, ferr := fitAR(w, longAR)
+		if ferr != nil {
+			return nil, nil, 0, fmt.Errorf("arima: stage-1 long AR: %w", ferr)
+		}
+		for t := longAR; t < n; t++ {
+			pred := c
+			for i := 1; i <= longAR; i++ {
+				pred += arCoef[i-1] * w[t-i]
+			}
+			innov[t] = w[t] - pred
+		}
+	}
+	// Stage 2: regress w_t on 1, lagged w, lagged innovations.
+	start := p
+	if q > start {
+		start = q
+	}
+	if longAR > start && q > 0 {
+		start = longAR
+	}
+	rows := n - start
+	cols := 1 + p + q
+	if rows < cols+2 {
+		return nil, nil, 0, fmt.Errorf("arima: only %d usable rows for %d parameters", rows, cols)
+	}
+	x := linalg.NewMatrix(rows, cols)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := start + r
+		y[r] = w[t]
+		x.Set(r, 0, 1)
+		for i := 1; i <= p; i++ {
+			x.Set(r, i, w[t-i])
+		}
+		for j := 1; j <= q; j++ {
+			x.Set(r, p+j, innov[t-j])
+		}
+	}
+	beta, err := linalg.LeastSquares(x, y, 1e-9)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("arima: stage-2 regression: %w", err)
+	}
+	intercept = beta[0]
+	phi = append([]float64(nil), beta[1:1+p]...)
+	theta = append([]float64(nil), beta[1+p:]...)
+	stabilize(phi)
+	stabilize(theta)
+	return phi, theta, intercept, nil
+}
+
+// fitAR fits an AR(k) model with intercept by least squares.
+func fitAR(w []float64, k int) (coef []float64, intercept float64, err error) {
+	n := len(w)
+	rows := n - k
+	if rows < k+2 {
+		return nil, 0, fmt.Errorf("arima: AR(%d) needs more data (have %d rows)", k, rows)
+	}
+	x := linalg.NewMatrix(rows, k+1)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := k + r
+		y[r] = w[t]
+		x.Set(r, 0, 1)
+		for i := 1; i <= k; i++ {
+			x.Set(r, i, w[t-i])
+		}
+	}
+	beta, err := linalg.LeastSquares(x, y, 1e-9)
+	if err != nil {
+		return nil, 0, err
+	}
+	return beta[1:], beta[0], nil
+}
+
+// stabilize shrinks a coefficient vector whose absolute sum is explosive.
+// The Hannan–Rissanen regression occasionally returns a (numerically)
+// non-stationary polynomial on short or degenerate inputs; shrinking toward
+// zero keeps recursive forecasts bounded while preserving the direction of
+// the fit.
+func stabilize(coef []float64) {
+	const maxAbsSum = 0.99
+	sum := 0.0
+	for _, c := range coef {
+		sum += math.Abs(c)
+	}
+	if sum <= maxAbsSum || sum == 0 {
+		return
+	}
+	f := maxAbsSum / sum
+	for i := range coef {
+		coef[i] *= f
+	}
+}
+
+// residuals computes the one-step in-sample innovations of the fitted ARMA
+// equation on the differenced series w.
+func (m *Model) residuals(w []float64) []float64 {
+	p, q := m.Order.P, m.Order.Q
+	res := make([]float64, len(w))
+	for t := 0; t < len(w); t++ {
+		pred := m.Intercept
+		for i := 1; i <= p; i++ {
+			if t-i >= 0 {
+				pred += m.Phi[i-1] * w[t-i]
+			}
+		}
+		for j := 1; j <= q; j++ {
+			if t-j >= 0 {
+				pred += m.Theta[j-1] * res[t-j]
+			}
+		}
+		res[t] = w[t] - pred
+	}
+	return res
+}
+
+func variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	sum := 0.0
+	for _, x := range v {
+		d := x - mean
+		sum += d * d
+	}
+	return sum / float64(len(v))
+}
+
+// Forecast returns the h-step-ahead MMSE forecasts from the end of the
+// training series, on the original (undifferenced) scale.
+func (m *Model) Forecast(h int) ([]float64, error) {
+	return m.ForecastFrom(m.history, h)
+}
+
+// ForecastFrom returns h-step-ahead MMSE forecasts treating history as the
+// observed past. One-step-ahead is the direct conditional mean; k-step uses
+// the recursion in which earlier forecasts stand in for unobserved values
+// and future innovations are replaced by their zero mean (paper Sec. IV.B,
+// ONE-STEP-AHEAD / K-STEP-AHEAD).
+func (m *Model) ForecastFrom(history *timeseries.Series, h int) ([]float64, error) {
+	if h <= 0 {
+		return nil, errors.New("arima: forecast horizon must be positive")
+	}
+	if history.Len() < minObservations(m.Order) {
+		return nil, fmt.Errorf("arima: history length %d too short for %s", history.Len(), m.Order)
+	}
+	w, err := timeseries.DiffN(history, m.Order.D)
+	if err != nil {
+		return nil, err
+	}
+	wraw := w.Raw()
+	res := m.residuals(wraw)
+	p, q := m.Order.P, m.Order.Q
+	n := len(wraw)
+
+	// Extended arrays holding observed values then forecasts.
+	ext := make([]float64, n+h)
+	copy(ext, wraw)
+	extRes := make([]float64, n+h)
+	copy(extRes, res) // future residuals stay zero (their conditional mean)
+
+	for k := 0; k < h; k++ {
+		t := n + k
+		pred := m.Intercept
+		for i := 1; i <= p; i++ {
+			pred += m.Phi[i-1] * ext[t-i]
+		}
+		for j := 1; j <= q; j++ {
+			pred += m.Theta[j-1] * extRes[t-j]
+		}
+		ext[t] = pred
+	}
+	fc := ext[n:]
+	if m.Order.D == 0 {
+		out := make([]float64, h)
+		copy(out, fc)
+		return out, nil
+	}
+	tails, err := timeseries.DiffTails(history, m.Order.D)
+	if err != nil {
+		return nil, err
+	}
+	return timeseries.IntegrateForecast(fc, tails), nil
+}
+
+// ForecastInterval returns the h-step forecasts plus symmetric prediction
+// intervals at roughly 95% coverage (±1.96·σ·√ψ, using the cumulative
+// psi-weight approximation for the forecast-error variance).
+func (m *Model) ForecastInterval(h int) (point, lower, upper []float64, err error) {
+	point, err = m.Forecast(h)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	psi := m.psiWeights(h)
+	lower = make([]float64, h)
+	upper = make([]float64, h)
+	cum := 0.0
+	sigma := math.Sqrt(m.Sigma2)
+	for k := 0; k < h; k++ {
+		cum += psi[k] * psi[k]
+		half := 1.96 * sigma * math.Sqrt(cum)
+		lower[k] = point[k] - half
+		upper[k] = point[k] + half
+	}
+	return point, lower, upper, nil
+}
+
+// psiWeights returns the first h MA(∞) psi weights of the ARMA part
+// (ψ₀ = 1), obtained by the standard recursion ψ_k = θ_k + Σ φ_i ψ_{k−i}.
+func (m *Model) psiWeights(h int) []float64 {
+	psi := make([]float64, h)
+	if h == 0 {
+		return psi
+	}
+	psi[0] = 1
+	for k := 1; k < h; k++ {
+		v := 0.0
+		if k <= m.Order.Q {
+			v = m.Theta[k-1]
+		}
+		for i := 1; i <= m.Order.P && i <= k; i++ {
+			v += m.Phi[i-1] * psi[k-i]
+		}
+		psi[k] = v
+	}
+	return psi
+}
+
+// AIC returns the Akaike information criterion of the fitted model;
+// lower is better. Used by AutoFit's Box–Jenkins style order search.
+func (m *Model) AIC() float64 {
+	k := float64(m.Order.P + m.Order.Q + 1)
+	n := float64(m.N - m.Order.D)
+	s2 := m.Sigma2
+	if s2 <= 0 {
+		s2 = 1e-12
+	}
+	return n*math.Log(s2) + 2*k
+}

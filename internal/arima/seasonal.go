@@ -1,0 +1,341 @@
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sheriff/internal/linalg"
+	"sheriff/internal/timeseries"
+)
+
+// SeasonalOrder extends Order with the multiplicative seasonal part of a
+// SARIMA(p,d,q)(P,D,Q)_s model: φ(L)Φ(Lˢ)∇ᵈ∇ˢᴰY_t = c + θ(L)Θ(Lˢ)Z_t.
+// The weekly traffic of Fig. 5 has a strong daily season, which a plain
+// ARIMA(1,1,1) can only chase; the seasonal terms model it directly.
+type SeasonalOrder struct {
+	Order
+	SP     int // seasonal AR order P
+	SD     int // seasonal differencing order D
+	SQ     int // seasonal MA order Q
+	Period int // season length s (e.g. samples per day)
+}
+
+// String renders the order in SARIMA notation.
+func (o SeasonalOrder) String() string {
+	return fmt.Sprintf("SARIMA(%d,%d,%d)(%d,%d,%d)[%d]",
+		o.P, o.D, o.Q, o.SP, o.SD, o.SQ, o.Period)
+}
+
+// Validate reports whether the seasonal order is well formed.
+func (o SeasonalOrder) Validate() error {
+	if o.P < 0 || o.D < 0 || o.Q < 0 || o.SP < 0 || o.SD < 0 || o.SQ < 0 {
+		return fmt.Errorf("arima: negative component in %s", o)
+	}
+	if o.SP > 0 || o.SD > 0 || o.SQ > 0 {
+		if o.Period < 2 {
+			return fmt.Errorf("arima: seasonal terms require Period >= 2 in %s", o)
+		}
+	}
+	if o.P == 0 && o.Q == 0 && o.SP == 0 && o.SQ == 0 {
+		return fmt.Errorf("arima: %s has no ARMA terms", o)
+	}
+	return nil
+}
+
+// SeasonalModel is a fitted SARIMA model.
+type SeasonalModel struct {
+	Order     SeasonalOrder
+	Phi       []float64 // non-seasonal AR φ₁..φ_p
+	Theta     []float64 // non-seasonal MA θ₁..θ_q
+	SPhi      []float64 // seasonal AR Φ₁..Φ_P (at lags s, 2s, …)
+	STheta    []float64 // seasonal MA Θ₁..Θ_Q
+	Intercept float64
+	Sigma2    float64
+	N         int
+
+	history *timeseries.Series
+}
+
+func (o SeasonalOrder) maxARLag() int {
+	lag := o.P
+	if s := o.SP * o.Period; s > lag {
+		lag = s
+	}
+	return lag
+}
+
+func (o SeasonalOrder) maxMALag() int {
+	lag := o.Q
+	if s := o.SQ * o.Period; s > lag {
+		lag = s
+	}
+	return lag
+}
+
+func (o SeasonalOrder) minObservations() int {
+	need := o.D + o.SD*o.Period + 3*(o.maxARLag()+o.maxMALag()+2) + 8
+	return need
+}
+
+// seasonalDifference applies ∇ᵈ∇ˢᴰ.
+func seasonalDifference(s *timeseries.Series, o SeasonalOrder) (*timeseries.Series, error) {
+	cur := s
+	for i := 0; i < o.SD; i++ {
+		next, err := timeseries.SeasonalDiff(cur, o.Period)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return timeseries.DiffN(cur, o.D)
+}
+
+// FitSeasonal estimates a SARIMA model by the same two-stage
+// Hannan–Rissanen regression as Fit, with seasonal lag and innovation
+// regressors added.
+func FitSeasonal(s *timeseries.Series, order SeasonalOrder) (*SeasonalModel, error) {
+	if err := order.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Len() < order.minObservations() {
+		return nil, fmt.Errorf("arima: series length %d too short for %s (need >= %d)",
+			s.Len(), order, order.minObservations())
+	}
+	w, err := seasonalDifference(s, order)
+	if err != nil {
+		return nil, err
+	}
+	wr := w.Raw()
+	n := len(wr)
+
+	// Stage 1: long AR for innovations, spanning at least one season.
+	longAR := order.maxARLag() + order.maxMALag() + 2
+	if cap := n / 3; longAR > cap {
+		longAR = cap
+	}
+	if longAR < 1 {
+		longAR = 1
+	}
+	innov := make([]float64, n)
+	needInnov := order.Q > 0 || order.SQ > 0
+	if needInnov {
+		coef, c, ferr := fitAR(wr, longAR)
+		if ferr != nil {
+			return nil, fmt.Errorf("arima: seasonal stage-1: %w", ferr)
+		}
+		for t := longAR; t < n; t++ {
+			pred := c
+			for i := 1; i <= longAR; i++ {
+				pred += coef[i-1] * wr[t-i]
+			}
+			innov[t] = wr[t] - pred
+		}
+	}
+
+	// Stage 2: regression with seasonal columns.
+	start := order.maxARLag()
+	if m := order.maxMALag(); m > start {
+		start = m
+	}
+	if needInnov && longAR > start {
+		start = longAR
+	}
+	cols := 1 + order.P + order.SP + order.Q + order.SQ
+	rows := n - start
+	if rows < cols+2 {
+		return nil, fmt.Errorf("arima: only %d usable rows for %d parameters in %s", rows, cols, order)
+	}
+	x := linalg.NewMatrix(rows, cols)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := start + r
+		y[r] = wr[t]
+		col := 0
+		x.Set(r, col, 1)
+		col++
+		for i := 1; i <= order.P; i++ {
+			x.Set(r, col, wr[t-i])
+			col++
+		}
+		for i := 1; i <= order.SP; i++ {
+			x.Set(r, col, wr[t-i*order.Period])
+			col++
+		}
+		for j := 1; j <= order.Q; j++ {
+			x.Set(r, col, innov[t-j])
+			col++
+		}
+		for j := 1; j <= order.SQ; j++ {
+			x.Set(r, col, innov[t-j*order.Period])
+			col++
+		}
+	}
+	beta, err := linalg.LeastSquares(x, y, 1e-9)
+	if err != nil {
+		return nil, fmt.Errorf("arima: seasonal stage-2: %w", err)
+	}
+	m := &SeasonalModel{Order: order, N: s.Len(), history: s.Clone()}
+	col := 0
+	m.Intercept = beta[col]
+	col++
+	m.Phi = append([]float64(nil), beta[col:col+order.P]...)
+	col += order.P
+	m.SPhi = append([]float64(nil), beta[col:col+order.SP]...)
+	col += order.SP
+	m.Theta = append([]float64(nil), beta[col:col+order.Q]...)
+	col += order.Q
+	m.STheta = append([]float64(nil), beta[col:col+order.SQ]...)
+	stabilize(m.Phi)
+	stabilize(m.SPhi)
+	stabilize(m.Theta)
+	stabilize(m.STheta)
+
+	res := m.residuals(wr)
+	m.Sigma2 = variance(res)
+	if math.IsNaN(m.Sigma2) || math.IsInf(m.Sigma2, 0) {
+		return nil, errors.New("arima: seasonal estimation produced non-finite variance")
+	}
+	return m, nil
+}
+
+// predictOne evaluates the SARMA equation at position t over the extended
+// arrays (values w and innovations e); out-of-range history reads as 0.
+func (m *SeasonalModel) predictOne(w, e []float64, t int) float64 {
+	o := m.Order
+	pred := m.Intercept
+	for i := 1; i <= o.P; i++ {
+		if t-i >= 0 {
+			pred += m.Phi[i-1] * w[t-i]
+		}
+	}
+	for i := 1; i <= o.SP; i++ {
+		if t-i*o.Period >= 0 {
+			pred += m.SPhi[i-1] * w[t-i*o.Period]
+		}
+	}
+	for j := 1; j <= o.Q; j++ {
+		if t-j >= 0 {
+			pred += m.Theta[j-1] * e[t-j]
+		}
+	}
+	for j := 1; j <= o.SQ; j++ {
+		if t-j*o.Period >= 0 {
+			pred += m.STheta[j-1] * e[t-j*o.Period]
+		}
+	}
+	return pred
+}
+
+func (m *SeasonalModel) residuals(w []float64) []float64 {
+	res := make([]float64, len(w))
+	for t := range w {
+		res[t] = w[t] - m.predictOne(w, res, t)
+	}
+	return res
+}
+
+// Forecast returns h-step-ahead forecasts from the training series.
+func (m *SeasonalModel) Forecast(h int) ([]float64, error) {
+	return m.ForecastFrom(m.history, h)
+}
+
+// ForecastFrom returns h-step-ahead MMSE forecasts on the original scale:
+// the SARMA recursion on the doubly differenced series, then inversion of
+// ∇ᵈ and ∇ˢᴰ.
+func (m *SeasonalModel) ForecastFrom(history *timeseries.Series, h int) ([]float64, error) {
+	if h <= 0 {
+		return nil, errors.New("arima: forecast horizon must be positive")
+	}
+	o := m.Order
+	if history.Len() < o.minObservations() {
+		return nil, fmt.Errorf("arima: history length %d too short for %s", history.Len(), o)
+	}
+	w, err := seasonalDifference(history, o)
+	if err != nil {
+		return nil, err
+	}
+	wr := w.Raw()
+	n := len(wr)
+	ext := make([]float64, n+h)
+	copy(ext, wr)
+	extRes := make([]float64, n+h)
+	copy(extRes, m.residuals(wr))
+	for k := 0; k < h; k++ {
+		t := n + k
+		ext[t] = m.predictOne(ext, extRes, t)
+	}
+	fc := ext[n:]
+
+	// Invert ∇ᵈ first (innermost), anchored on the seasonal-differenced
+	// history.
+	if o.D > 0 {
+		seasonalHist := history
+		for i := 0; i < o.SD; i++ {
+			next, err := timeseries.SeasonalDiff(seasonalHist, o.Period)
+			if err != nil {
+				return nil, err
+			}
+			seasonalHist = next
+		}
+		tails, err := timeseries.DiffTails(seasonalHist, o.D)
+		if err != nil {
+			return nil, err
+		}
+		fc = timeseries.IntegrateForecast(fc, tails)
+	}
+	// Invert ∇ˢᴰ: Y_{t+k} = x_{t+k} + Y_{t+k−s}, recursively per level.
+	for level := 0; level < o.SD; level++ {
+		// Reconstruct the (SD−level−1)-times seasonally differenced
+		// history to read the seasonal anchors from.
+		anchor := history
+		for i := 0; i < o.SD-level-1; i++ {
+			next, err := timeseries.SeasonalDiff(anchor, o.Period)
+			if err != nil {
+				return nil, err
+			}
+			anchor = next
+		}
+		ar := anchor.Raw()
+		out := make([]float64, len(fc))
+		for k := range fc {
+			back := k - o.Period
+			var prev float64
+			if back >= 0 {
+				prev = out[back]
+			} else {
+				prev = ar[len(ar)+back]
+			}
+			out[k] = fc[k] + prev
+		}
+		fc = out
+	}
+	return fc, nil
+}
+
+// RollingForecast mirrors Model.RollingForecast for seasonal models.
+func (m *SeasonalModel) RollingForecast(train, test *timeseries.Series) ([]float64, error) {
+	history := train.Clone()
+	out := make([]float64, test.Len())
+	for t := 0; t < test.Len(); t++ {
+		fc, err := m.ForecastFrom(history, 1)
+		if err != nil {
+			return nil, fmt.Errorf("arima: seasonal rolling forecast at step %d: %w", t, err)
+		}
+		out[t] = fc[0]
+		history.Append(test.At(t))
+	}
+	return out, nil
+}
+
+// AIC returns the Akaike information criterion for the seasonal model.
+func (m *SeasonalModel) AIC() float64 {
+	o := m.Order
+	k := float64(o.P + o.Q + o.SP + o.SQ + 1)
+	n := float64(m.N - o.D - o.SD*o.Period)
+	s2 := m.Sigma2
+	if s2 <= 0 {
+		s2 = 1e-12
+	}
+	return n*math.Log(s2) + 2*k
+}

@@ -1,0 +1,110 @@
+package arima
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sheriff/internal/timeseries"
+)
+
+// modelJSON is the serialized form of a fitted Model: parameters plus the
+// training history needed to forecast from the model's own end point.
+type modelJSON struct {
+	Order     Order     `json:"order"`
+	Phi       []float64 `json:"phi,omitempty"`
+	Theta     []float64 `json:"theta,omitempty"`
+	Intercept float64   `json:"intercept"`
+	Sigma2    float64   `json:"sigma2"`
+	N         int       `json:"n"`
+	History   []float64 `json:"history"`
+}
+
+// MarshalJSON serializes the fitted model, history included, so a shim
+// can persist trained predictors across restarts.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{
+		Order:     m.Order,
+		Phi:       m.Phi,
+		Theta:     m.Theta,
+		Intercept: m.Intercept,
+		Sigma2:    m.Sigma2,
+		N:         m.N,
+		History:   m.history.Values(),
+	})
+}
+
+// UnmarshalJSON restores a model serialized by MarshalJSON.
+func (m *Model) UnmarshalJSON(b []byte) error {
+	var dto modelJSON
+	if err := json.Unmarshal(b, &dto); err != nil {
+		return fmt.Errorf("arima: unmarshal: %w", err)
+	}
+	if err := dto.Order.Validate(); err != nil {
+		return fmt.Errorf("arima: unmarshal: %w", err)
+	}
+	if len(dto.Phi) != dto.Order.P || len(dto.Theta) != dto.Order.Q {
+		return fmt.Errorf("arima: unmarshal: coefficient counts (%d,%d) do not match %s",
+			len(dto.Phi), len(dto.Theta), dto.Order)
+	}
+	m.Order = dto.Order
+	m.Phi = dto.Phi
+	m.Theta = dto.Theta
+	m.Intercept = dto.Intercept
+	m.Sigma2 = dto.Sigma2
+	m.N = dto.N
+	m.history = timeseries.New(dto.History)
+	return nil
+}
+
+// seasonalModelJSON is the serialized form of a SeasonalModel.
+type seasonalModelJSON struct {
+	Order     SeasonalOrder `json:"order"`
+	Phi       []float64     `json:"phi,omitempty"`
+	Theta     []float64     `json:"theta,omitempty"`
+	SPhi      []float64     `json:"sphi,omitempty"`
+	STheta    []float64     `json:"stheta,omitempty"`
+	Intercept float64       `json:"intercept"`
+	Sigma2    float64       `json:"sigma2"`
+	N         int           `json:"n"`
+	History   []float64     `json:"history"`
+}
+
+// MarshalJSON serializes the fitted seasonal model.
+func (m *SeasonalModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(seasonalModelJSON{
+		Order:     m.Order,
+		Phi:       m.Phi,
+		Theta:     m.Theta,
+		SPhi:      m.SPhi,
+		STheta:    m.STheta,
+		Intercept: m.Intercept,
+		Sigma2:    m.Sigma2,
+		N:         m.N,
+		History:   m.history.Values(),
+	})
+}
+
+// UnmarshalJSON restores a seasonal model serialized by MarshalJSON.
+func (m *SeasonalModel) UnmarshalJSON(b []byte) error {
+	var dto seasonalModelJSON
+	if err := json.Unmarshal(b, &dto); err != nil {
+		return fmt.Errorf("arima: unmarshal seasonal: %w", err)
+	}
+	if err := dto.Order.Validate(); err != nil {
+		return fmt.Errorf("arima: unmarshal seasonal: %w", err)
+	}
+	if len(dto.Phi) != dto.Order.P || len(dto.Theta) != dto.Order.Q ||
+		len(dto.SPhi) != dto.Order.SP || len(dto.STheta) != dto.Order.SQ {
+		return fmt.Errorf("arima: unmarshal seasonal: coefficient counts do not match %s", dto.Order)
+	}
+	m.Order = dto.Order
+	m.Phi = dto.Phi
+	m.Theta = dto.Theta
+	m.SPhi = dto.SPhi
+	m.STheta = dto.STheta
+	m.Intercept = dto.Intercept
+	m.Sigma2 = dto.Sigma2
+	m.N = dto.N
+	m.history = timeseries.New(dto.History)
+	return nil
+}

@@ -1,0 +1,90 @@
+package arima
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	s := simulateARMA(1000, []float64{0.6}, []float64{0.2}, 0.5, 21)
+	orig, err := Fit(s, Order{P: 1, D: 0, Q: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Model
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Order != orig.Order || restored.Phi[0] != orig.Phi[0] ||
+		restored.Theta[0] != orig.Theta[0] || restored.Sigma2 != orig.Sigma2 {
+		t.Fatal("parameters not preserved")
+	}
+	// Forecasts from the restored model must match exactly.
+	fo, err := orig.Forecast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := restored.Forecast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fo {
+		if fo[i] != fr[i] {
+			t.Fatalf("forecast %d differs: %v vs %v", i, fo[i], fr[i])
+		}
+	}
+}
+
+func TestModelUnmarshalRejectsCorrupt(t *testing.T) {
+	var m Model
+	if err := json.Unmarshal([]byte(`{"order":{"P":-1,"D":0,"Q":1}}`), &m); err == nil {
+		t.Error("invalid order accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"order":{"P":2,"D":0,"Q":0},"phi":[0.5]}`), &m); err == nil {
+		t.Error("coefficient count mismatch accepted")
+	}
+	if err := json.Unmarshal([]byte(`{not json`), &m); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestSeasonalModelJSONRoundTrip(t *testing.T) {
+	s := seasonalSeries(500, 12, 22)
+	orig, err := FitSeasonal(s, SeasonalOrder{Order: Order{P: 1, Q: 1}, SP: 1, SD: 1, Period: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored SeasonalModel
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	fo, err := orig.Forecast(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := restored.Forecast(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fo {
+		if math.Abs(fo[i]-fr[i]) > 1e-12 {
+			t.Fatalf("seasonal forecast %d differs", i)
+		}
+	}
+}
+
+func TestSeasonalUnmarshalRejectsCorrupt(t *testing.T) {
+	var m SeasonalModel
+	if err := json.Unmarshal([]byte(`{"order":{"P":1,"SP":2,"Period":12},"phi":[0.1],"sphi":[0.1]}`), &m); err == nil {
+		t.Error("seasonal coefficient mismatch accepted")
+	}
+}

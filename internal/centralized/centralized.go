@@ -1,0 +1,64 @@
+// Package centralized implements the global (centralized) optimal manager
+// that the paper compares Sheriff against in Figs. 11–14: a single
+// controller that sees every host in the DCN and solves the same
+// VM-to-destination matching over the global candidate pool. Its search
+// space is |F| × (all hosts), against Sheriff's |F| × (regional hosts);
+// its migration cost is a lower bound on any regional scheme using the
+// same matching machinery.
+//
+// It also exposes the Sec. V.A k-median view: choosing the m destination
+// ToRs that minimize total rack-pair connection cost, solved exactly for
+// small instances and by Local Search otherwise.
+package centralized
+
+import (
+	"fmt"
+
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/kmedian"
+	"sheriff/internal/migrate"
+)
+
+// Manager is the centralized controller.
+type Manager struct {
+	cluster *dcn.Cluster
+	model   *cost.Model
+}
+
+// New builds a centralized manager over the cluster.
+func New(c *dcn.Cluster, m *cost.Model) *Manager {
+	return &Manager{cluster: c, model: m}
+}
+
+// Migrate places every candidate VM using the global host pool. The
+// returned result's SearchSpace reflects the full |F|×|hosts| scan.
+func (m *Manager) Migrate(f []*dcn.VM) (*migrate.MigrationResult, error) {
+	return migrate.VMMigration(m.cluster, m.model, f, m.cluster.Hosts())
+}
+
+// PlanDestinations solves the Sec. V.A k-median reduction: given the
+// racks that raised alerts (clients C) and all racks as facilities F,
+// pick k destination ToRs minimizing total collapsed pair cost
+// G(v_i, v_p) + C_r. exact=true brute-forces the optimum (use only for
+// small rack counts); otherwise Alg. 5 Local Search with swap size p runs.
+func (m *Manager) PlanDestinations(sourceRacks []int, k, p int, exact bool, seed int64) (*kmedian.Solution, error) {
+	racks := m.cluster.Racks
+	if k < 1 || k > len(racks) {
+		return nil, fmt.Errorf("centralized: k = %d out of range [1, %d]", k, len(racks))
+	}
+	facilities := make([]int, len(racks))
+	for i := range racks {
+		facilities[i] = i
+	}
+	inst := &kmedian.Instance{
+		Cost:       m.model.RackCostMatrix(),
+		Clients:    sourceRacks,
+		Facilities: facilities,
+		K:          k,
+	}
+	if exact {
+		return kmedian.Exact(inst)
+	}
+	return kmedian.LocalSearch(inst, kmedian.Options{P: p, Seed: seed})
+}

@@ -1,0 +1,175 @@
+// Package comm provides the inter-shim message layer of Sec. V.B: local
+// managers "need to communicate between each other to avoid conflictions",
+// exchanging REQUEST/ACK/REJECT envelopes for VM migration and congestion
+// notifications. The bus is an in-memory, deterministic network with
+// per-node FIFO inboxes and injectable loss and delay, so the protocols
+// built on it can be tested under adverse delivery conditions.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Type tags a message's protocol role.
+type Type int
+
+const (
+	// MsgAlert carries an ALERT from a server/switch to its shim.
+	MsgAlert Type = iota
+	// MsgRequest asks a destination shim to accept a VM migration.
+	MsgRequest
+	// MsgAck grants a request.
+	MsgAck
+	// MsgReject refuses a request.
+	MsgReject
+	// MsgCongestion carries QCN-style congestion feedback.
+	MsgCongestion
+)
+
+// String names the message type.
+func (t Type) String() string {
+	switch t {
+	case MsgAlert:
+		return "alert"
+	case MsgRequest:
+		return "request"
+	case MsgAck:
+		return "ack"
+	case MsgReject:
+		return "reject"
+	case MsgCongestion:
+		return "congestion"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Message is one envelope on the bus.
+type Message struct {
+	ID       int // bus-assigned, monotone per send
+	Type     Type
+	From, To int // node addresses (rack indices)
+	VMID     int
+	HostID   int
+	Value    float64
+	Seq      int // correlates requests with replies
+}
+
+// Options tunes the bus's delivery behaviour.
+type Options struct {
+	// LossRate drops each message independently with this probability.
+	LossRate float64
+	// MaxDelay holds a delivered message back up to this many Deliver
+	// rounds (uniform); 0 = next round.
+	MaxDelay int
+	// Seed drives loss and delay draws.
+	Seed int64
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.LossRate < 0 || o.LossRate >= 1 {
+		return fmt.Errorf("comm: LossRate must be in [0,1), got %v", o.LossRate)
+	}
+	if o.MaxDelay < 0 {
+		return fmt.Errorf("comm: MaxDelay must be >= 0, got %d", o.MaxDelay)
+	}
+	return nil
+}
+
+// Bus is a deterministic in-memory message network. It is not safe for
+// concurrent use; protocols drive it round by round.
+type Bus struct {
+	opts     Options
+	rng      *rand.Rand
+	nextID   int
+	inFlight []pending
+	inbox    map[int][]Message
+	dropped  int
+	sent     int
+}
+
+type pending struct {
+	msg   Message
+	delay int
+}
+
+// NewBus builds a bus for nodes addressed 0..n-1 (addresses outside the
+// range are still accepted; inboxes are created on demand).
+func NewBus(opts Options) (*Bus, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Bus{
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		inbox: make(map[int][]Message),
+	}, nil
+}
+
+// Send enqueues a message for delivery and returns its bus ID. The
+// message may be lost (per LossRate) — exactly like a real fabric, the
+// sender is not told.
+func (b *Bus) Send(m Message) int {
+	m.ID = b.nextID
+	b.nextID++
+	b.sent++
+	if b.opts.LossRate > 0 && b.rng.Float64() < b.opts.LossRate {
+		b.dropped++
+		return m.ID
+	}
+	delay := 0
+	if b.opts.MaxDelay > 0 {
+		delay = b.rng.Intn(b.opts.MaxDelay + 1)
+	}
+	b.inFlight = append(b.inFlight, pending{msg: m, delay: delay})
+	return m.ID
+}
+
+// Deliver advances one round: messages whose delay expired move to their
+// destination inboxes in send order. It returns how many were delivered.
+func (b *Bus) Deliver() int {
+	var still []pending
+	delivered := 0
+	for _, p := range b.inFlight {
+		if p.delay > 0 {
+			p.delay--
+			still = append(still, p)
+			continue
+		}
+		b.inbox[p.msg.To] = append(b.inbox[p.msg.To], p.msg)
+		delivered++
+	}
+	b.inFlight = still
+	return delivered
+}
+
+// Receive drains and returns the node's inbox in delivery order.
+func (b *Bus) Receive(node int) []Message {
+	msgs := b.inbox[node]
+	delete(b.inbox, node)
+	return msgs
+}
+
+// Pending returns how many messages are still in flight.
+func (b *Bus) Pending() int { return len(b.inFlight) }
+
+// Stats returns (sent, dropped) counters.
+func (b *Bus) Stats() (sent, dropped int) { return b.sent, b.dropped }
+
+// Nodes returns the addresses that currently have queued inbox messages,
+// in ascending order.
+func (b *Bus) Nodes() []int {
+	out := make([]int, 0, len(b.inbox))
+	for n := range b.inbox {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ErrTimeout reports a request that never received a reply.
+var ErrTimeout = errors.New("comm: request timed out")

@@ -1,0 +1,162 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		Initialization:   "initialization",
+		Reservation:      "reservation",
+		IterativePreCopy: "iterative-pre-copy",
+		StopAndCopy:      "stop-and-copy",
+		Commitment:       "commitment",
+		Activation:       "activation",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), name)
+		}
+	}
+	if Stage(99).String() == "" {
+		t.Error("unknown stage should render")
+	}
+}
+
+func TestMigrationTimelineCrossRack(t *testing.T) {
+	c := testCluster(t)
+	m := testModel(t, c)
+	vm, err := c.AddVM(c.Racks[0].Hosts[0], 10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := c.Racks[1].Hosts[0]
+	tl, err := m.MigrationTimeline(vm, dst, TimelineParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Rounds < 2 {
+		t.Fatalf("pre-copy rounds = %d, want >= 2 with default dirty rate", tl.Rounds)
+	}
+	// Downtime (stop-and-copy) must be far shorter than the pre-copy
+	// phase — the whole point of pre-copy live migration.
+	if tl.Downtime >= tl.Durations[IterativePreCopy]/4 {
+		t.Fatalf("downtime %v not small vs pre-copy %v", tl.Downtime, tl.Durations[IterativePreCopy])
+	}
+	if tl.Total() <= 0 {
+		t.Fatal("non-positive total")
+	}
+	// Total = sum of stages.
+	sum := 0.0
+	for _, d := range tl.Durations {
+		sum += d
+	}
+	if math.Abs(sum-tl.Total()) > 1e-12 {
+		t.Fatal("Total does not match stage sum")
+	}
+}
+
+func TestMigrationTimelineSameRackSkipsFabric(t *testing.T) {
+	c := testCluster(t)
+	m := testModel(t, c)
+	vm, err := c.AddVM(c.Racks[0].Hosts[0], 10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := m.MigrationTimeline(vm, c.Racks[0].Hosts[1], TimelineParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Rounds != 1 {
+		t.Fatalf("intra-rack rounds = %d, want 1", tl.Rounds)
+	}
+}
+
+func TestMigrationTimelineBiggerVMTakesLonger(t *testing.T) {
+	c := testCluster(t)
+	m := testModel(t, c)
+	small, err := c.AddVM(c.Racks[0].Hosts[0], 5, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := c.AddVM(c.Racks[0].Hosts[1], 20, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst1 := c.Racks[1].Hosts[0]
+	dst2 := c.Racks[1].Hosts[1]
+	tlS, err := m.MigrationTimeline(small, dst1, TimelineParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlB, err := m.MigrationTimeline(big, dst2, TimelineParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlB.Total() <= tlS.Total() {
+		t.Fatalf("bigger VM total %v should exceed smaller %v", tlB.Total(), tlS.Total())
+	}
+}
+
+func TestMigrationTimelineHigherDirtyRateMoreRounds(t *testing.T) {
+	c := testCluster(t)
+	m := testModel(t, c)
+	vm, err := c.AddVM(c.Racks[0].Hosts[0], 10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := c.Racks[1].Hosts[0]
+	low, err := m.MigrationTimeline(vm, dst, TimelineParams{DirtyRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := m.MigrationTimeline(vm, dst, TimelineParams{DirtyRate: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Rounds <= low.Rounds {
+		t.Fatalf("dirty rate 0.6 rounds %d should exceed 0.1 rounds %d", high.Rounds, low.Rounds)
+	}
+}
+
+func TestMigrationTimelineMaxRoundsCap(t *testing.T) {
+	c := testCluster(t)
+	m := testModel(t, c)
+	vm, err := c.AddVM(c.Racks[0].Hosts[0], 10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := m.MigrationTimeline(vm, c.Racks[1].Hosts[0], TimelineParams{DirtyRate: 0.99, MaxRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Rounds != 3 {
+		t.Fatalf("rounds = %d, want capped at 3", tl.Rounds)
+	}
+}
+
+func TestMigrationTimelineValidation(t *testing.T) {
+	c := testCluster(t)
+	m := testModel(t, c)
+	vm, err := c.AddVM(c.Racks[0].Hosts[0], 10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MigrationTimeline(vm, c.Racks[1].Hosts[0], TimelineParams{DirtyRate: 1.5}); err == nil {
+		t.Error("DirtyRate >= 1 accepted")
+	}
+}
+
+func TestMigrationTimelineUnplacedVM(t *testing.T) {
+	c := testCluster(t)
+	m := testModel(t, c)
+	vm, err := c.AddVM(c.Racks[0].Hosts[0], 10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Remove(vm)
+	if _, err := m.MigrationTimeline(vm, c.Racks[1].Hosts[0], TimelineParams{}); err == nil {
+		t.Fatal("unplaced VM accepted")
+	}
+}

@@ -1,0 +1,353 @@
+package dcn
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sheriff/internal/topology"
+)
+
+func testCluster(t *testing.T, pods int) *Cluster {
+	t.Helper()
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: pods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(ft.Graph, Config{HostsPerRack: 4, HostCapacity: 100, ToRCapacity: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []Config{
+		{HostsPerRack: 0, HostCapacity: 1, ToRCapacity: 1},
+		{HostsPerRack: 1, HostCapacity: 0, ToRCapacity: 1},
+		{HostsPerRack: 1, HostCapacity: 1, ToRCapacity: 0},
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := (Config{HostsPerRack: 1, HostCapacity: 1, ToRCapacity: 1}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestNewClusterStructure(t *testing.T) {
+	c := testCluster(t, 4)
+	// Fat-Tree(4): 8 racks.
+	if len(c.Racks) != 8 {
+		t.Fatalf("racks = %d, want 8", len(c.Racks))
+	}
+	if len(c.Hosts()) != 32 {
+		t.Fatalf("hosts = %d, want 32", len(c.Hosts()))
+	}
+	for _, r := range c.Racks {
+		if len(r.Hosts) != 4 {
+			t.Fatalf("rack %d has %d hosts", r.Index, len(r.Hosts))
+		}
+		if got := c.RackByNode(r.NodeID); got != r {
+			t.Fatal("RackByNode lookup broken")
+		}
+		for _, h := range r.Hosts {
+			if h.Rack() != r {
+				t.Fatal("host rack backlink broken")
+			}
+		}
+	}
+}
+
+func TestNewClusterRejectsNoRacks(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddNode(topology.Switch, "s", -1, 1)
+	if _, err := NewCluster(g, Config{HostsPerRack: 1, HostCapacity: 1, ToRCapacity: 1}); err == nil {
+		t.Fatal("cluster with no racks accepted")
+	}
+}
+
+func TestAddVMAndAccounting(t *testing.T) {
+	c := testCluster(t, 4)
+	h := c.Hosts()[0]
+	vm, err := c.AddVM(h, 30, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Host() != h {
+		t.Fatal("VM host not set")
+	}
+	if h.Used() != 30 || h.Free() != 70 {
+		t.Fatalf("used/free = %v/%v", h.Used(), h.Free())
+	}
+	if h.Utilization() != 0.3 {
+		t.Fatalf("utilization = %v", h.Utilization())
+	}
+	if c.VM(vm.ID) != vm {
+		t.Fatal("VM lookup broken")
+	}
+}
+
+func TestAddVMCapacityEnforced(t *testing.T) {
+	c := testCluster(t, 4)
+	h := c.Hosts()[0]
+	if _, err := c.AddVM(h, 150, 1, false); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("want ErrInsufficientCapacity, got %v", err)
+	}
+	if _, err := c.AddVM(h, 60, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddVM(h, 60, 1, false); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("want ErrInsufficientCapacity on second VM, got %v", err)
+	}
+}
+
+func TestMove(t *testing.T) {
+	c := testCluster(t, 4)
+	src, dst := c.Hosts()[0], c.Hosts()[1]
+	vm, err := c.AddVM(src, 40, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Move(vm, dst); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Host() != dst || src.Used() != 0 || dst.Used() != 40 {
+		t.Fatal("move did not transfer VM")
+	}
+	// Move to itself is a no-op.
+	if err := c.Move(vm, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveFailureRestoresVM(t *testing.T) {
+	c := testCluster(t, 4)
+	src, dst := c.Hosts()[0], c.Hosts()[1]
+	vm, err := c.AddVM(src, 40, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddVM(dst, 90, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Move(vm, dst); !errors.Is(err, ErrInsufficientCapacity) {
+		t.Fatalf("want capacity error, got %v", err)
+	}
+	if vm.Host() != src || src.Used() != 40 {
+		t.Fatal("failed move did not restore VM")
+	}
+}
+
+func TestDependencyConflictOnPlacement(t *testing.T) {
+	c := testCluster(t, 4)
+	h0, h1 := c.Hosts()[0], c.Hosts()[1]
+	a, err := c.AddVM(h0, 10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.AddVM(h1, 10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Deps.AddDependency(a.ID, b.ID)
+	if err := c.Move(b, h0); !errors.Is(err, ErrDependencyConflict) {
+		t.Fatalf("want ErrDependencyConflict, got %v", err)
+	}
+	if b.Host() != h1 {
+		t.Fatal("conflicting move should leave VM in place")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := testCluster(t, 4)
+	h := c.Hosts()[0]
+	vm, err := c.AddVM(h, 10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Remove(vm)
+	if h.Used() != 0 || c.VM(vm.ID) != nil || vm.Host() != nil {
+		t.Fatal("Remove did not clean up")
+	}
+}
+
+func TestRackAggregates(t *testing.T) {
+	c := testCluster(t, 4)
+	r := c.Racks[0]
+	if r.Capacity() != 400 {
+		t.Fatalf("rack capacity = %v, want 400", r.Capacity())
+	}
+	if _, err := c.AddVM(r.Hosts[0], 10, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddVM(r.Hosts[1], 20, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if r.Used() != 30 {
+		t.Fatalf("rack used = %v, want 30", r.Used())
+	}
+	if len(r.VMs()) != 2 {
+		t.Fatalf("rack VMs = %d, want 2", len(r.VMs()))
+	}
+}
+
+func TestPopulateRespectsCapacity(t *testing.T) {
+	c := testCluster(t, 4)
+	n := c.Populate(PopulateOptions{VMsPerHost: 6, MinCapacity: 5, MaxCapacity: 20, Seed: 1})
+	if n == 0 {
+		t.Fatal("Populate created no VMs")
+	}
+	if len(c.VMs()) != n {
+		t.Fatalf("VMs() = %d, want %d", len(c.VMs()), n)
+	}
+	for _, h := range c.Hosts() {
+		if h.Used() > h.Capacity+1e-9 {
+			t.Fatalf("host %d oversubscribed: %v > %v", h.ID, h.Used(), h.Capacity)
+		}
+	}
+}
+
+func TestPopulateDeterministic(t *testing.T) {
+	c1 := testCluster(t, 4)
+	c2 := testCluster(t, 4)
+	opt := PopulateOptions{VMsPerHost: 4, MinCapacity: 2, MaxCapacity: 15, Seed: 9, DependencyProb: 0.3}
+	if c1.Populate(opt) != c2.Populate(opt) {
+		t.Fatal("same-seed Populate created different VM counts")
+	}
+	if c1.Deps.NumEdges() != c2.Deps.NumEdges() {
+		t.Fatal("same-seed Populate created different dependency edges")
+	}
+}
+
+func TestPopulateDependenciesNeverCoHosted(t *testing.T) {
+	c := testCluster(t, 4)
+	c.Populate(PopulateOptions{VMsPerHost: 5, MinCapacity: 2, MaxCapacity: 10, Seed: 3, DependencyProb: 0.8})
+	for _, vm := range c.VMs() {
+		for _, peer := range c.Deps.Peers(vm.ID) {
+			p := c.VM(peer)
+			if p != nil && p.Host() == vm.Host() {
+				t.Fatalf("dependent VMs %d and %d share host %d", vm.ID, peer, vm.Host().ID)
+			}
+		}
+	}
+}
+
+func TestWorkloadStdDev(t *testing.T) {
+	c := testCluster(t, 4)
+	if c.WorkloadStdDev() != 0 {
+		t.Fatal("empty cluster stddev should be 0")
+	}
+	// Load one host fully: stddev becomes positive.
+	if _, err := c.AddVM(c.Hosts()[0], 100, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	sd := c.WorkloadStdDev()
+	if sd <= 0 {
+		t.Fatalf("stddev = %v, want > 0", sd)
+	}
+	// Balance the load across all hosts: stddev returns to ~0.
+	c2 := testCluster(t, 4)
+	for _, h := range c2.Hosts() {
+		if _, err := c2.AddVM(h, 50, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c2.WorkloadStdDev(); math.Abs(got) > 1e-9 {
+		t.Fatalf("balanced stddev = %v, want 0", got)
+	}
+}
+
+func TestDependencyGraphBasics(t *testing.T) {
+	d := NewDependencyGraph()
+	d.AddDependency(1, 2)
+	if !d.Dependent(1, 2) || !d.Dependent(2, 1) {
+		t.Fatal("dependency not symmetric")
+	}
+	d.AddDependency(1, 1) // self edge ignored
+	if d.Dependent(1, 1) {
+		t.Fatal("self dependency stored")
+	}
+	if d.Degree(1) != 1 || d.NumEdges() != 1 {
+		t.Fatalf("degree=%d edges=%d", d.Degree(1), d.NumEdges())
+	}
+	d.RemoveDependency(1, 2)
+	if d.Dependent(1, 2) {
+		t.Fatal("RemoveDependency failed")
+	}
+}
+
+func TestDependencyGraphRemoveVM(t *testing.T) {
+	d := NewDependencyGraph()
+	d.AddDependency(1, 2)
+	d.AddDependency(1, 3)
+	d.RemoveVM(1)
+	if d.Dependent(2, 1) || d.Dependent(3, 1) || d.Degree(1) != 0 {
+		t.Fatal("RemoveVM left stale edges")
+	}
+	if d.NumEdges() != 0 {
+		t.Fatalf("edges = %d, want 0", d.NumEdges())
+	}
+}
+
+func TestPeerRacks(t *testing.T) {
+	c := testCluster(t, 4)
+	// Place a in rack 0 and peers in racks 1 and 2.
+	a, _ := c.AddVM(c.Racks[0].Hosts[0], 5, 1, false)
+	b, _ := c.AddVM(c.Racks[1].Hosts[0], 5, 1, false)
+	e, _ := c.AddVM(c.Racks[2].Hosts[0], 5, 1, false)
+	f, _ := c.AddVM(c.Racks[2].Hosts[1], 5, 1, false)
+	c.Deps.AddDependency(a.ID, b.ID)
+	c.Deps.AddDependency(a.ID, e.ID)
+	c.Deps.AddDependency(a.ID, f.ID)
+	racks := c.Deps.PeerRacks(c, a.ID)
+	if len(racks) != 2 {
+		t.Fatalf("PeerRacks = %v, want 2 distinct racks", racks)
+	}
+	got := map[int]bool{}
+	for _, r := range racks {
+		got[r] = true
+	}
+	if !got[1] || !got[2] {
+		t.Fatalf("PeerRacks = %v, want {1, 2}", racks)
+	}
+}
+
+// Property: total cluster Used equals the sum of VM capacities, under any
+// sequence of adds and moves.
+func TestCapacityConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: 4})
+		if err != nil {
+			return false
+		}
+		c, err := NewCluster(ft.Graph, Config{HostsPerRack: 3, HostCapacity: 50, ToRCapacity: 150})
+		if err != nil {
+			return false
+		}
+		c.Populate(PopulateOptions{VMsPerHost: 3, MinCapacity: 1, MaxCapacity: 20, Seed: seed})
+		wantTotal := 0.0
+		for _, vm := range c.VMs() {
+			wantTotal += vm.Capacity
+		}
+		// Random moves.
+		hosts := c.Hosts()
+		s := seed
+		for _, vm := range c.VMs() {
+			s = s*2862933555777941757 + 3037000493
+			dst := hosts[int(((s>>13)%int64(len(hosts)))+int64(len(hosts)))%len(hosts)]
+			_ = c.Move(vm, dst) // failures allowed; they must not lose VMs
+		}
+		gotTotal := 0.0
+		for _, h := range c.Hosts() {
+			gotTotal += h.Used()
+		}
+		return math.Abs(gotTotal-wantTotal) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package dcn
+
+import "sort"
+
+// DependencyGraph is G_d of Sec. II.C: an undirected graph over VM IDs in
+// which an edge marks two VMs as interdependent (they communicate and,
+// per the conflict-graph reading, must not share a physical host).
+type DependencyGraph struct {
+	adj map[int]map[int]bool
+}
+
+// NewDependencyGraph returns an empty dependency graph.
+func NewDependencyGraph() *DependencyGraph {
+	return &DependencyGraph{adj: make(map[int]map[int]bool)}
+}
+
+// AddDependency records that VMs a and b are interdependent. Self-edges
+// are ignored.
+func (d *DependencyGraph) AddDependency(a, b int) {
+	if a == b {
+		return
+	}
+	d.link(a, b)
+	d.link(b, a)
+}
+
+func (d *DependencyGraph) link(a, b int) {
+	m := d.adj[a]
+	if m == nil {
+		m = make(map[int]bool)
+		d.adj[a] = m
+	}
+	m[b] = true
+}
+
+// RemoveDependency deletes the edge a–b if present.
+func (d *DependencyGraph) RemoveDependency(a, b int) {
+	delete(d.adj[a], b)
+	delete(d.adj[b], a)
+}
+
+// RemoveVM deletes a VM and all its edges.
+func (d *DependencyGraph) RemoveVM(id int) {
+	for peer := range d.adj[id] {
+		delete(d.adj[peer], id)
+	}
+	delete(d.adj, id)
+}
+
+// Dependent reports whether VMs a and b are interdependent.
+func (d *DependencyGraph) Dependent(a, b int) bool { return d.adj[a][b] }
+
+// Peers returns the VM IDs dependent on id, in ascending order.
+func (d *DependencyGraph) Peers(id int) []int {
+	m := d.adj[id]
+	out := make([]int, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the number of dependencies of the VM.
+func (d *DependencyGraph) Degree(id int) int { return len(d.adj[id]) }
+
+// NumEdges returns the number of undirected dependency edges.
+func (d *DependencyGraph) NumEdges() int {
+	total := 0
+	for _, m := range d.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// PeerRacks returns the distinct rack indices hosting VMs dependent on
+// the given VM — the rack-level neighborhood N_d(v_i) used by the
+// dependency-cost term of Eqn. (1).
+func (d *DependencyGraph) PeerRacks(c *Cluster, vmID int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for peer := range d.adj[vmID] {
+		vm := c.VM(peer)
+		if vm == nil || vm.Host() == nil {
+			continue
+		}
+		idx := vm.Host().Rack().Index
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package dcn
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	c1 := testCluster(t, 4)
+	c1.Populate(PopulateOptions{VMsPerHost: 3, MinCapacity: 5, MaxCapacity: 20,
+		DependencyProb: 0.5, CrossRackDependencyProb: 0.3, Seed: 31})
+	snap := c1.Snapshot()
+
+	c2 := testCluster(t, 4)
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.VMs()) != len(c1.VMs()) {
+		t.Fatalf("VM count %d, want %d", len(c2.VMs()), len(c1.VMs()))
+	}
+	if c2.Deps.NumEdges() != c1.Deps.NumEdges() {
+		t.Fatalf("dep edges %d, want %d", c2.Deps.NumEdges(), c1.Deps.NumEdges())
+	}
+	for _, vm := range c1.VMs() {
+		restored := c2.VM(vm.ID)
+		if restored == nil {
+			t.Fatalf("VM %d missing after restore", vm.ID)
+		}
+		if restored.Host().ID != vm.Host().ID {
+			t.Fatalf("VM %d on host %d, want %d", vm.ID, restored.Host().ID, vm.Host().ID)
+		}
+		if restored.Capacity != vm.Capacity || restored.Value != vm.Value {
+			t.Fatalf("VM %d attributes changed", vm.ID)
+		}
+	}
+	if c1.WorkloadStdDev() != c2.WorkloadStdDev() {
+		t.Fatal("workload distribution changed")
+	}
+	// New VM IDs continue past the snapshot.
+	vm, err := c2.AddVM(c2.Hosts()[0], 1, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.VM(vm.ID) != nil {
+		t.Fatalf("new VM reused ID %d", vm.ID)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	c1 := testCluster(t, 4)
+	c1.Populate(PopulateOptions{VMsPerHost: 2, MinCapacity: 5, MaxCapacity: 15, Seed: 32})
+	blob, err := json.Marshal(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatal(err)
+	}
+	c2 := testCluster(t, 4)
+	if err := c2.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.VMs()) != len(c1.VMs()) {
+		t.Fatal("JSON round trip lost VMs")
+	}
+}
+
+func TestRestoreShapeMismatch(t *testing.T) {
+	c1 := testCluster(t, 4)
+	snap := c1.Snapshot()
+	c2 := testCluster(t, 8)
+	if err := c2.Restore(snap); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestRestoreRequiresEmptyCluster(t *testing.T) {
+	c1 := testCluster(t, 4)
+	snap := c1.Snapshot()
+	c2 := testCluster(t, 4)
+	if _, err := c2.AddVM(c2.Hosts()[0], 5, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Restore(snap); err == nil {
+		t.Fatal("non-empty cluster accepted")
+	}
+}
+
+func TestRestoreRejectsBadHost(t *testing.T) {
+	c := testCluster(t, 4)
+	snap := &Snapshot{Racks: len(c.Racks), Hosts: len(c.Hosts()),
+		VMs: []VMRecord{{ID: 0, Capacity: 5, HostID: 9999}}}
+	if err := c.Restore(snap); err == nil {
+		t.Fatal("bad host reference accepted")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	c := testCluster(t, 4)
+	c.Populate(PopulateOptions{VMsPerHost: 3, MinCapacity: 5, MaxCapacity: 20,
+		DependencyProb: 0.5, Seed: 33})
+	b1, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("snapshot serialization not deterministic")
+	}
+}

@@ -1,0 +1,319 @@
+package flow
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sheriff/internal/topology"
+)
+
+func fatTree(t *testing.T, pods int) *topology.FatTree {
+	t.Helper()
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: pods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft
+}
+
+func TestAddFlowRoutesShortest(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	src, dst := ft.RackIDs[0][0], ft.RackIDs[0][1]
+	f, err := n.AddFlow(src, dst, 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Path()) != 3 {
+		t.Fatalf("same-pod path should be 3 nodes, got %v", f.Path())
+	}
+	if f.Path()[0] != src || f.Path()[2] != dst {
+		t.Fatalf("bad endpoints: %v", f.Path())
+	}
+}
+
+func TestAddFlowValidation(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	if _, err := n.AddFlow(ft.RackIDs[0][0], ft.RackIDs[0][0], 1, false); err == nil {
+		t.Error("src==dst accepted")
+	}
+	if _, err := n.AddFlow(ft.RackIDs[0][0], ft.RackIDs[0][1], 0, false); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestLoadAccounting(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	src, dst := ft.RackIDs[0][0], ft.RackIDs[0][1]
+	f, err := n.AddFlow(src, dst, 0.4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Path()
+	if got := n.LinkLoad(p[0], p[1]); got != 0.4 {
+		t.Fatalf("link load = %v, want 0.4", got)
+	}
+	if got := n.LinkUtilization(p[0], p[1]); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("utilization = %v, want 0.4 (capacity 1)", got)
+	}
+	n.RemoveFlow(f.ID)
+	if got := n.LinkLoad(p[0], p[1]); got != 0 {
+		t.Fatalf("load after removal = %v", got)
+	}
+	if n.Flow(f.ID) != nil {
+		t.Fatal("flow still present after removal")
+	}
+}
+
+func TestEqualCostSpreading(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	src, dst := ft.RackIDs[0][0], ft.RackIDs[0][1]
+	// Two flows between the same racks: the load-aware tie-break should
+	// route them through different aggregation switches.
+	f1, err := n.AddFlow(src, dst, 0.6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := n.AddFlow(src, dst, 0.6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Path()[1] == f2.Path()[1] {
+		t.Fatalf("both flows chose agg %d; expected spreading", f1.Path()[1])
+	}
+}
+
+func TestSwitchUtilizationAndHotSwitches(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	src, dst := ft.RackIDs[0][0], ft.RackIDs[0][1]
+	f, err := n.AddFlow(src, dst, 0.95, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := f.Path()[1]
+	if u := n.SwitchUtilization(agg); math.Abs(u-0.95) > 1e-12 {
+		t.Fatalf("switch utilization = %v, want 0.95", u)
+	}
+	hot := n.HotSwitches(0.9)
+	if len(hot) != 1 || hot[0] != agg {
+		t.Fatalf("hot switches = %v, want [%d]", hot, agg)
+	}
+	if len(n.HotSwitches(0.99)) != 0 {
+		t.Fatal("threshold above utilization should find nothing")
+	}
+}
+
+func TestFlowsThrough(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	f, err := n.AddFlow(ft.RackIDs[0][0], ft.RackIDs[0][1], 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := f.Path()[1]
+	through := n.FlowsThrough(agg)
+	if len(through) != 1 || through[0] != f {
+		t.Fatalf("FlowsThrough = %v", through)
+	}
+	if len(n.FlowsThrough(ft.RackIDs[3][1])) != 0 {
+		t.Fatal("unrelated node should carry no flows")
+	}
+}
+
+func TestRerouteAvoidsSwitch(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	f, err := n.AddFlow(ft.RackIDs[0][0], ft.RackIDs[0][1], 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := f.Path()[1]
+	if err := n.Reroute(f, map[int]bool{hot: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, hop := range f.Path() {
+		if hop == hot {
+			t.Fatalf("rerouted path still crosses %d: %v", hot, f.Path())
+		}
+	}
+	// Load must have moved with the flow.
+	if n.LinkLoad(ft.RackIDs[0][0], hot) != 0 {
+		t.Fatal("old path load not released")
+	}
+}
+
+func TestRerouteNoAlternativeRestores(t *testing.T) {
+	// Diamond with a single midpoint: no alternative exists.
+	g := topology.NewGraph()
+	a := g.AddNode(topology.Rack, "a", 0, 0)
+	s := g.AddNode(topology.Switch, "s", 0, 1)
+	b := g.AddNode(topology.Rack, "b", 0, 0)
+	if err := g.AddLink(a, s, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(s, b, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNetwork(g)
+	f, err := n.AddFlow(a, b, 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Reroute(f, map[int]bool{s: true}); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("want ErrNoRoute, got %v", err)
+	}
+	// Flow must keep its old path and load.
+	if len(f.Path()) != 3 || n.LinkLoad(a, s) != 0.5 {
+		t.Fatal("failed reroute did not restore state")
+	}
+}
+
+func TestRerouteUnknownFlow(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	if err := n.Reroute(&Flow{ID: 99}, nil); err == nil {
+		t.Fatal("unknown flow accepted")
+	}
+}
+
+func TestRerouteAroundHot(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	src, dst := ft.RackIDs[0][0], ft.RackIDs[0][1]
+	// Push three flows through the network; force them onto one agg by
+	// adding them with tiny rates first (no spreading incentive), then
+	// raising... simpler: add flows and find the hottest switch.
+	for i := 0; i < 3; i++ {
+		if _, err := n.AddFlow(src, dst, 0.5, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var hot int
+	maxU := 0.0
+	for _, sw := range ft.Switches() {
+		if u := n.SwitchUtilization(sw); u > maxU {
+			maxU, hot = u, sw
+		}
+	}
+	if maxU < 0.9 {
+		t.Fatalf("setup failed: max utilization %v", maxU)
+	}
+	moved := n.RerouteAroundHot(hot, 0.8)
+	if len(moved) == 0 {
+		t.Fatal("no flows moved")
+	}
+	if u := n.SwitchUtilization(hot); u >= maxU {
+		t.Fatalf("utilization did not drop: %v -> %v", maxU, u)
+	}
+}
+
+func TestRerouteAroundHotSkipsDelaySensitive(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	src, dst := ft.RackIDs[0][0], ft.RackIDs[0][1]
+	f, err := n.AddFlow(src, dst, 0.95, true) // delay-sensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := f.Path()[1]
+	moved := n.RerouteAroundHot(hot, 0.5)
+	if len(moved) != 0 {
+		t.Fatal("delay-sensitive flow was moved")
+	}
+}
+
+func TestAlternatePaths(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	f, err := n.AddFlow(ft.RackIDs[0][0], ft.RackIDs[0][1], 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alts := n.AlternatePaths(f, 3)
+	if len(alts) < 2 {
+		t.Fatalf("want >= 2 alternates, got %d", len(alts))
+	}
+}
+
+func TestUpdateGraphBandwidth(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	f, err := n.AddFlow(ft.RackIDs[0][0], ft.RackIDs[0][1], 0.6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.UpdateGraphBandwidth()
+	p := f.Path()
+	e, ok := ft.Graph.EdgeBetween(p[0], p[1])
+	if !ok {
+		t.Fatal("edge missing")
+	}
+	if math.Abs(e.Bandwidth-0.4) > 1e-12 {
+		t.Fatalf("residual bandwidth = %v, want 0.4", e.Bandwidth)
+	}
+}
+
+func TestFlowsOrderedByID(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	for i := 0; i < 5; i++ {
+		if _, err := n.AddFlow(ft.RackIDs[0][0], ft.RackIDs[1][0], 0.1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flows := n.Flows()
+	for i := 1; i < len(flows); i++ {
+		if flows[i].ID <= flows[i-1].ID {
+			t.Fatal("flows not ordered")
+		}
+	}
+}
+
+func TestSetRate(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	f, err := n.AddFlow(ft.RackIDs[0][0], ft.RackIDs[0][1], 0.3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Path()
+	if err := n.SetRate(f, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if f.Rate != 0.7 {
+		t.Fatalf("rate = %v", f.Rate)
+	}
+	if got := n.LinkLoad(p[0], p[1]); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("link load = %v, want 0.7", got)
+	}
+	// Lowering the rate releases load.
+	if err := n.SetRate(f, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.LinkLoad(p[0], p[1]); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("link load after decrease = %v", got)
+	}
+	// Errors: unknown flow, bad rate.
+	if err := n.SetRate(&Flow{ID: 99}, 0.5); err == nil {
+		t.Error("unknown flow accepted")
+	}
+	if err := n.SetRate(f, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if err := n.SetRate(nil, 0.5); err == nil {
+		t.Error("nil flow accepted")
+	}
+}
+
+func TestLinkUtilizationMissingLink(t *testing.T) {
+	ft := fatTree(t, 4)
+	n := NewNetwork(ft.Graph)
+	if u := n.LinkUtilization(ft.RackIDs[0][0], ft.RackIDs[3][1]); u != 0 {
+		t.Fatalf("missing link utilization = %v", u)
+	}
+}

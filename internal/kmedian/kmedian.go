@@ -1,0 +1,265 @@
+// Package kmedian implements the k-median machinery of the paper's
+// Sec. V.A: the VMMIGRATION problem is reduced to k-median over the rack
+// cost matrix (C = source ToRs, F = all ToRs), and solved with the p-swap
+// Local Search of Alg. 5 (Arya et al., the paper's [29]), which carries
+// the 3 + 2/p approximation guarantee. An exact brute-force solver over
+// small instances provides the "global optimal" reference.
+package kmedian
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Instance is one k-median instance. Cost[i][j] is the cost of connecting
+// client i to facility j; Clients and Facilities index into Cost (rack
+// indices in the Sheriff reduction).
+type Instance struct {
+	Cost       [][]float64
+	Clients    []int
+	Facilities []int
+	K          int
+}
+
+// Validate reports whether the instance is well formed.
+func (in *Instance) Validate() error {
+	n := len(in.Cost)
+	if n == 0 {
+		return errors.New("kmedian: empty cost matrix")
+	}
+	for i, row := range in.Cost {
+		if len(row) != n {
+			return fmt.Errorf("kmedian: cost row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if len(in.Clients) == 0 {
+		return errors.New("kmedian: no clients")
+	}
+	if len(in.Facilities) == 0 {
+		return errors.New("kmedian: no facilities")
+	}
+	if in.K < 1 || in.K > len(in.Facilities) {
+		return fmt.Errorf("kmedian: K = %d out of range [1, %d]", in.K, len(in.Facilities))
+	}
+	for _, c := range in.Clients {
+		if c < 0 || c >= n {
+			return fmt.Errorf("kmedian: client index %d out of range", c)
+		}
+	}
+	for _, f := range in.Facilities {
+		if f < 0 || f >= n {
+			return fmt.Errorf("kmedian: facility index %d out of range", f)
+		}
+	}
+	return nil
+}
+
+// Solution is a set of open facilities with the induced assignment.
+type Solution struct {
+	Open       []int // open facility indices (subset of Facilities)
+	Assignment []int // Assignment[i] = open facility serving Clients[i]
+	Cost       float64
+	Swaps      int // number of improving swaps applied (LocalSearch only)
+}
+
+// evaluate computes the optimal assignment of clients to the open set.
+func evaluate(in *Instance, open []int) ([]int, float64) {
+	assign := make([]int, len(in.Clients))
+	total := 0.0
+	for ci, c := range in.Clients {
+		best := math.Inf(1)
+		bestF := -1
+		for _, f := range open {
+			if d := in.Cost[c][f]; d < best {
+				best, bestF = d, f
+			}
+		}
+		assign[ci] = bestF
+		total += best
+	}
+	return assign, total
+}
+
+// Options tunes LocalSearch.
+type Options struct {
+	P        int   // swap size p of Alg. 5 (ratio 3 + 2/p); default 1
+	Seed     int64 // randomization seed for the initial solution and scan order
+	MaxSwaps int   // safety cap on improving swaps; default 100000
+	Epsilon  float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.P < 1 {
+		o.P = 1
+	}
+	if o.MaxSwaps <= 0 {
+		o.MaxSwaps = 100000
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-9
+	}
+	return o
+}
+
+// LocalSearch runs Alg. 5: start from an arbitrary feasible solution of K
+// facilities and keep applying improving swaps of up to P facilities until
+// none exists. The result is a (3 + 2/P)-approximation of the optimum.
+func LocalSearch(in *Instance, opts Options) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Arbitrary feasible start: a random K-subset of facilities.
+	perm := rng.Perm(len(in.Facilities))
+	open := make([]int, in.K)
+	for i := 0; i < in.K; i++ {
+		open[i] = in.Facilities[perm[i]]
+	}
+	openSet := make(map[int]bool, in.K)
+	for _, f := range open {
+		openSet[f] = true
+	}
+	_, cur := evaluate(in, open)
+
+	swaps := 0
+	for swaps < opts.MaxSwaps {
+		improved := false
+		// p = 1 swaps first (cheap and usually sufficient), then widen to
+		// the configured swap size.
+		for size := 1; size <= opts.P && !improved; size++ {
+			if sw := findImprovingSwap(in, open, openSet, cur, size, opts.Epsilon, rng); sw != nil {
+				applySwap(open, openSet, sw.out, sw.in)
+				_, cur = evaluate(in, open)
+				swaps++
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	assign, total := evaluate(in, open)
+	sorted := append([]int(nil), open...)
+	sortInts(sorted)
+	return &Solution{Open: sorted, Assignment: assign, Cost: total, Swaps: swaps}, nil
+}
+
+type swap struct {
+	out, in []int
+}
+
+// findImprovingSwap searches for a swap of exactly `size` facilities that
+// lowers the cost by more than eps, scanning in randomized order and
+// returning the first improvement found.
+func findImprovingSwap(in *Instance, open []int, openSet map[int]bool, cur float64, size int, eps float64, rng *rand.Rand) *swap {
+	// Closed facilities.
+	var closed []int
+	for _, f := range in.Facilities {
+		if !openSet[f] {
+			closed = append(closed, f)
+		}
+	}
+	if len(closed) < size || len(open) < size {
+		return nil
+	}
+	outSets := combinations(open, size)
+	inSets := combinations(closed, size)
+	rng.Shuffle(len(outSets), func(i, j int) { outSets[i], outSets[j] = outSets[j], outSets[i] })
+	rng.Shuffle(len(inSets), func(i, j int) { inSets[i], inSets[j] = inSets[j], inSets[i] })
+
+	trial := make([]int, len(open))
+	for _, outs := range outSets {
+		for _, ins := range inSets {
+			copy(trial, open)
+			replace(trial, outs, ins)
+			if _, c := evaluate(in, trial); c < cur-eps {
+				return &swap{out: outs, in: ins}
+			}
+		}
+	}
+	return nil
+}
+
+// combinations returns all size-element subsets of items. For size 1 this
+// is one slice per element; callers keep size ≤ p (small).
+func combinations(items []int, size int) [][]int {
+	var out [][]int
+	cur := make([]int, 0, size)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == size {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i <= len(items)-(size-len(cur)); i++ {
+			cur = append(cur, items[i])
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func replace(sol []int, outs, ins []int) {
+	for k, o := range outs {
+		for i, f := range sol {
+			if f == o {
+				sol[i] = ins[k]
+				break
+			}
+		}
+	}
+}
+
+func applySwap(open []int, openSet map[int]bool, outs, ins []int) {
+	replace(open, outs, ins)
+	for _, o := range outs {
+		delete(openSet, o)
+	}
+	for _, i := range ins {
+		openSet[i] = true
+	}
+}
+
+// Exact solves the instance optimally by enumerating every K-subset of
+// facilities. Exponential; intended for the small "global optimal"
+// baselines of Figs. 11/13 and for ratio validation.
+func Exact(in *Instance) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	bestCost := math.Inf(1)
+	var bestOpen []int
+	subsets := combinations(in.Facilities, in.K)
+	for _, open := range subsets {
+		if _, c := evaluate(in, open); c < bestCost {
+			bestCost = c
+			bestOpen = open
+		}
+	}
+	assign, total := evaluate(in, bestOpen)
+	sorted := append([]int(nil), bestOpen...)
+	sortInts(sorted)
+	return &Solution{Open: sorted, Assignment: assign, Cost: total}, nil
+}
+
+// ApproximationRatio returns the guarantee of Alg. 5 for swap size p.
+func ApproximationRatio(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return 3 + 2/float64(p)
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

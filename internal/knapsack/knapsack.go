@@ -1,0 +1,147 @@
+// Package knapsack implements the PRIORITY function of the paper's Alg. 2:
+// given a candidate VM set F and a priority factor ω, select the VMs to
+// migrate.
+//
+//   - ω = α or β: after eliminating delay-sensitive VMs, run a 0/1 knapsack
+//     DP with the allowed capacity (α·s.capacity or β·ToR.capacity) as the
+//     knapsack size, "picking up as many VMs with lowest value as possible"
+//     — i.e. prefer large, low-value VMs. Capacity is discretized to unit
+//     granularity (the paper sets Mbps as the minimum capacity unit).
+//   - ω = 1: pick the single VM with the highest ALERT, "to ensure load
+//     balancing at the end host side".
+package knapsack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sheriff/internal/dcn"
+)
+
+// SelectByBudget runs the Alg. 2 knapsack branch: it returns the subset of
+// non-delay-sensitive VMs whose total capacity is maximal without
+// exceeding budget; among subsets of that capacity, total Value is
+// minimized. The returned slice is ordered by VM ID for determinism.
+func SelectByBudget(vms []*dcn.VM, budget float64) []*dcn.VM {
+	if budget <= 0 {
+		return nil
+	}
+	cands := eliminateDelaySensitive(vms)
+	if len(cands) == 0 {
+		return nil
+	}
+	c := int(math.Floor(budget))
+	if c <= 0 {
+		return nil
+	}
+	// Integer sizes: round up so the budget is never exceeded.
+	sizes := make([]int, len(cands))
+	for i, vm := range cands {
+		sizes[i] = int(math.Ceil(vm.Capacity))
+		if sizes[i] <= 0 {
+			sizes[i] = 1
+		}
+	}
+	const inf = math.MaxFloat64
+	// d[j]: minimal total value of a subset with total size exactly j.
+	d := make([]float64, c+1)
+	choice := make([][]int32, c+1) // chosen VM indices per cell
+	for j := 1; j <= c; j++ {
+		d[j] = inf
+	}
+	for i, vm := range cands {
+		sz := sizes[i]
+		for j := c; j >= sz; j-- {
+			if d[j-sz] == inf {
+				continue
+			}
+			if nv := d[j-sz] + vm.Value; nv < d[j] {
+				d[j] = nv
+				sel := make([]int32, len(choice[j-sz])+1)
+				copy(sel, choice[j-sz])
+				sel[len(sel)-1] = int32(i)
+				choice[j] = sel
+			}
+		}
+	}
+	// Largest reachable size wins; d already holds the min value there.
+	for j := c; j >= 1; j-- {
+		if d[j] != inf {
+			out := make([]*dcn.VM, len(choice[j]))
+			for k, idx := range choice[j] {
+				out[k] = cands[idx]
+			}
+			sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+			return out
+		}
+	}
+	return nil
+}
+
+// SelectMaxAlert runs the Alg. 2 ω = 1 branch: the single
+// non-delay-sensitive VM with the highest ALERT value (ties broken by
+// lowest VM ID). It returns nil when no candidate remains.
+func SelectMaxAlert(vms []*dcn.VM) []*dcn.VM {
+	cands := eliminateDelaySensitive(vms)
+	var best *dcn.VM
+	for _, vm := range cands {
+		if best == nil || vm.Alert > best.Alert || (vm.Alert == best.Alert && vm.ID < best.ID) {
+			best = vm
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return []*dcn.VM{best}
+}
+
+// eliminateDelaySensitive implements the first line of Alg. 2.
+func eliminateDelaySensitive(vms []*dcn.VM) []*dcn.VM {
+	out := make([]*dcn.VM, 0, len(vms))
+	for _, vm := range vms {
+		if !vm.DelaySensitive {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// Factor identifies which Alg. 2 branch to run.
+type Factor int
+
+const (
+	// Alpha selects by α·(server capacity) — server overload alerts.
+	Alpha Factor = iota
+	// Beta selects by β·(ToR capacity) — local ToR congestion alerts.
+	Beta
+	// One selects the single highest-alert VM.
+	One
+)
+
+// String names the factor.
+func (f Factor) String() string {
+	switch f {
+	case Alpha:
+		return "alpha"
+	case Beta:
+		return "beta"
+	case One:
+		return "1"
+	default:
+		return fmt.Sprintf("Factor(%d)", int(f))
+	}
+}
+
+// Priority dispatches Alg. 2: for Alpha/Beta, budget must be
+// ω × the relevant capacity; for One, budget is ignored.
+func Priority(vms []*dcn.VM, f Factor, budget float64) []*dcn.VM {
+	switch f {
+	case Alpha, Beta:
+		return SelectByBudget(vms, budget)
+	case One:
+		return SelectMaxAlert(vms)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,58 @@
+package matching
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolve feeds arbitrary square matrices to the Hungarian solver: it
+// must never panic, and every returned assignment must be injective with
+// a cost equal to the sum of its chosen cells.
+func FuzzSolve(f *testing.F) {
+	f.Add(uint8(2), int64(1))
+	f.Add(uint8(5), int64(42))
+	f.Fuzz(func(t *testing.T, nRaw uint8, seed int64) {
+		n := int(nRaw%7) + 1
+		cost := make([][]float64, n)
+		s := seed
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := float64((s >> 12) % 1000)
+			if s%13 == 0 {
+				return Forbidden
+			}
+			return v
+		}
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = next()
+			}
+		}
+		r, err := Solve(cost)
+		if err != nil {
+			t.Fatalf("Solve errored on valid shape: %v", err)
+		}
+		seen := map[int]bool{}
+		total := 0.0
+		for i, j := range r.Assign {
+			if j == -1 {
+				continue
+			}
+			if j < 0 || j >= n {
+				t.Fatalf("assignment out of range: %d", j)
+			}
+			if seen[j] {
+				t.Fatalf("column %d assigned twice", j)
+			}
+			seen[j] = true
+			if math.IsInf(cost[i][j], 1) {
+				t.Fatalf("forbidden cell chosen at (%d,%d)", i, j)
+			}
+			total += cost[i][j]
+		}
+		if math.Abs(total-r.Cost) > 1e-6 {
+			t.Fatalf("cost %v does not match cells %v", r.Cost, total)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Package matching implements minimum-weight bipartite matching via the
+// Kuhn–Munkres (Hungarian) algorithm with potentials ("KM with
+// relaxation", the paper's choice for Alg. 3's MinimalWeightedMatching).
+// Complexity O(n²m) for an n×m cost matrix with n ≤ m — O(n³) on square
+// instances, as the paper states.
+//
+// Rectangular instances are supported directly: with fewer rows than
+// columns every row is matched; forbidden pairs are expressed with
+// +Inf cost and rows whose only options are forbidden stay unmatched.
+package matching
+
+import (
+	"errors"
+	"math"
+)
+
+// Forbidden marks an impossible assignment in the cost matrix.
+var Forbidden = math.Inf(1)
+
+// ErrBadShape is returned for empty or ragged cost matrices.
+var ErrBadShape = errors.New("matching: cost matrix must be non-empty and rectangular")
+
+// Result holds a minimum-weight matching.
+type Result struct {
+	// Assign[i] is the column matched to row i, or -1 if row i could not
+	// be matched (all its finite-cost columns were taken or none exist).
+	Assign []int
+	// Cost is the total weight of the matched pairs.
+	Cost float64
+}
+
+// Solve computes a minimum-total-weight assignment of rows to columns.
+// If rows > columns, only `columns` rows are matched (the cheapest
+// overall); unmatched rows get -1.
+func Solve(cost [][]float64) (*Result, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, ErrBadShape
+	}
+	m := len(cost[0])
+	for _, row := range cost {
+		if len(row) != m {
+			return nil, ErrBadShape
+		}
+	}
+	if m == 0 {
+		return nil, ErrBadShape
+	}
+
+	// The potentials-based Hungarian algorithm needs rows <= cols; if the
+	// instance is taller than wide, pad with dummy columns of large cost
+	// and drop those assignments afterwards. Forbidden (+Inf) entries are
+	// replaced by a finite "big" sentinel and filtered at the end.
+	big := 1.0
+	for _, row := range cost {
+		for _, v := range row {
+			if !math.IsInf(v, 1) && math.Abs(v) > big {
+				big = math.Abs(v)
+			}
+		}
+	}
+	big = big*float64(n+m+1) + 1
+
+	rows, cols := n, m
+	width := cols
+	if rows > cols {
+		width = rows // pad columns
+	}
+	a := make([][]float64, rows)
+	for i := range a {
+		a[i] = make([]float64, width)
+		for j := 0; j < width; j++ {
+			switch {
+			case j >= cols:
+				a[i][j] = big // dummy column
+			case math.IsInf(cost[i][j], 1):
+				a[i][j] = big
+			default:
+				a[i][j] = cost[i][j]
+			}
+		}
+	}
+
+	// Potentials u (rows), v (cols); matchCol[j] = row matched to column j;
+	// way[j] = previous column on the alternating path through column j.
+	u := make([]float64, rows+1)
+	v := make([]float64, width+1)
+	way := make([]int, width+1)
+	matchCol := make([]int, width+1)
+	for j := range matchCol {
+		matchCol[j] = 0 // 1-based sentinel; 0 = free
+	}
+	// 1-based loop (classic e-maxx formulation).
+	for i := 1; i <= rows; i++ {
+		matchCol[0] = i
+		j0 := 0
+		minv := make([]float64, width+1)
+		used := make([]bool, width+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= width; j++ {
+				if used[j] {
+					continue
+				}
+				cur := a[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= width; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the alternating path.
+		for j0 != 0 {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+	}
+
+	res := &Result{Assign: make([]int, rows)}
+	for i := range res.Assign {
+		res.Assign[i] = -1
+	}
+	for j := 1; j <= width; j++ {
+		i := matchCol[j]
+		if i == 0 {
+			continue
+		}
+		col := j - 1
+		if col >= cols {
+			continue // dummy column: row stays unmatched
+		}
+		if math.IsInf(cost[i-1][col], 1) {
+			continue // forbidden entry chosen only because nothing better existed
+		}
+		res.Assign[i-1] = col
+		res.Cost += cost[i-1][col]
+	}
+	return res, nil
+}

@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty min/max wrong")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if math.Abs(s.Variance()-4) > 1e-12 {
+		t.Fatalf("Variance = %v", s.Variance())
+	}
+	if math.Abs(s.Std()-2) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+// Property: Welford matches the two-pass computation.
+func TestSummaryMatchesTwoPassProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		var s Summary
+		mean := 0.0
+		for _, v := range vals {
+			s.Observe(v)
+			mean += v
+		}
+		mean /= float64(len(vals))
+		variance := 0.0
+		for _, v := range vals {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(len(vals))
+		scale := math.Max(1, math.Abs(mean))
+		return math.Abs(s.Mean()-mean) < 1e-6*scale &&
+			math.Abs(s.Variance()-variance) < 1e-4*math.Max(1, variance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewQuantileValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.1, 1.5} {
+		if _, err := NewQuantile(p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	q, err := NewQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(q.Value()) {
+		t.Fatal("empty estimator should be NaN")
+	}
+}
+
+func TestQuantileSmallSampleExact(t *testing.T) {
+	q, err := NewQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Observe(3)
+	q.Observe(1)
+	q.Observe(2)
+	if math.Abs(q.Value()-2) > 1e-12 {
+		t.Fatalf("median of {1,2,3} = %v", q.Value())
+	}
+}
+
+func TestQuantileMedianUniform(t *testing.T) {
+	q, err := NewQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		q.Observe(rng.Float64())
+	}
+	if math.Abs(q.Value()-0.5) > 0.02 {
+		t.Fatalf("uniform median estimate = %v", q.Value())
+	}
+	if q.Count() != 20000 {
+		t.Fatalf("Count = %d", q.Count())
+	}
+}
+
+func TestQuantileP95Normal(t *testing.T) {
+	q, err := NewQuantile(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var all []float64
+	for i := 0; i < 20000; i++ {
+		v := rng.NormFloat64()
+		q.Observe(v)
+		all = append(all, v)
+	}
+	sort.Float64s(all)
+	exact := all[int(0.95*float64(len(all)))]
+	if math.Abs(q.Value()-exact) > 0.08 {
+		t.Fatalf("p95 estimate %v vs exact %v", q.Value(), exact)
+	}
+}
+
+func TestQuantileExponentialTail(t *testing.T) {
+	q, err := NewQuantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var all []float64
+	for i := 0; i < 30000; i++ {
+		v := rng.ExpFloat64()
+		q.Observe(v)
+		all = append(all, v)
+	}
+	sort.Float64s(all)
+	exact := all[int(0.99*float64(len(all)))]
+	if math.Abs(q.Value()-exact)/exact > 0.1 {
+		t.Fatalf("p99 estimate %v vs exact %v", q.Value(), exact)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0 buckets accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1.9, 2, 5, 9.99, -1, 10, 42} {
+		h.Observe(v)
+	}
+	if h.NumBuckets() != 5 {
+		t.Fatalf("buckets = %d", h.NumBuckets())
+	}
+	if h.Bucket(0) != 2 { // 0 and 1.9
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // 2
+		t.Fatalf("bucket 1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(2) != 1 { // 5
+		t.Fatalf("bucket 2 = %d", h.Bucket(2))
+	}
+	if h.Bucket(4) != 1 { // 9.99
+		t.Fatalf("bucket 4 = %d", h.Bucket(4))
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("under/over = %d/%d", under, over)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+// Property: histogram counts always sum to Total.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h, err := NewHistogram(-10, 10, 7)
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Observe(v)
+		}
+		sum := 0
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		u, o := h.OutOfRange()
+		return sum+u+o == h.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package migrate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sheriff/internal/alert"
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/knapsack"
+	"sheriff/internal/matching"
+)
+
+// Coordinator runs many shims' management rounds with distributed
+// semantics: every shim computes its candidate matching concurrently
+// against a consistent snapshot of destination capacity, then commits go
+// through the Alg. 4 REQUEST handshake in FCFS order. Shims whose choices
+// collide (two regions picking the same slot) are rejected and recompute
+// against the updated state — exactly the conflict-avoidance protocol of
+// Sec. V.B ("a node can be migrated to another place only when the
+// destination's delegation node accepts the migration request").
+type Coordinator struct {
+	cluster *dcn.Cluster
+	model   *cost.Model
+	shims   []*Shim
+}
+
+// NewCoordinator wraps a set of shims over one cluster.
+func NewCoordinator(c *dcn.Cluster, m *cost.Model, shims []*Shim) *Coordinator {
+	return &Coordinator{cluster: c, model: m, shims: shims}
+}
+
+// RoundReport aggregates one coordinated round.
+type RoundReport struct {
+	Migrations  []Migration
+	TotalCost   float64
+	SearchSpace int
+	Collisions  int // commits refused because another shim won the slot
+	Rounds      int // recompute iterations until quiescence
+}
+
+// proposal is one shim's desired placement for one VM.
+type proposal struct {
+	vm   *dcn.VM
+	dst  *dcn.Host
+	cost float64
+}
+
+// Round runs one coordinated management round: alertsByShim[i] holds the
+// alerts collected by shims[i] during the period. Only server alerts
+// participate (outer-switch alerts reroute flows and are handled by the
+// traffic plane; ToR alerts use the sequential path in ProcessAlerts).
+func (co *Coordinator) Round(alertsByShim [][]alert.Alert) (*RoundReport, error) {
+	if len(alertsByShim) != len(co.shims) {
+		return nil, fmt.Errorf("migrate: %d alert sets for %d shims", len(alertsByShim), len(co.shims))
+	}
+	report := &RoundReport{}
+
+	// Per-shim migration sets via PRIORITY (concurrent: reads only).
+	vmSets := make([][]*dcn.VM, len(co.shims))
+	var wg sync.WaitGroup
+	for i, shim := range co.shims {
+		wg.Add(1)
+		go func(i int, shim *Shim) {
+			defer wg.Done()
+			var set []*dcn.VM
+			seen := map[int]bool{}
+			for _, a := range alertsByShim[i] {
+				if a.Kind != alert.FromServer {
+					continue
+				}
+				h := co.cluster.Host(a.HostID)
+				if h == nil || h.Rack() != shim.Rack {
+					continue
+				}
+				budget := shim.params.Alpha * h.Capacity
+				for _, vm := range knapsack.Priority(h.VMs(), knapsack.Alpha, budget) {
+					if !seen[vm.ID] {
+						seen[vm.ID] = true
+						set = append(set, vm)
+					}
+				}
+			}
+			vmSets[i] = set
+		}(i, shim)
+	}
+	wg.Wait()
+
+	pending := vmSets
+	// Iterate: propose in parallel, commit FCFS, recompute losers.
+	for {
+		report.Rounds++
+		proposals := make([][]proposal, len(co.shims))
+		spaces := make([]int, len(co.shims))
+		var pwg sync.WaitGroup
+		for i, shim := range co.shims {
+			if len(pending[i]) == 0 {
+				continue
+			}
+			pwg.Add(1)
+			go func(i int, shim *Shim) {
+				defer pwg.Done()
+				proposals[i], spaces[i] = shim.propose(pending[i])
+			}(i, shim)
+		}
+		pwg.Wait()
+		for _, sp := range spaces {
+			report.SearchSpace += sp
+		}
+
+		// Commit FCFS by shim index, then VM ID — a deterministic stand-in
+		// for message arrival order.
+		var next [][]*dcn.VM = make([][]*dcn.VM, len(co.shims))
+		committed := false
+		for i := range co.shims {
+			for _, p := range proposals[i] {
+				if Request(p.vm, p.dst) {
+					from := p.vm.Host()
+					if err := co.cluster.Move(p.vm, p.dst); err != nil {
+						report.Collisions++
+						next[i] = append(next[i], p.vm)
+						continue
+					}
+					report.Migrations = append(report.Migrations, Migration{VM: p.vm, From: from, To: p.dst, Cost: p.cost})
+					report.TotalCost += p.cost
+					committed = true
+				} else {
+					report.Collisions++
+					next[i] = append(next[i], p.vm)
+				}
+			}
+		}
+		if !committed {
+			break
+		}
+		empty := true
+		for _, set := range next {
+			if len(set) > 0 {
+				empty = false
+				break
+			}
+		}
+		pending = next
+		if empty {
+			break
+		}
+	}
+	return report, nil
+}
+
+// propose computes the shim's minimum-weight matching for its VM set
+// against its region, without mutating anything. It returns the proposals
+// (VM → destination with cost) and the examined pair count.
+func (s *Shim) propose(vms []*dcn.VM) ([]proposal, int) {
+	hosts := s.regionHosts(true)
+	if len(hosts) == 0 || len(vms) == 0 {
+		return nil, 0
+	}
+	costs := make([][]float64, len(vms))
+	for i, vm := range vms {
+		costs[i] = make([]float64, len(hosts))
+		for j, h := range hosts {
+			costs[i][j] = pairCost(s.cluster, s.model, vm, h)
+		}
+	}
+	sol, err := matching.Solve(costs)
+	if err != nil {
+		return nil, len(vms) * len(hosts)
+	}
+	var out []proposal
+	for i, vm := range vms {
+		if j := sol.Assign[i]; j >= 0 {
+			out = append(out, proposal{vm: vm, dst: hosts[j], cost: costs[i][j]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].vm.ID < out[b].vm.ID })
+	return out, len(vms) * len(hosts)
+}

@@ -1,0 +1,239 @@
+package migrate
+
+import (
+	"fmt"
+	"sort"
+
+	"sheriff/internal/comm"
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/matching"
+)
+
+// DistOptions tunes the message-passing migration protocol.
+type DistOptions struct {
+	// MaxRounds bounds the protocol (a round = propose, deliver, decide,
+	// deliver, collect). Default 30.
+	MaxRounds int
+	// RequestTimeout is how many rounds a request may stay unanswered
+	// before the source assumes it was lost and retries. Default 3.
+	RequestTimeout int
+}
+
+func (o DistOptions) withDefaults() DistOptions {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 30
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 3
+	}
+	return o
+}
+
+// DistResult summarizes a distributed migration run.
+type DistResult struct {
+	Migrations  []Migration
+	TotalCost   float64
+	SearchSpace int
+	Rejected    int
+	Retransmits int // requests re-sent after a presumed loss
+	Rounds      int
+	Unplaced    []*dcn.VM
+}
+
+// outstanding tracks one in-flight request at its source shim.
+type outstanding struct {
+	vm   *dcn.VM
+	dst  *dcn.Host
+	cost float64
+	age  int
+}
+
+// DistributedVMMigration runs Alg. 3 + Alg. 4 as an actual message
+// protocol over the bus: source shims match their candidate VMs against
+// their regions and send REQUEST envelopes; destination shims grant
+// capacity FCFS in message-arrival order, apply the move themselves, and
+// reply ACK or REJECT. Lost messages (the bus may drop or delay them) are
+// handled by timeout and retry; a lost ACK is detected by observing that
+// the VM already sits at the requested destination.
+//
+// vmSets[i] holds the VMs shims[i] must relocate. Shims are addressed on
+// the bus by rack index.
+func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims []*Shim, vmSets [][]*dcn.VM, opts DistOptions) (*DistResult, error) {
+	if len(vmSets) != len(shims) {
+		return nil, fmt.Errorf("migrate: %d VM sets for %d shims", len(vmSets), len(shims))
+	}
+	opts = opts.withDefaults()
+	res := &DistResult{}
+
+	shimByRack := make(map[int]*Shim, len(shims))
+	for _, s := range shims {
+		shimByRack[s.Rack.Index] = s
+	}
+	remaining := make([][]*dcn.VM, len(shims))
+	for i, set := range vmSets {
+		remaining[i] = append([]*dcn.VM(nil), set...)
+	}
+	// Per-shim excluded (vmID, hostID) pairs after explicit REJECTs.
+	excluded := make([]map[int]map[int]bool, len(shims))
+	for i := range excluded {
+		excluded[i] = make(map[int]map[int]bool)
+	}
+	pending := make([]map[int]*outstanding, len(shims)) // seq -> request
+	for i := range pending {
+		pending[i] = make(map[int]*outstanding)
+	}
+	seq := 0
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		res.Rounds = round + 1
+		// Phase A: sources with free candidates propose via matching.
+		for i, shim := range shims {
+			if len(remaining[i]) == 0 {
+				continue
+			}
+			hosts := shim.regionHosts(true)
+			if len(hosts) == 0 {
+				continue
+			}
+			costs := make([][]float64, len(remaining[i]))
+			feasible := false
+			for vi, vm := range remaining[i] {
+				costs[vi] = make([]float64, len(hosts))
+				for hi, h := range hosts {
+					if excluded[i][vm.ID][h.ID] {
+						costs[vi][hi] = matching.Forbidden
+						continue
+					}
+					costs[vi][hi] = pairCost(c, m, vm, h)
+					if costs[vi][hi] != matching.Forbidden {
+						feasible = true
+					}
+				}
+			}
+			res.SearchSpace += len(remaining[i]) * len(hosts)
+			if !feasible {
+				res.Unplaced = append(res.Unplaced, remaining[i]...)
+				remaining[i] = nil
+				continue
+			}
+			sol, err := matching.Solve(costs)
+			if err != nil {
+				return nil, fmt.Errorf("migrate: distributed matching: %w", err)
+			}
+			var keep []*dcn.VM
+			for vi, vm := range remaining[i] {
+				hi := sol.Assign[vi]
+				if hi < 0 {
+					keep = append(keep, vm)
+					continue
+				}
+				dst := hosts[hi]
+				seq++
+				pending[i][seq] = &outstanding{vm: vm, dst: dst, cost: costs[vi][hi]}
+				bus.Send(comm.Message{
+					Type: comm.MsgRequest,
+					From: shim.Rack.Index,
+					To:   dst.Rack().Index,
+					VMID: vm.ID, HostID: dst.ID, Seq: seq,
+				})
+			}
+			remaining[i] = keep
+		}
+		bus.Deliver()
+
+		// Phase B: destinations grant FCFS in arrival order and apply the
+		// move themselves (they own the host), then reply.
+		for _, shim := range shims {
+			for _, msg := range bus.Receive(shim.Rack.Index) {
+				if msg.Type != comm.MsgRequest {
+					continue
+				}
+				vm := c.VM(msg.VMID)
+				dst := c.Host(msg.HostID)
+				reply := comm.MsgReject
+				if vm != nil && dst != nil && dst.Rack() == shim.Rack && Request(vm, dst) {
+					if err := c.Move(vm, dst); err == nil {
+						reply = comm.MsgAck
+					}
+				}
+				bus.Send(comm.Message{
+					Type: reply,
+					From: shim.Rack.Index,
+					To:   msg.From,
+					VMID: msg.VMID, HostID: msg.HostID, Seq: msg.Seq,
+				})
+			}
+		}
+		bus.Deliver()
+
+		// Phase C: sources collect replies and age out lost requests.
+		done := true
+		for i := range shims {
+			for _, msg := range bus.Receive(shims[i].Rack.Index) {
+				req := pending[i][msg.Seq]
+				if req == nil {
+					continue // stale or duplicate reply
+				}
+				delete(pending[i], msg.Seq)
+				switch msg.Type {
+				case comm.MsgAck:
+					res.Migrations = append(res.Migrations, Migration{
+						VM: req.vm, From: nil, To: req.dst, Cost: req.cost,
+					})
+					res.TotalCost += req.cost
+				case comm.MsgReject:
+					res.Rejected++
+					excludeDist(excluded[i], req.vm.ID, req.dst.ID)
+					remaining[i] = append(remaining[i], req.vm)
+				}
+			}
+			// Timeouts: either the request or its reply was lost.
+			var expired []int
+			for s, req := range pending[i] {
+				req.age++
+				if req.age >= opts.RequestTimeout {
+					expired = append(expired, s)
+				}
+			}
+			sort.Ints(expired)
+			for _, s := range expired {
+				req := pending[i][s]
+				delete(pending[i], s)
+				if req.vm.Host() == req.dst {
+					// The move happened; only the ACK was lost.
+					res.Migrations = append(res.Migrations, Migration{
+						VM: req.vm, From: nil, To: req.dst, Cost: req.cost,
+					})
+					res.TotalCost += req.cost
+					continue
+				}
+				res.Retransmits++
+				remaining[i] = append(remaining[i], req.vm)
+			}
+			if len(remaining[i]) > 0 || len(pending[i]) > 0 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	// Whatever is still waiting after MaxRounds is unplaced.
+	for i := range shims {
+		res.Unplaced = append(res.Unplaced, remaining[i]...)
+		for _, req := range pending[i] {
+			if req.vm.Host() != req.dst {
+				res.Unplaced = append(res.Unplaced, req.vm)
+			}
+		}
+	}
+	return res, nil
+}
+
+func excludeDist(m map[int]map[int]bool, vmID, hostID int) {
+	if m[vmID] == nil {
+		m[vmID] = make(map[int]bool)
+	}
+	m[vmID][hostID] = true
+}

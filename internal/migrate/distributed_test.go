@@ -1,0 +1,148 @@
+package migrate
+
+import (
+	"testing"
+
+	"sheriff/internal/comm"
+	"sheriff/internal/dcn"
+)
+
+func distSetup(t *testing.T, lossRate float64, seed int64) (*fixture, []*Shim, *comm.Bus) {
+	t.Helper()
+	fx := newFixture(t, 4, 2)
+	var shims []*Shim
+	for _, r := range fx.cluster.Racks {
+		s, err := NewShim(fx.cluster, fx.model, r, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shims = append(shims, s)
+	}
+	bus, err := comm.NewBus(comm.Options{LossRate: lossRate, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx, shims, bus
+}
+
+func TestDistributedMigrationReliableBus(t *testing.T) {
+	fx, shims, bus := distSetup(t, 0, 1)
+	h := fx.cluster.Racks[0].Hosts[0]
+	var vms []*dcn.VM
+	for i := 0; i < 3; i++ {
+		vm, err := fx.cluster.AddVM(h, 25, float64(i+1), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vms = append(vms, vm)
+	}
+	sets := make([][]*dcn.VM, len(shims))
+	sets[0] = vms
+	res, err := DistributedVMMigration(fx.cluster, fx.model, bus, shims, sets, DistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Migrations) != 3 {
+		t.Fatalf("migrations = %d, want 3 (unplaced %d)", len(res.Migrations), len(res.Unplaced))
+	}
+	if res.TotalCost <= 0 || res.Rounds < 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	for _, vm := range vms {
+		if vm.Host() == h {
+			t.Fatal("VM did not move")
+		}
+	}
+}
+
+func TestDistributedMigrationSurvivesMessageLoss(t *testing.T) {
+	fx, shims, bus := distSetup(t, 0.3, 2)
+	h := fx.cluster.Racks[0].Hosts[0]
+	var vms []*dcn.VM
+	for i := 0; i < 3; i++ {
+		vm, err := fx.cluster.AddVM(h, 25, float64(i+1), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vms = append(vms, vm)
+	}
+	sets := make([][]*dcn.VM, len(shims))
+	sets[0] = vms
+	res, err := DistributedVMMigration(fx.cluster, fx.model, bus, shims, sets, DistOptions{MaxRounds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 30% loss the protocol must still converge via retransmits.
+	if len(res.Migrations) != 3 {
+		t.Fatalf("migrations = %d under loss (retransmits %d, unplaced %d)",
+			len(res.Migrations), res.Retransmits, len(res.Unplaced))
+	}
+	if res.Retransmits == 0 {
+		t.Log("no retransmits at this seed (possible but unlikely)")
+	}
+	// No VM may be double-counted or lost.
+	seen := map[int]bool{}
+	for _, m := range res.Migrations {
+		if seen[m.VM.ID] {
+			t.Fatalf("VM %d migrated twice in the log", m.VM.ID)
+		}
+		seen[m.VM.ID] = true
+	}
+}
+
+func TestDistributedMigrationContention(t *testing.T) {
+	fx, shims, bus := distSetup(t, 0, 3)
+	// Racks 0 and 1 (same pod) each shed one 60-cap VM; each neighbor
+	// host can hold only one.
+	a, err := fx.cluster.AddVM(fx.cluster.Racks[0].Hosts[0], 60, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fx.cluster.AddVM(fx.cluster.Racks[1].Hosts[0], 60, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-load the pod's other hosts so destinations are scarce.
+	for _, h := range []*dcn.Host{fx.cluster.Racks[0].Hosts[1], fx.cluster.Racks[1].Hosts[1]} {
+		if _, err := fx.cluster.AddVM(h, 50, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sets := make([][]*dcn.VM, len(shims))
+	sets[0] = []*dcn.VM{a}
+	sets[1] = []*dcn.VM{b}
+	res, err := DistributedVMMigration(fx.cluster, fx.model, bus, shims, sets, DistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invariants regardless of who won: no oversubscription, no loss.
+	for _, h := range fx.cluster.Hosts() {
+		if h.Used() > h.Capacity+1e-9 {
+			t.Fatalf("host %d oversubscribed", h.ID)
+		}
+	}
+	if a.Host() == nil || b.Host() == nil {
+		t.Fatal("VM lost")
+	}
+	_ = res
+}
+
+func TestDistributedMigrationShapeValidation(t *testing.T) {
+	fx, shims, bus := distSetup(t, 0, 4)
+	_ = fx
+	if _, err := DistributedVMMigration(fx.cluster, fx.model, bus, shims, nil, DistOptions{}); err == nil {
+		t.Fatal("mismatched set count accepted")
+	}
+}
+
+func TestDistributedMigrationEmptySets(t *testing.T) {
+	fx, shims, bus := distSetup(t, 0, 5)
+	sets := make([][]*dcn.VM, len(shims))
+	res, err := DistributedVMMigration(fx.cluster, fx.model, bus, shims, sets, DistOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Migrations) != 0 || res.Rounds != 1 {
+		t.Fatalf("empty run = %+v", res)
+	}
+}

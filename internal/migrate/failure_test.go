@@ -1,0 +1,101 @@
+package migrate
+
+import (
+	"testing"
+
+	"sheriff/internal/dcn"
+)
+
+// TestVMMigrationRetriesAfterTransientRejects injects REQUEST failures:
+// the first few handshakes are refused (as if the destination shim's
+// accept message was lost or it was momentarily saturated); Alg. 3's
+// retry loop must still place the VM on a later round.
+func TestVMMigrationRetriesAfterTransientRejects(t *testing.T) {
+	fx := newFixture(t, 4, 2)
+	vm, err := fx.cluster.AddVM(fx.cluster.Racks[0].Hosts[0], 50, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejectsLeft := 2
+	SetRequestGate(func(*dcn.VM, *dcn.Host) bool {
+		if rejectsLeft > 0 {
+			rejectsLeft--
+			return false
+		}
+		return true
+	})
+	defer SetRequestGate(nil)
+
+	dsts := []*dcn.Host{fx.cluster.Racks[1].Hosts[0], fx.cluster.Racks[1].Hosts[1], fx.cluster.Racks[2].Hosts[0]}
+	res, err := VMMigration(fx.cluster, fx.model, []*dcn.VM{vm}, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Migrations) != 1 {
+		t.Fatalf("VM not placed after transient rejects: %+v", res)
+	}
+	if res.Rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", res.Rejected)
+	}
+}
+
+// TestVMMigrationGivesUpUnderPermanentRejection verifies the protocol
+// terminates (no livelock) when every destination permanently refuses.
+func TestVMMigrationGivesUpUnderPermanentRejection(t *testing.T) {
+	fx := newFixture(t, 4, 2)
+	vm, err := fx.cluster.AddVM(fx.cluster.Racks[0].Hosts[0], 50, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetRequestGate(func(*dcn.VM, *dcn.Host) bool { return false })
+	defer SetRequestGate(nil)
+
+	res, err := VMMigration(fx.cluster, fx.model, []*dcn.VM{vm}, []*dcn.Host{fx.cluster.Racks[1].Hosts[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Migrations) != 0 {
+		t.Fatal("migration happened despite permanent rejection")
+	}
+	if len(res.Unplaced) != 1 || res.Unplaced[0] != vm {
+		t.Fatalf("unplaced = %v", res.Unplaced)
+	}
+	if vm.Host() != fx.cluster.Racks[0].Hosts[0] {
+		t.Fatal("VM moved despite rejection")
+	}
+}
+
+// TestVMMigrationPartialRejection: with two VMs and per-host rejection of
+// one specific destination, the other VM still lands there.
+func TestVMMigrationPartialRejection(t *testing.T) {
+	fx := newFixture(t, 4, 2)
+	a, err := fx.cluster.AddVM(fx.cluster.Racks[0].Hosts[0], 40, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fx.cluster.AddVM(fx.cluster.Racks[0].Hosts[1], 40, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := fx.cluster.Racks[1].Hosts[0]
+	d2 := fx.cluster.Racks[1].Hosts[1]
+	// d1 refuses VM a specifically (e.g. policy conflict), accepts b.
+	SetRequestGate(func(vm *dcn.VM, dst *dcn.Host) bool {
+		return !(vm == a && dst == d1)
+	})
+	defer SetRequestGate(nil)
+
+	res, err := VMMigration(fx.cluster, fx.model, []*dcn.VM{a, b}, []*dcn.Host{d1, d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Migrations) != 2 {
+		t.Fatalf("migrations = %d, want 2 (a retries onto d2)", len(res.Migrations))
+	}
+	if a.Host() == d1 {
+		t.Fatal("a landed on the refusing host")
+	}
+	if a.Host() == nil || b.Host() == nil {
+		t.Fatal("a VM was lost")
+	}
+}

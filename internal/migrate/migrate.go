@@ -1,0 +1,358 @@
+// Package migrate implements the distributed Alert-Migration algorithm of
+// the paper's Sec. V.B: each rack's shim (delegation node v_i) runs
+// Alg. 1 (the framework that turns collected alerts into candidate VM
+// sets via the PRIORITY function), Alg. 3 (VMMIGRATION: minimum-weight
+// matching of candidate VMs to destination slots, applied round by round),
+// and Alg. 4 (the REQUEST handshake granting destination capacity FCFS).
+// Outer-switch alerts trigger FLOWREROUTE instead of migration, since
+// rerouting is cheaper than a live migration (Sec. III.B).
+package migrate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sheriff/internal/alert"
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/knapsack"
+	"sheriff/internal/matching"
+)
+
+// Migration records one applied VM move.
+type Migration struct {
+	VM   *dcn.VM
+	From *dcn.Host
+	To   *dcn.Host
+	Cost float64
+}
+
+// Report summarizes one shim management round (one Alg. 1 execution).
+type Report struct {
+	Migrations  []Migration
+	TotalCost   float64
+	SearchSpace int // candidate (VM, destination) pairs examined
+	Rerouted    []*dcn.VM
+	Rejected    int // REQUEST handshakes answered with REJECT
+}
+
+// Params tunes the shim protocol. Alpha and Beta are the capacity
+// portions of Alg. 1/2 ("we present α, β as different portion of capacity
+// for migration since it is not necessary to migrate all VMs").
+type Params struct {
+	Alpha float64 // portion of server capacity to unload on a host alert
+	Beta  float64 // portion of ToR capacity to unload on a ToR alert
+	// NeighborSwitchHops bounds the shim's dominating region: destination
+	// racks reachable through at most this many switches (1 = the paper's
+	// one-hop wired neighbors).
+	NeighborSwitchHops int
+}
+
+// DefaultParams matches the regional scheme: one-hop neighbors,
+// α = β = 0.2.
+func DefaultParams() Params {
+	return Params{Alpha: 0.2, Beta: 0.2, NeighborSwitchHops: 1}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		return fmt.Errorf("migrate: Alpha must be in (0,1], got %v", p.Alpha)
+	}
+	if p.Beta <= 0 || p.Beta > 1 {
+		return fmt.Errorf("migrate: Beta must be in (0,1], got %v", p.Beta)
+	}
+	if p.NeighborSwitchHops < 1 {
+		return fmt.Errorf("migrate: NeighborSwitchHops must be >= 1, got %d", p.NeighborSwitchHops)
+	}
+	return nil
+}
+
+// Shim is the delegation node v_i: it monitors one rack and manages its
+// dominating region.
+type Shim struct {
+	Rack    *dcn.Rack
+	cluster *dcn.Cluster
+	model   *cost.Model
+	params  Params
+
+	neighborRacks []*dcn.Rack // cached one-hop region
+}
+
+// NewShim builds the shim for one rack.
+func NewShim(c *dcn.Cluster, m *cost.Model, rack *dcn.Rack, p Params) (*Shim, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Shim{Rack: rack, cluster: c, model: m, params: p}
+	for _, nodeID := range c.Graph.RackNeighbors(rack.NodeID, p.NeighborSwitchHops) {
+		if r := c.RackByNode(nodeID); r != nil {
+			s.neighborRacks = append(s.neighborRacks, r)
+		}
+	}
+	sort.Slice(s.neighborRacks, func(i, j int) bool {
+		return s.neighborRacks[i].Index < s.neighborRacks[j].Index
+	})
+	return s, nil
+}
+
+// NeighborRacks returns the racks in the shim's dominating region
+// (excluding its own).
+func (s *Shim) NeighborRacks() []*dcn.Rack { return s.neighborRacks }
+
+// ProcessAlerts runs Alg. 1 over one collection period's alert set:
+// outer-switch alerts feed FLOWREROUTE; host alerts select VMs with the
+// α-knapsack; ToR alerts are pooled and select with the β-knapsack; the
+// merged migration set is handed to VMMIGRATION.
+func (s *Shim) ProcessAlerts(alerts []alert.Alert) (*Report, error) {
+	report := &Report{}
+	var hostSet, torSet []*dcn.VM
+	inSet := make(map[int]bool)
+	torAlerted := false
+
+	add := func(dst *[]*dcn.VM, vms []*dcn.VM) {
+		for _, vm := range vms {
+			if !inSet[vm.ID] {
+				inSet[vm.ID] = true
+				*dst = append(*dst, vm)
+			}
+		}
+	}
+
+	for _, a := range alerts {
+		switch a.Kind {
+		case alert.FromOuterSwitch:
+			// Conflict flows through the hot switch: reroute, do not
+			// migrate. PRIORITY with ω = 1 picks the highest-alert VM.
+			f := s.vmsUsingSwitch(a.SwitchID)
+			report.Rerouted = append(report.Rerouted, knapsack.Priority(f, knapsack.One, 0)...)
+		case alert.FromLocalToR:
+			torAlerted = true
+		case alert.FromServer:
+			h := s.cluster.Host(a.HostID)
+			if h == nil || h.Rack() != s.Rack {
+				continue // not ours
+			}
+			budget := s.params.Alpha * h.Capacity
+			add(&hostSet, knapsack.Priority(h.VMs(), knapsack.Alpha, budget))
+		}
+	}
+	if torAlerted {
+		budget := s.params.Beta * s.Rack.ToRCapacity
+		add(&torSet, knapsack.Priority(s.Rack.VMs(), knapsack.Beta, budget))
+	}
+	// Host-overload VMs may be relieved anywhere in the region, including
+	// other hosts of this rack; ToR-congestion VMs must leave the rack
+	// ("release the workload of ToR_i … to neighbor racks").
+	if len(hostSet) > 0 {
+		if err := report.merge(VMMigration(s.cluster, s.model, hostSet, s.regionHosts(true))); err != nil {
+			return report, err
+		}
+	}
+	if len(torSet) > 0 {
+		if err := report.merge(VMMigration(s.cluster, s.model, torSet, s.regionHosts(false))); err != nil {
+			return report, err
+		}
+	}
+	return report, nil
+}
+
+// merge folds a VMMIGRATION result into the round report.
+func (r *Report) merge(res *MigrationResult, err error) error {
+	if err != nil {
+		return err
+	}
+	r.Migrations = append(r.Migrations, res.Migrations...)
+	r.TotalCost += res.TotalCost
+	r.SearchSpace += res.SearchSpace
+	r.Rejected += res.Rejected
+	return nil
+}
+
+// vmsUsingSwitch approximates "VMs with flows out through s_j": with no
+// per-flow state in the simulator, every VM of the rack whose traffic
+// leaves the rack (it has dependent peers in other racks) is a candidate.
+func (s *Shim) vmsUsingSwitch(switchID int) []*dcn.VM {
+	var out []*dcn.VM
+	for _, vm := range s.Rack.VMs() {
+		for _, peerRack := range s.cluster.Deps.PeerRacks(s.cluster, vm.ID) {
+			if peerRack != s.Rack.Index {
+				out = append(out, vm)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = s.Rack.VMs()
+	}
+	return out
+}
+
+// regionHosts returns destination hosts in the dominating region. With
+// includeOwn, the rack's own hosts are included (host-overload relief may
+// stay local); otherwise only neighbor racks qualify (ToR relief).
+// Exclusion of a VM's current host happens in the cost matrix.
+func (s *Shim) regionHosts(includeOwn bool) []*dcn.Host {
+	var out []*dcn.Host
+	if includeOwn {
+		out = append(out, s.Rack.Hosts...)
+	}
+	for _, r := range s.neighborRacks {
+		out = append(out, r.Hosts...)
+	}
+	return out
+}
+
+// MigrationResult is the outcome of one VMMIGRATION invocation (Alg. 3).
+type MigrationResult struct {
+	Migrations  []Migration
+	TotalCost   float64
+	SearchSpace int
+	Rejected    int
+	Unplaced    []*dcn.VM // VMs no destination would accept
+}
+
+// ErrNoCandidates is returned when the destination set is empty.
+var ErrNoCandidates = errors.New("migrate: no candidate destination hosts")
+
+// VMMigration implements Alg. 3: while the candidate set is non-empty,
+// build the bipartite cost graph between candidate VMs and destination
+// slots, compute a minimum-weight matching (Kuhn–Munkres), and apply each
+// matched pair through the Alg. 4 REQUEST handshake. VMs whose request is
+// rejected are retried in the next round against the remaining slots; the
+// loop ends when every VM is placed or no progress is possible.
+func VMMigration(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*dcn.Host) (*MigrationResult, error) {
+	return VMMigrationOpts(c, m, f, candidates, false)
+}
+
+// VMMigrationOpts is VMMigration with the Eqn. (6) constraint switchable:
+// with forbidSameRack, a VM may only land in a rack other than its own
+// (v_p ∈ N(v_i)), the setting of the Figs. 11–14 comparison where alerts
+// mean the whole rack must shed load.
+func VMMigrationOpts(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*dcn.Host, forbidSameRack bool) (*MigrationResult, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoCandidates
+	}
+	res := &MigrationResult{}
+	remaining := append([]*dcn.VM(nil), f...)
+	// Destinations that rejected a VM are excluded from its later rounds
+	// ("v_i should recalculate possible migration destinations"). The
+	// exclusion set only grows, so the loop terminates.
+	excluded := make(map[int]map[int]bool)
+
+	for len(remaining) > 0 {
+		costs := make([][]float64, len(remaining))
+		feasible := false
+		for i, vm := range remaining {
+			costs[i] = make([]float64, len(candidates))
+			for j, h := range candidates {
+				if excluded[vm.ID][j] {
+					costs[i][j] = matching.Forbidden
+					continue
+				}
+				if forbidSameRack && vm.Host() != nil && h.Rack() == vm.Host().Rack() {
+					costs[i][j] = matching.Forbidden
+					continue
+				}
+				costs[i][j] = pairCost(c, m, vm, h)
+				if costs[i][j] != matching.Forbidden {
+					feasible = true
+				}
+			}
+		}
+		res.SearchSpace += len(remaining) * len(candidates)
+		if !feasible {
+			res.Unplaced = append(res.Unplaced, remaining...)
+			break
+		}
+		sol, err := matching.Solve(costs)
+		if err != nil {
+			return nil, fmt.Errorf("migrate: matching: %w", err)
+		}
+		exclude := func(vmID, j int) {
+			if excluded[vmID] == nil {
+				excluded[vmID] = make(map[int]bool)
+			}
+			excluded[vmID][j] = true
+		}
+		var next []*dcn.VM
+		anyMatched := false
+		for i, vm := range remaining {
+			j := sol.Assign[i]
+			if j < 0 {
+				next = append(next, vm)
+				continue
+			}
+			anyMatched = true
+			dst := candidates[j]
+			moveCost := costs[i][j]
+			// Alg. 4 REQUEST: the destination's delegation node re-checks
+			// capacity (FCFS) and replies ACK or REJECT.
+			if Request(vm, dst) {
+				from := vm.Host()
+				if err := c.Move(vm, dst); err != nil {
+					// The handshake said yes but placement failed (e.g. a
+					// dependency raced in): treat as a rejection.
+					res.Rejected++
+					exclude(vm.ID, j)
+					next = append(next, vm)
+					continue
+				}
+				res.Migrations = append(res.Migrations, Migration{VM: vm, From: from, To: dst, Cost: moveCost})
+				res.TotalCost += moveCost
+			} else {
+				res.Rejected++
+				exclude(vm.ID, j)
+				next = append(next, vm)
+			}
+		}
+		if !anyMatched {
+			res.Unplaced = append(res.Unplaced, next...)
+			break
+		}
+		remaining = next
+	}
+	return res, nil
+}
+
+// pairCost evaluates one (VM, destination) edge of Alg. 3's bipartite
+// graph G_m, Forbidden when the destination cannot host the VM.
+func pairCost(c *dcn.Cluster, m *cost.Model, vm *dcn.VM, h *dcn.Host) float64 {
+	if h == vm.Host() {
+		return matching.Forbidden // must actually move
+	}
+	if h.Free() < vm.Capacity {
+		return matching.Forbidden
+	}
+	for _, resident := range h.VMs() {
+		if c.Deps.Dependent(vm.ID, resident.ID) {
+			return matching.Forbidden
+		}
+	}
+	mc, err := m.Migration(vm, h)
+	if err != nil {
+		return matching.Forbidden
+	}
+	return mc
+}
+
+// requestGate, when non-nil, is consulted before the capacity check —
+// a failure-injection point for tests simulating lost or refused REQUEST
+// messages (Alg. 4's REJECT path under adverse conditions).
+var requestGate func(vm *dcn.VM, dst *dcn.Host) bool
+
+// SetRequestGate installs (or clears, with nil) the failure-injection
+// gate. Intended for tests; not safe for concurrent use with migrations.
+func SetRequestGate(gate func(vm *dcn.VM, dst *dcn.Host) bool) { requestGate = gate }
+
+// Request implements Alg. 4: the receiving delegation node grants the
+// migration iff the destination host still has capacity for the VM
+// (first come, first served). It does not mutate state; the actual move
+// follows on ACK.
+func Request(vm *dcn.VM, dst *dcn.Host) bool {
+	if requestGate != nil && !requestGate(vm, dst) {
+		return false
+	}
+	return dst.Free() >= vm.Capacity
+}

@@ -1,0 +1,63 @@
+package narnet
+
+import "math"
+
+// rprop implements iRPROP− (resilient backpropagation without weight
+// backtracking): each weight has its own step size, grown when the
+// gradient keeps its sign and shrunk when it flips. Only gradient signs
+// are used, which makes training insensitive to the error surface scale.
+type rprop struct {
+	delta    []float64 // per-weight step sizes
+	prevGrad []float64
+}
+
+const (
+	rpropEtaPlus  = 1.2
+	rpropEtaMinus = 0.5
+	rpropDeltaMin = 1e-8
+	rpropDeltaMax = 1.0
+	rpropDelta0   = 0.01
+)
+
+func newRPROP(n int) *rprop {
+	r := &rprop{
+		delta:    make([]float64, n),
+		prevGrad: make([]float64, n),
+	}
+	for i := range r.delta {
+		r.delta[i] = rpropDelta0
+	}
+	return r
+}
+
+// step applies one RPROP update to the concatenated weight vector
+// (w1 followed by w2) given the current gradient.
+func (r *rprop) step(grad, w1, w2 []float64) {
+	n1 := len(w1)
+	for i := range grad {
+		g := grad[i]
+		sign := g * r.prevGrad[i]
+		switch {
+		case sign > 0:
+			r.delta[i] = math.Min(r.delta[i]*rpropEtaPlus, rpropDeltaMax)
+		case sign < 0:
+			r.delta[i] = math.Max(r.delta[i]*rpropEtaMinus, rpropDeltaMin)
+			// iRPROP−: zero the remembered gradient after a sign flip so
+			// the next step is treated as fresh.
+			g = 0
+		}
+		var upd float64
+		switch {
+		case g > 0:
+			upd = -r.delta[i]
+		case g < 0:
+			upd = r.delta[i]
+		}
+		if i < n1 {
+			w1[i] += upd
+		} else {
+			w2[i-n1] += upd
+		}
+		r.prevGrad[i] = g
+	}
+}

@@ -1,0 +1,60 @@
+package narnet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sheriff/internal/timeseries"
+)
+
+// networkJSON is the serialized form of a trained Network.
+type networkJSON struct {
+	Config     Config    `json:"config"`
+	W1         []float64 `json:"w1"`
+	W2         []float64 `json:"w2"`
+	Offset     float64   `json:"scale_offset"`
+	Factor     float64   `json:"scale_factor"`
+	History    []float64 `json:"history"`
+	TrainedMSE float64   `json:"trained_mse"`
+}
+
+// MarshalJSON serializes the trained network — weights, normalization,
+// and the history needed for closed-loop forecasting.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	return json.Marshal(networkJSON{
+		Config:     n.cfg,
+		W1:         n.w1,
+		W2:         n.w2,
+		Offset:     n.scale.Offset,
+		Factor:     n.scale.Factor,
+		History:    n.history.Values(),
+		TrainedMSE: n.trainedMSE,
+	})
+}
+
+// UnmarshalJSON restores a network serialized by MarshalJSON.
+func (n *Network) UnmarshalJSON(b []byte) error {
+	var dto networkJSON
+	if err := json.Unmarshal(b, &dto); err != nil {
+		return fmt.Errorf("narnet: unmarshal: %w", err)
+	}
+	if err := dto.Config.Validate(); err != nil {
+		return fmt.Errorf("narnet: unmarshal: %w", err)
+	}
+	wantW1 := dto.Config.Hidden * (dto.Config.Inputs + 1)
+	wantW2 := dto.Config.Hidden + 1
+	if len(dto.W1) != wantW1 || len(dto.W2) != wantW2 {
+		return fmt.Errorf("narnet: unmarshal: weight sizes (%d,%d) do not match NARNET(%d,%d)",
+			len(dto.W1), len(dto.W2), dto.Config.Inputs, dto.Config.Hidden)
+	}
+	if dto.Factor == 0 {
+		return fmt.Errorf("narnet: unmarshal: zero scale factor")
+	}
+	n.cfg = dto.Config
+	n.w1 = dto.W1
+	n.w2 = dto.W2
+	n.scale = timeseries.Scale{Offset: dto.Offset, Factor: dto.Factor}
+	n.history = timeseries.New(dto.History)
+	n.trainedMSE = dto.TrainedMSE
+	return nil
+}

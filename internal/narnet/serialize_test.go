@@ -1,0 +1,54 @@
+package narnet
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	s := sineSeries(300, 24, 0.5, 30)
+	orig, err := Train(s, Config{Inputs: 6, Hidden: 8, Seed: 30, Epochs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Network
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Config() != orig.Config() {
+		t.Fatal("config not preserved")
+	}
+	if restored.TrainMSE() != orig.TrainMSE() {
+		t.Fatal("train MSE not preserved")
+	}
+	fo, err := orig.Forecast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := restored.Forecast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fo {
+		if fo[i] != fr[i] {
+			t.Fatalf("forecast %d differs: %v vs %v", i, fo[i], fr[i])
+		}
+	}
+}
+
+func TestNetworkUnmarshalRejectsCorrupt(t *testing.T) {
+	var n Network
+	if err := json.Unmarshal([]byte(`{"config":{"Inputs":0,"Hidden":3}}`), &n); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"config":{"Inputs":2,"Hidden":2},"w1":[1],"w2":[1,2,3],"scale_factor":1}`), &n); err == nil {
+		t.Error("weight size mismatch accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"config":{"Inputs":1,"Hidden":1},"w1":[1,2],"w2":[1,2],"scale_factor":0}`), &n); err == nil {
+		t.Error("zero scale factor accepted")
+	}
+}

@@ -1,0 +1,152 @@
+// Package placement provides initial VM placement policies for a cluster:
+// first-fit, best-fit, worst-fit, and random. Initial placement sets the
+// starting imbalance that Sheriff's migration phase then corrects — the
+// Figs. 9–10 experiments start from a deliberately bad placement; these
+// policies give the library a principled way to create (or avoid) such
+// states, and a baseline to compare the migration machinery against.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sheriff/internal/dcn"
+)
+
+// Policy selects a host for each incoming VM.
+type Policy int
+
+const (
+	// FirstFit: the lowest-ID host with room.
+	FirstFit Policy = iota
+	// BestFit: the host with the least free capacity that still fits
+	// (packs tightly; maximizes imbalance).
+	BestFit
+	// WorstFit: the host with the most free capacity (spreads load;
+	// minimizes imbalance).
+	WorstFit
+	// Random: a uniformly random host with room.
+	Random
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ErrNoHost is returned when no host can take the VM.
+var ErrNoHost = errors.New("placement: no host fits the VM")
+
+// Placer assigns VMs to hosts under one policy.
+type Placer struct {
+	cluster *dcn.Cluster
+	policy  Policy
+	rng     *rand.Rand
+}
+
+// New builds a placer. The seed matters only for the Random policy.
+func New(c *dcn.Cluster, policy Policy, seed int64) *Placer {
+	return &Placer{cluster: c, policy: policy, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick returns the host the policy selects for a VM of the given capacity
+// (respecting dependency conflicts against the peer VM IDs), without
+// placing anything.
+func (p *Placer) Pick(capacity float64, peerIDs []int) (*dcn.Host, error) {
+	fits := func(h *dcn.Host) bool {
+		if h.Free() < capacity {
+			return false
+		}
+		for _, resident := range h.VMs() {
+			for _, peer := range peerIDs {
+				if resident.ID == peer {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	hosts := p.cluster.Hosts()
+	switch p.policy {
+	case FirstFit:
+		for _, h := range hosts {
+			if fits(h) {
+				return h, nil
+			}
+		}
+	case BestFit:
+		var best *dcn.Host
+		for _, h := range hosts {
+			if !fits(h) {
+				continue
+			}
+			if best == nil || h.Free() < best.Free() {
+				best = h
+			}
+		}
+		if best != nil {
+			return best, nil
+		}
+	case WorstFit:
+		var best *dcn.Host
+		for _, h := range hosts {
+			if !fits(h) {
+				continue
+			}
+			if best == nil || h.Free() > best.Free() {
+				best = h
+			}
+		}
+		if best != nil {
+			return best, nil
+		}
+	case Random:
+		var cands []*dcn.Host
+		for _, h := range hosts {
+			if fits(h) {
+				cands = append(cands, h)
+			}
+		}
+		if len(cands) > 0 {
+			return cands[p.rng.Intn(len(cands))], nil
+		}
+	default:
+		return nil, fmt.Errorf("placement: unknown policy %v", p.policy)
+	}
+	return nil, ErrNoHost
+}
+
+// Place creates and places one VM under the policy.
+func (p *Placer) Place(capacity, value float64, delaySensitive bool) (*dcn.VM, error) {
+	h, err := p.Pick(capacity, nil)
+	if err != nil {
+		return nil, err
+	}
+	return p.cluster.AddVM(h, capacity, value, delaySensitive)
+}
+
+// PlaceAll places a batch of VM capacities, returning the created VMs.
+// It stops at the first failure, returning what was placed and the error.
+func (p *Placer) PlaceAll(capacities []float64) ([]*dcn.VM, error) {
+	out := make([]*dcn.VM, 0, len(capacities))
+	for _, capy := range capacities {
+		vm, err := p.Place(capy, 1, false)
+		if err != nil {
+			return out, fmt.Errorf("placement: after %d of %d: %w", len(out), len(capacities), err)
+		}
+		out = append(out, vm)
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+
+	"sheriff/internal/dcn"
+	"sheriff/internal/topology"
+)
+
+func testCluster(t *testing.T) *dcn.Cluster {
+	t.Helper()
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dcn.NewCluster(ft.Graph, dcn.Config{HostsPerRack: 2, HostCapacity: 100, ToRCapacity: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{FirstFit: "first-fit", BestFit: "best-fit", WorstFit: "worst-fit", Random: "random"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy should render")
+	}
+}
+
+func TestFirstFitUsesLowestHost(t *testing.T) {
+	c := testCluster(t)
+	p := New(c, FirstFit, 0)
+	vm, err := p.Place(30, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Host().ID != 0 {
+		t.Fatalf("first-fit placed on host %d", vm.Host().ID)
+	}
+	// Second VM that fits host 0 also goes there.
+	vm2, err := p.Place(30, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm2.Host().ID != 0 {
+		t.Fatalf("first-fit second VM on host %d", vm2.Host().ID)
+	}
+}
+
+func TestBestFitPacksTightly(t *testing.T) {
+	c := testCluster(t)
+	// Pre-load host 1 to 70 used (30 free) and host 2 to 40 used (60 free).
+	if _, err := c.AddVM(c.Hosts()[1], 70, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddVM(c.Hosts()[2], 40, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	p := New(c, BestFit, 0)
+	vm, err := p.Place(25, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Host().ID != 1 {
+		t.Fatalf("best-fit placed on host %d, want the 30-free host 1", vm.Host().ID)
+	}
+}
+
+func TestWorstFitSpreads(t *testing.T) {
+	c := testCluster(t)
+	if _, err := c.AddVM(c.Hosts()[0], 20, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	p := New(c, WorstFit, 0)
+	vm, err := p.Place(25, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Host().ID == 0 {
+		t.Fatal("worst-fit chose the partially loaded host")
+	}
+	// Placing many VMs worst-fit keeps the cluster balanced.
+	for i := 0; i < 20; i++ {
+		if _, err := p.Place(10, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sd := c.WorkloadStdDev(); sd > 8 {
+		t.Fatalf("worst-fit stddev = %.2f, want low", sd)
+	}
+}
+
+func TestBestFitVsWorstFitImbalance(t *testing.T) {
+	caps := make([]float64, 24)
+	for i := range caps {
+		caps[i] = 10
+	}
+	cBest := testCluster(t)
+	if _, err := New(cBest, BestFit, 0).PlaceAll(caps); err != nil {
+		t.Fatal(err)
+	}
+	cWorst := testCluster(t)
+	if _, err := New(cWorst, WorstFit, 0).PlaceAll(caps); err != nil {
+		t.Fatal(err)
+	}
+	if cBest.WorkloadStdDev() <= cWorst.WorkloadStdDev() {
+		t.Fatalf("best-fit stddev %.2f should exceed worst-fit %.2f",
+			cBest.WorkloadStdDev(), cWorst.WorkloadStdDev())
+	}
+}
+
+func TestRandomPolicyDeterministicSeed(t *testing.T) {
+	c1 := testCluster(t)
+	c2 := testCluster(t)
+	v1, err := New(c1, Random, 9).Place(10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := New(c2, Random, 9).Place(10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Host().ID != v2.Host().ID {
+		t.Fatal("same-seed random placement diverged")
+	}
+}
+
+func TestPickRespectsDependencyPeers(t *testing.T) {
+	c := testCluster(t)
+	peer, err := c.AddVM(c.Hosts()[0], 10, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(c, FirstFit, 0)
+	h, err := p.Pick(10, []int{peer.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID == 0 {
+		t.Fatal("Pick ignored the dependency peer on host 0")
+	}
+}
+
+func TestNoHostFits(t *testing.T) {
+	c := testCluster(t)
+	p := New(c, FirstFit, 0)
+	if _, err := p.Place(150, 1, false); !errors.Is(err, ErrNoHost) {
+		t.Fatalf("want ErrNoHost, got %v", err)
+	}
+	if _, err := New(c, Policy(42), 0).Pick(10, nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPlaceAllStopsAtFailure(t *testing.T) {
+	c := testCluster(t)
+	// 16 hosts × 100 = 1600 capacity; 17 VMs of 100 cannot all fit.
+	caps := make([]float64, 17)
+	for i := range caps {
+		caps[i] = 100
+	}
+	placed, err := New(c, FirstFit, 0).PlaceAll(caps)
+	if err == nil {
+		t.Fatal("over-capacity batch accepted")
+	}
+	if len(placed) != 16 {
+		t.Fatalf("placed %d, want 16", len(placed))
+	}
+}

@@ -1,0 +1,242 @@
+// Package predictor implements Sheriff's dynamic model selection
+// (paper Sec. IV.B, "Dynamic Model Selection"): a pool of candidate
+// forecasters — typically two ARIMA orders and two NARNET architectures —
+// each tracked by its sliding-window mean squared prediction error
+// MSE_f(t, T_p) (Eqn. 14). At every step the candidate with the minimum
+// windowed MSE supplies the prediction.
+package predictor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sheriff/internal/arima"
+	"sheriff/internal/narnet"
+	"sheriff/internal/smoothing"
+	"sheriff/internal/timeseries"
+)
+
+// Forecaster is the contract shared by ARIMA models and NARNETs: predict h
+// steps ahead given the observed history.
+type Forecaster interface {
+	ForecastFrom(history *timeseries.Series, h int) ([]float64, error)
+}
+
+// Candidate pairs a named forecaster with its rolling fitness tracker.
+type Candidate struct {
+	Name string
+	F    Forecaster
+
+	mse *timeseries.RollingMSE
+}
+
+// MSE returns the candidate's current windowed MSE (Eqn. 14); +Inf until
+// the first error is observed.
+func (c *Candidate) MSE() float64 { return c.mse.Value() }
+
+// Selector performs dynamic model selection over a candidate pool.
+type Selector struct {
+	candidates []*Candidate
+	history    *timeseries.Series
+
+	lastPred  []float64 // most recent one-step prediction per candidate
+	havePred  bool
+	selection int // index of last winning candidate
+}
+
+// Config configures a Selector.
+type Config struct {
+	// Window is T_p, the number of recent one-step errors in the fitness
+	// MSE. Default 20.
+	Window int
+}
+
+// NewSelector builds a Selector over the given candidates, primed with the
+// training history (used as forecasting context for the first step).
+func NewSelector(history *timeseries.Series, cfg Config, candidates ...*Candidate) (*Selector, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("predictor: need at least one candidate")
+	}
+	w := cfg.Window
+	if w <= 0 {
+		w = 20
+	}
+	for _, c := range candidates {
+		if c.F == nil {
+			return nil, fmt.Errorf("predictor: candidate %q has nil forecaster", c.Name)
+		}
+		c.mse = timeseries.NewRollingMSE(w)
+	}
+	return &Selector{
+		candidates: candidates,
+		history:    history.Clone(),
+		lastPred:   make([]float64, len(candidates)),
+	}, nil
+}
+
+// NewCandidate wraps a forecaster for use in a Selector.
+func NewCandidate(name string, f Forecaster) *Candidate {
+	return &Candidate{Name: name, F: f}
+}
+
+// Predict returns the one-step-ahead prediction of the currently best
+// candidate (minimum windowed MSE; first candidate wins ties, so the pool
+// order encodes a preference before any errors are observed).
+func (s *Selector) Predict() (float64, error) {
+	best := -1
+	bestMSE := math.Inf(1)
+	var bestVal float64
+	for i, c := range s.candidates {
+		fc, err := c.F.ForecastFrom(s.history, 1)
+		if err != nil {
+			// A candidate that cannot forecast simply does not compete
+			// this round; record a non-prediction.
+			s.lastPred[i] = math.NaN()
+			continue
+		}
+		s.lastPred[i] = fc[0]
+		if m := c.MSE(); m < bestMSE || best == -1 {
+			best, bestMSE, bestVal = i, m, fc[0]
+		}
+	}
+	if best == -1 {
+		return 0, errors.New("predictor: no candidate could forecast")
+	}
+	s.havePred = true
+	s.selection = best
+	return bestVal, nil
+}
+
+// PredictK returns an h-step-ahead forecast from the currently best
+// candidate — the paper's K-STEP-AHEAD mode, where later steps reuse
+// earlier predictions as history inside the winning model. The fitness
+// ranking is still based on one-step errors (Eqn. 14), so PredictK does
+// not change the selection state.
+func (s *Selector) PredictK(h int) ([]float64, error) {
+	if h <= 0 {
+		return nil, errors.New("predictor: horizon must be positive")
+	}
+	best := -1
+	bestMSE := math.Inf(1)
+	for i, c := range s.candidates {
+		if m := c.MSE(); m < bestMSE || best == -1 {
+			best, bestMSE = i, m
+		}
+	}
+	if best == -1 {
+		return nil, errors.New("predictor: empty pool")
+	}
+	fc, err := s.candidates[best].F.ForecastFrom(s.history, h)
+	if err != nil {
+		// Fall back to any candidate that can forecast.
+		for i, c := range s.candidates {
+			if i == best {
+				continue
+			}
+			if fc, err2 := c.F.ForecastFrom(s.history, h); err2 == nil {
+				return fc, nil
+			}
+		}
+		return nil, fmt.Errorf("predictor: k-step forecast: %w", err)
+	}
+	return fc, nil
+}
+
+// Observe reveals the true value for the step last predicted, updating
+// every candidate's fitness and extending the shared history.
+func (s *Selector) Observe(actual float64) {
+	if s.havePred {
+		for i, c := range s.candidates {
+			if !math.IsNaN(s.lastPred[i]) {
+				c.Observe(actual - s.lastPred[i])
+			}
+		}
+		s.havePred = false
+	}
+	s.history.Append(actual)
+}
+
+// Observe records a raw prediction error for the candidate.
+func (c *Candidate) Observe(err float64) { c.mse.Observe(err) }
+
+// Selection returns the name of the candidate that produced the most
+// recent prediction.
+func (s *Selector) Selection() string { return s.candidates[s.selection].Name }
+
+// Candidates returns the pool (for inspection and reporting).
+func (s *Selector) Candidates() []*Candidate { return s.candidates }
+
+// History returns a copy of the accumulated history.
+func (s *Selector) History() *timeseries.Series { return s.history.Clone() }
+
+// Run performs the full rolling evaluation over a test series: at each
+// step it predicts, then reveals the truth. It returns the combined
+// predictions and, per candidate, which fraction of steps it won.
+func (s *Selector) Run(test *timeseries.Series) (pred []float64, winShare map[string]float64, err error) {
+	pred = make([]float64, test.Len())
+	wins := make(map[string]int, len(s.candidates))
+	for t := 0; t < test.Len(); t++ {
+		p, err := s.Predict()
+		if err != nil {
+			return nil, nil, fmt.Errorf("predictor: step %d: %w", t, err)
+		}
+		pred[t] = p
+		wins[s.Selection()]++
+		s.Observe(test.At(t))
+	}
+	winShare = make(map[string]float64, len(wins))
+	for name, n := range wins {
+		winShare[name] = float64(n) / float64(test.Len())
+	}
+	return pred, winShare, nil
+}
+
+// ExtendedPool builds DefaultPool plus the exponential-smoothing family:
+// Holt's linear method and, when period >= 2, additive Holt–Winters with
+// that season length. Pass period = 0 to skip the seasonal candidate.
+func ExtendedPool(train *timeseries.Series, period int, seed int64) ([]*Candidate, error) {
+	pool, err := DefaultPool(train, seed)
+	if err != nil {
+		pool = nil // smoothing may still succeed below
+	}
+	if m, err := smoothing.Fit(train, smoothing.Config{Method: smoothing.Holt}); err == nil {
+		pool = append(pool, NewCandidate("Holt", m))
+	}
+	if period >= 2 {
+		if m, err := smoothing.Fit(train, smoothing.Config{Method: smoothing.HoltWinters, Period: period}); err == nil {
+			pool = append(pool, NewCandidate(fmt.Sprintf("HoltWinters[%d]", period), m))
+		}
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("predictor: every candidate failed to fit")
+	}
+	return pool, nil
+}
+
+// DefaultPool builds the paper's four-candidate pool on a training series:
+// ARIMA(p1,d1,q1), ARIMA(p2,d2,q2), NARNET(ni1,nh1), NARNET(ni2,nh2).
+// Any candidate whose fit fails is dropped; at least one must survive.
+func DefaultPool(train *timeseries.Series, seed int64) ([]*Candidate, error) {
+	var pool []*Candidate
+	type arimaSpec struct{ o arima.Order }
+	for _, spec := range []arimaSpec{
+		{arima.Order{P: 1, D: 1, Q: 1}},
+		{arima.Order{P: 2, D: 1, Q: 2}},
+	} {
+		if m, err := arima.Fit(train, spec.o); err == nil {
+			pool = append(pool, NewCandidate(spec.o.String(), m))
+		}
+	}
+	type nnSpec struct{ ni, nh int }
+	for i, spec := range []nnSpec{{8, 20}, {12, 10}} {
+		cfg := narnet.Config{Inputs: spec.ni, Hidden: spec.nh, Seed: seed + int64(i)}
+		if n, err := narnet.Train(train, cfg); err == nil {
+			pool = append(pool, NewCandidate(fmt.Sprintf("NARNET(%d,%d)", spec.ni, spec.nh), n))
+		}
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("predictor: every candidate failed to fit")
+	}
+	return pool, nil
+}

@@ -1,0 +1,331 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sheriff/internal/arima"
+	"sheriff/internal/narnet"
+	"sheriff/internal/timeseries"
+)
+
+// constantForecaster always predicts the same value.
+type constantForecaster struct{ v float64 }
+
+func (c constantForecaster) ForecastFrom(_ *timeseries.Series, h int) ([]float64, error) {
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = c.v
+	}
+	return out, nil
+}
+
+// failingForecaster always errors.
+type failingForecaster struct{}
+
+func (failingForecaster) ForecastFrom(*timeseries.Series, int) ([]float64, error) {
+	return nil, errEveryTime
+}
+
+var errEveryTime = &forecastErr{}
+
+type forecastErr struct{}
+
+func (*forecastErr) Error() string { return "cannot forecast" }
+
+func TestNewSelectorValidation(t *testing.T) {
+	h := timeseries.New([]float64{1, 2, 3})
+	if _, err := NewSelector(h, Config{}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := NewSelector(h, Config{}, &Candidate{Name: "nil"}); err == nil {
+		t.Error("nil forecaster accepted")
+	}
+}
+
+func TestSelectorPicksLowerMSECandidate(t *testing.T) {
+	h := timeseries.New([]float64{5, 5, 5})
+	good := NewCandidate("good", constantForecaster{5})
+	bad := NewCandidate("bad", constantForecaster{100})
+	sel, err := NewSelector(h, Config{Window: 5}, bad, good) // bad listed first
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First prediction: no errors observed, tie broken by order -> "bad".
+	p, err := sel.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 100 || sel.Selection() != "bad" {
+		t.Fatalf("first pick = %v (%s), want bad's 100", p, sel.Selection())
+	}
+	sel.Observe(5)
+	// Now bad has error 95², good has error 0 -> good must win.
+	p, err = sel.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 5 || sel.Selection() != "good" {
+		t.Fatalf("second pick = %v (%s), want good's 5", p, sel.Selection())
+	}
+}
+
+func TestSelectorSkipsFailingCandidate(t *testing.T) {
+	h := timeseries.New([]float64{1, 2, 3})
+	sel, err := NewSelector(h, Config{},
+		NewCandidate("fail", failingForecaster{}),
+		NewCandidate("ok", constantForecaster{7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sel.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 7 {
+		t.Fatalf("Predict = %v, want 7", p)
+	}
+}
+
+func TestSelectorAllFail(t *testing.T) {
+	h := timeseries.New([]float64{1})
+	sel, err := NewSelector(h, Config{}, NewCandidate("f", failingForecaster{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.Predict(); err == nil {
+		t.Fatal("expected error when all candidates fail")
+	}
+}
+
+func TestObserveExtendsHistory(t *testing.T) {
+	h := timeseries.New([]float64{1, 2})
+	sel, _ := NewSelector(h, Config{}, NewCandidate("c", constantForecaster{0}))
+	sel.Observe(3)
+	got := sel.History()
+	if got.Len() != 3 || got.Last() != 3 {
+		t.Fatalf("history = %v", got.Values())
+	}
+}
+
+func TestRunWinShares(t *testing.T) {
+	h := timeseries.New([]float64{5, 5, 5})
+	sel, _ := NewSelector(h, Config{Window: 3},
+		NewCandidate("a", constantForecaster{5}),
+		NewCandidate("b", constantForecaster{50}))
+	test := timeseries.New([]float64{5, 5, 5, 5, 5, 5})
+	pred, shares, err := sel.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 6 {
+		t.Fatalf("pred len = %d", len(pred))
+	}
+	// "a" should win everything after the first (tie-broken) step.
+	if shares["a"] < 0.8 {
+		t.Fatalf("winShare[a] = %v, want >= 0.8", shares["a"])
+	}
+	total := 0.0
+	for _, v := range shares {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("win shares sum to %v, want 1", total)
+	}
+}
+
+// hybridSeries is linear AR(1) in its first half and a nonlinear map in
+// its second half, so ARIMA should win early and NARNET late.
+func hybridSeries(n int, seed int64) *timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n)
+	data[0] = 0.3
+	for t := 1; t < n/2; t++ {
+		data[t] = 0.7*data[t-1] + 0.05*rng.NormFloat64() + 0.15
+	}
+	for t := n / 2; t < n; t++ {
+		data[t] = 3.7 * data[t-1] * (1 - data[t-1])
+		if data[t] <= 0 || data[t] >= 1 {
+			data[t] = 0.5
+		}
+	}
+	return timeseries.New(data)
+}
+
+func TestCombinedBeatsWorstSingleModel(t *testing.T) {
+	s := hybridSeries(700, 3)
+	train, test := s.Split(0.4) // training covers only the linear regime
+	am, err := arima.Fit(train, arima.Order{P: 1, D: 0, Q: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := narnet.Train(train, narnet.Config{Inputs: 4, Hidden: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Individual rolling forecasts.
+	ap, err := am.RollingForecast(train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := nn.RollingForecast(train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aMSE, _ := timeseries.MSE(test.Raw(), ap)
+	nMSE, _ := timeseries.MSE(test.Raw(), np)
+
+	sel, err := NewSelector(train, Config{Window: 10},
+		NewCandidate("arima", am), NewCandidate("narnet", nn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _, err := sel.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cMSE, _ := timeseries.MSE(test.Raw(), cp)
+
+	worst := math.Max(aMSE, nMSE)
+	if cMSE > worst {
+		t.Errorf("combined MSE %.5f worse than worst single model %.5f (arima %.5f, narnet %.5f)",
+			cMSE, worst, aMSE, nMSE)
+	}
+}
+
+func TestDefaultPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := timeseries.FromFunc(400, func(t int) float64 {
+		return 50 + 20*math.Sin(float64(t)/10) + rng.NormFloat64()
+	})
+	pool, err := DefaultPool(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) < 3 {
+		t.Fatalf("DefaultPool size = %d, want >= 3 of 4 candidates", len(pool))
+	}
+	names := map[string]bool{}
+	for _, c := range pool {
+		names[c.Name] = true
+	}
+	if !names["ARIMA(1,1,1)"] {
+		t.Errorf("pool missing ARIMA(1,1,1): %v", names)
+	}
+}
+
+func TestDefaultPoolTooShort(t *testing.T) {
+	if _, err := DefaultPool(timeseries.New([]float64{1, 2}), 1); err == nil {
+		t.Fatal("expected error on tiny series")
+	}
+}
+
+func TestCandidateMSEBeforeObservation(t *testing.T) {
+	h := timeseries.New([]float64{1, 2, 3})
+	c := NewCandidate("c", constantForecaster{1})
+	if _, err := NewSelector(h, Config{}, c); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(c.MSE(), 1) {
+		t.Fatalf("unobserved candidate MSE = %v, want +Inf", c.MSE())
+	}
+	c.Observe(2)
+	if c.MSE() != 4 {
+		t.Fatalf("MSE = %v, want 4", c.MSE())
+	}
+}
+
+func TestExtendedPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := timeseries.FromFunc(400, func(tt int) float64 {
+		return 50 + 20*math.Sin(2*math.Pi*float64(tt)/24) + rng.NormFloat64()
+	})
+	pool, err := ExtendedPool(s, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, c := range pool {
+		names[c.Name] = true
+	}
+	if !names["Holt"] || !names["HoltWinters[24]"] {
+		t.Fatalf("smoothing candidates missing: %v", names)
+	}
+	if len(pool) < 5 {
+		t.Fatalf("pool size = %d, want >= 5", len(pool))
+	}
+	// The extended pool must run end-to-end through a selector.
+	train, test := s.Split(0.9)
+	pool2, err := ExtendedPool(train, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelector(train, Config{Window: 10}, pool2...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _, err := sel.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := timeseries.MSE(test.Raw(), pred)
+	if mse > 25 {
+		t.Fatalf("extended-pool MSE = %.3f, suspiciously bad", mse)
+	}
+}
+
+func TestExtendedPoolNoSeason(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := timeseries.FromFunc(300, func(int) float64 { return 10 + rng.NormFloat64() })
+	pool, err := ExtendedPool(s, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range pool {
+		if c.Name == "HoltWinters[0]" {
+			t.Fatal("seasonal candidate created without a period")
+		}
+	}
+}
+
+func TestPredictK(t *testing.T) {
+	h := timeseries.New([]float64{5, 5, 5})
+	sel, err := NewSelector(h, Config{Window: 3},
+		NewCandidate("a", constantForecaster{5}),
+		NewCandidate("b", constantForecaster{50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := sel.PredictK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc) != 4 {
+		t.Fatalf("len = %d", len(fc))
+	}
+	// Ties break to the first candidate before any observation.
+	if fc[0] != 5 {
+		t.Fatalf("PredictK[0] = %v, want candidate a's 5", fc[0])
+	}
+	if _, err := sel.PredictK(0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestPredictKFallsBackOnFailure(t *testing.T) {
+	h := timeseries.New([]float64{1, 2, 3})
+	sel, err := NewSelector(h, Config{},
+		NewCandidate("fail", failingForecaster{}),
+		NewCandidate("ok", constantForecaster{7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := sel.PredictK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc[0] != 7 || fc[1] != 7 {
+		t.Fatalf("fallback forecast = %v", fc)
+	}
+}

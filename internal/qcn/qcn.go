@@ -1,0 +1,267 @@
+// Package qcn implements Quantized Congestion Notification (IEEE
+// 802.1Qau), the congestion-control machinery the paper relies on for
+// switch-side alerts (Sec. III.A–B and refs [21]–[23], [28]): switches
+// detect flow congestion from queue state and "return the sender a
+// special feedback according to current queue length"; end hosts then
+// "modify the rate … to reach the goal of easing the congestion".
+//
+// Two halves:
+//
+//   - CongestionPoint (CP): a switch queue sampling its occupancy. The
+//     feedback is Fb = −(Q_off + w·Q_delta) with Q_off = Q − Q_eq and
+//     Q_delta = Q − Q_old; negative Fb means congestion and its quantized
+//     magnitude is sent to the source.
+//   - ReactionPoint (RP): the end-host rate limiter. On feedback the rate
+//     drops multiplicatively (CR ← CR·(1 − G_d·|Fb|)); recovery proceeds
+//     through five Fast-Recovery cycles (CR ← (CR+TR)/2) followed by
+//     Active Increase (TR ← TR + R_AI).
+package qcn
+
+import (
+	"errors"
+	"math"
+)
+
+// CPConfig parameterizes a congestion point.
+type CPConfig struct {
+	QEq      float64 // equilibrium queue length (bytes or any unit)
+	W        float64 // derivative weight w (default 2, per 802.1Qau)
+	Capacity float64 // maximum queue length; arrivals beyond it are dropped
+}
+
+func (c CPConfig) withDefaults() CPConfig {
+	if c.W == 0 {
+		c.W = 2
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 4 * c.QEq
+	}
+	return c
+}
+
+// CongestionPoint is one monitored switch queue.
+type CongestionPoint struct {
+	cfg     CPConfig
+	q       float64 // current occupancy
+	qOld    float64 // occupancy at the previous sample
+	dropped float64
+}
+
+// NewCongestionPoint builds a CP. QEq must be positive.
+func NewCongestionPoint(cfg CPConfig) (*CongestionPoint, error) {
+	if cfg.QEq <= 0 {
+		return nil, errors.New("qcn: QEq must be > 0")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Capacity < cfg.QEq {
+		return nil, errors.New("qcn: capacity below equilibrium")
+	}
+	return &CongestionPoint{cfg: cfg}, nil
+}
+
+// Enqueue adds bytes to the queue, dropping what exceeds capacity. It
+// returns the bytes actually queued.
+func (cp *CongestionPoint) Enqueue(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	space := cp.cfg.Capacity - cp.q
+	if bytes > space {
+		cp.dropped += bytes - space
+		bytes = space
+	}
+	cp.q += bytes
+	return bytes
+}
+
+// Dequeue drains bytes from the queue.
+func (cp *CongestionPoint) Dequeue(bytes float64) {
+	cp.q -= bytes
+	if cp.q < 0 {
+		cp.q = 0
+	}
+}
+
+// Len returns the current queue occupancy.
+func (cp *CongestionPoint) Len() float64 { return cp.q }
+
+// Dropped returns the cumulative dropped bytes.
+func (cp *CongestionPoint) Dropped() float64 { return cp.dropped }
+
+// Occupancy returns Len/Capacity in [0,1].
+func (cp *CongestionPoint) Occupancy() float64 { return cp.q / cp.cfg.Capacity }
+
+// FbMax is the maximum feedback magnitude; Fb quantizes to 6 bits over
+// [0, FbMax] as in 802.1Qau.
+const FbMax = 64
+
+// Sample computes the QCN feedback at this instant:
+// Fb = −(Q_off + w·Q_delta). congested is true when Fb < 0, and then
+// fb holds |Fb| clamped to FbMax (quantized to 6 bits). Sampling also
+// rolls the Q_old reference forward.
+func (cp *CongestionPoint) Sample() (fb float64, congested bool) {
+	qOff := cp.q - cp.cfg.QEq
+	qDelta := cp.q - cp.qOld
+	cp.qOld = cp.q
+	raw := -(qOff + cp.cfg.W*qDelta)
+	if raw >= 0 {
+		return 0, false
+	}
+	mag := math.Min(-raw, FbMax)
+	// Quantize to 6 bits (64 levels over [0, FbMax]).
+	mag = math.Round(mag/FbMax*63) * FbMax / 63
+	return mag, true
+}
+
+// RPConfig parameterizes a reaction point.
+type RPConfig struct {
+	LineRate float64 // maximum (line) rate
+	MinRate  float64 // floor rate (default LineRate/1000)
+	Gd       float64 // decrease gain; Gd·FbMax = 1/2 by default
+	RAI      float64 // active-increase step (default LineRate/100)
+	FRCycles int     // fast-recovery cycles before AI (default 5)
+	BCLimit  float64 // bytes per rate-update cycle (default 150e3, i.e. 100 frames of 1500B)
+}
+
+func (c RPConfig) withDefaults() RPConfig {
+	if c.MinRate == 0 {
+		c.MinRate = c.LineRate / 1000
+	}
+	if c.Gd == 0 {
+		c.Gd = 0.5 / FbMax
+	}
+	if c.RAI == 0 {
+		c.RAI = c.LineRate / 100
+	}
+	if c.FRCycles == 0 {
+		c.FRCycles = 5
+	}
+	if c.BCLimit == 0 {
+		c.BCLimit = 150e3
+	}
+	return c
+}
+
+// ReactionPoint is the end-host rate limiter of one congestion-controlled
+// tunnel (the shim "forces all traffic into congestion-controlled
+// tunnels", Sec. II.B).
+type ReactionPoint struct {
+	cfg RPConfig
+
+	rate       float64 // CR: current rate
+	target     float64 // TR: target rate
+	cycleBytes float64
+	frLeft     int // fast-recovery cycles remaining (0 = active increase)
+}
+
+// NewReactionPoint builds an RP running at line rate.
+func NewReactionPoint(cfg RPConfig) (*ReactionPoint, error) {
+	if cfg.LineRate <= 0 {
+		return nil, errors.New("qcn: LineRate must be > 0")
+	}
+	cfg = cfg.withDefaults()
+	return &ReactionPoint{cfg: cfg, rate: cfg.LineRate, target: cfg.LineRate}, nil
+}
+
+// Rate returns the current sending rate CR.
+func (rp *ReactionPoint) Rate() float64 { return rp.rate }
+
+// Target returns the recovery target rate TR.
+func (rp *ReactionPoint) Target() float64 { return rp.target }
+
+// InFastRecovery reports whether the RP is still in fast recovery.
+func (rp *ReactionPoint) InFastRecovery() bool { return rp.frLeft > 0 }
+
+// Feedback applies one congestion message of magnitude fb (≥0):
+// TR ← CR, CR ← CR·(1 − G_d·fb), bounded below by MinRate, and fast
+// recovery restarts.
+func (rp *ReactionPoint) Feedback(fb float64) {
+	if fb <= 0 {
+		return
+	}
+	if fb > FbMax {
+		fb = FbMax
+	}
+	rp.target = rp.rate
+	rp.rate *= 1 - rp.cfg.Gd*fb
+	if rp.rate < rp.cfg.MinRate {
+		rp.rate = rp.cfg.MinRate
+	}
+	rp.frLeft = rp.cfg.FRCycles
+	rp.cycleBytes = 0
+}
+
+// Sent accounts bytes transmitted; every BCLimit bytes completes one
+// rate-update cycle (fast recovery first, then active increase).
+func (rp *ReactionPoint) Sent(bytes float64) {
+	rp.cycleBytes += bytes
+	for rp.cycleBytes >= rp.cfg.BCLimit {
+		rp.cycleBytes -= rp.cfg.BCLimit
+		rp.cycle()
+	}
+}
+
+func (rp *ReactionPoint) cycle() {
+	if rp.frLeft > 0 {
+		// Fast recovery: move halfway back toward the target.
+		rp.rate = (rp.rate + rp.target) / 2
+		rp.frLeft--
+		return
+	}
+	// Active increase: probe for bandwidth.
+	rp.target += rp.cfg.RAI
+	if rp.target > rp.cfg.LineRate {
+		rp.target = rp.cfg.LineRate
+	}
+	rp.rate = (rp.rate + rp.target) / 2
+	if rp.rate > rp.cfg.LineRate {
+		rp.rate = rp.cfg.LineRate
+	}
+}
+
+// Tunnel couples a CP and an RP into one closed loop for simulation: each
+// Step delivers the RP's traffic into the CP's queue, drains the queue at
+// the service rate, samples the CP, and feeds congestion back to the RP.
+type Tunnel struct {
+	CP *CongestionPoint
+	RP *ReactionPoint
+
+	ServiceRate float64 // queue drain per step
+	feedbacks   int
+}
+
+// NewTunnel builds a closed loop. serviceRate is the bottleneck capacity
+// per step.
+func NewTunnel(cp *CongestionPoint, rp *ReactionPoint, serviceRate float64) (*Tunnel, error) {
+	if serviceRate <= 0 {
+		return nil, errors.New("qcn: service rate must be > 0")
+	}
+	return &Tunnel{CP: cp, RP: rp, ServiceRate: serviceRate}, nil
+}
+
+// Step advances the loop by one unit of time: send at CR, drain at the
+// service rate, sample, feed back. It returns the queue length after the
+// step.
+func (t *Tunnel) Step() float64 {
+	sent := t.RP.Rate()
+	t.CP.Enqueue(sent)
+	t.RP.Sent(sent)
+	t.CP.Dequeue(t.ServiceRate)
+	if fb, congested := t.CP.Sample(); congested {
+		t.RP.Feedback(fb)
+		t.feedbacks++
+	}
+	return t.CP.Len()
+}
+
+// Feedbacks returns how many congestion messages have been delivered.
+func (t *Tunnel) Feedbacks() int { return t.feedbacks }
+
+// Run advances n steps and returns the final queue length.
+func (t *Tunnel) Run(n int) float64 {
+	var q float64
+	for i := 0; i < n; i++ {
+		q = t.Step()
+	}
+	return q
+}

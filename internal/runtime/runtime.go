@@ -1,0 +1,416 @@
+// Package runtime drives the full Sheriff loop end to end in simulated
+// time: every period T each shim collects its VMs' measured workload
+// profiles, forecasts the next period, raises pre-alerts, and manages its
+// region — VM migration for server/ToR alerts, flow rerouting for hot
+// outer switches (Sec. II–V assembled). Prediction is embarrassingly
+// parallel and runs one goroutine per rack; management mutates shared
+// cluster state and is serialized, mirroring the paper's split between
+// local monitoring and coordinated action.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"sheriff/internal/alert"
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/flow"
+	"sheriff/internal/migrate"
+	"sheriff/internal/qcn"
+	"sheriff/internal/timeseries"
+	"sheriff/internal/traces"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	Thresholds   alert.Thresholds // ALERT trigger levels (default 0.9)
+	HotThreshold float64          // switch utilization treated as hot (default 0.9)
+	QueueLimit   float64          // ToR uplink queue capacity (default 1.0 = full utilization)
+	Seed         int64
+	Migrate      migrate.Params
+	// FlowRate maps a dependent VM pair's mean TRF to a flow rate in
+	// link-capacity units (default 0.05 + 0.4·TRF).
+	FlowRate func(trf float64) float64
+	// UseQCN detects switch congestion through per-switch QCN congestion
+	// points (queue dynamics + Fb sampling) instead of a bare utilization
+	// threshold.
+	UseQCN bool
+	// DisableReroute turns FLOWREROUTE off (hot switches stay hot) — the
+	// ablation baseline.
+	DisableReroute bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Thresholds == (alert.Thresholds{}) {
+		o.Thresholds = alert.DefaultThresholds()
+	}
+	if o.HotThreshold == 0 {
+		o.HotThreshold = 0.9
+	}
+	if o.QueueLimit == 0 {
+		o.QueueLimit = 1.0
+	}
+	if o.Migrate == (migrate.Params{}) {
+		o.Migrate = migrate.DefaultParams()
+	}
+	if o.FlowRate == nil {
+		o.FlowRate = func(trf float64) float64 { return 0.05 + 0.4*trf }
+	}
+	return o
+}
+
+// vmState is one VM's monitoring stack: its synthetic workload source and
+// the per-component profile predictor.
+type vmState struct {
+	vm      *dcn.VM
+	gen     *traces.WorkloadGen
+	pred    *alert.ProfilePredictor
+	current traces.Profile
+}
+
+// ewmaTrend is a cheap ComponentForecaster: exponentially weighted level
+// plus trend (Holt's linear method), adequate for per-step pre-alerts
+// where fitting a full ARIMA per VM per tick would be wasteful.
+type ewmaTrend struct {
+	alpha, beta float64
+}
+
+// ForecastFrom implements alert.ComponentForecaster.
+func (e ewmaTrend) ForecastFrom(h *timeseries.Series, n int) ([]float64, error) {
+	if h.Len() == 0 {
+		return nil, errors.New("runtime: empty history")
+	}
+	level := h.At(0)
+	trend := 0.0
+	for t := 1; t < h.Len(); t++ {
+		prev := level
+		level = e.alpha*h.At(t) + (1-e.alpha)*(level+trend)
+		trend = e.beta*(level-prev) + (1-e.beta)*trend
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = level + trend*float64(i+1)
+	}
+	return out, nil
+}
+
+// StepStats summarizes one runtime step.
+type StepStats struct {
+	Step           int
+	ServerAlerts   int
+	ToRAlerts      int
+	SwitchAlerts   int
+	Migrations     int
+	MigrationCost  float64
+	Reroutes       int
+	HotSwitches    int
+	WorkloadStdDev float64
+	MaxUplinkUtil  float64
+	QCNFeedbacks   int // congestion messages sampled (UseQCN only)
+}
+
+// Runtime is the assembled system.
+type Runtime struct {
+	Cluster *dcn.Cluster
+	Model   *cost.Model
+	Flows   *flow.Network
+
+	opts       Options
+	shims      []*migrate.Shim
+	byRack     [][]*vmState // vm states grouped by rack index
+	queueMon   []*alert.QueueMonitor
+	cps        map[int]*qcn.CongestionPoint // per-switch CPs (UseQCN)
+	flowByPair map[[2]int]int               // dependency pair -> flow ID
+	rng        *rand.Rand
+	step       int
+	history    []StepStats
+}
+
+// New assembles a runtime over an already populated cluster.
+func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error) {
+	opts = opts.withDefaults()
+	if err := opts.Migrate.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		Cluster:    cluster,
+		Model:      model,
+		Flows:      flow.NewNetwork(cluster.Graph),
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		cps:        make(map[int]*qcn.CongestionPoint),
+		flowByPair: make(map[[2]int]int),
+		byRack:     make([][]*vmState, len(cluster.Racks)),
+	}
+	for _, rack := range cluster.Racks {
+		shim, err := migrate.NewShim(cluster, model, rack, opts.Migrate)
+		if err != nil {
+			return nil, err
+		}
+		r.shims = append(r.shims, shim)
+		qm, err := alert.NewQueueMonitor(ewmaTrend{alpha: 0.5, beta: 0.3}, opts.QueueLimit, 0.9)
+		if err != nil {
+			return nil, err
+		}
+		r.queueMon = append(r.queueMon, qm)
+	}
+	vms := cluster.VMs()
+	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
+	for _, vm := range vms {
+		f := ewmaTrend{alpha: 0.5, beta: 0.3}
+		st := &vmState{
+			vm:   vm,
+			gen:  traces.NewWorkloadGen(24, opts.Seed+int64(vm.ID)),
+			pred: alert.NewProfilePredictor(f, f, f, f),
+		}
+		idx := vm.Host().Rack().Index
+		r.byRack[idx] = append(r.byRack[idx], st)
+	}
+	return r, nil
+}
+
+// History returns the per-step statistics recorded so far.
+func (r *Runtime) History() []StepStats { return r.history }
+
+// Step advances one collection period T. The prediction phase runs one
+// goroutine per rack; management is serialized.
+func (r *Runtime) Step() (*StepStats, error) {
+	stats := &StepStats{Step: r.step}
+	r.step++
+
+	// Phase 1 (parallel): observe, predict, raise alerts per rack.
+	alertsByRack := make([][]alert.Alert, len(r.byRack))
+	var wg sync.WaitGroup
+	for idx := range r.byRack {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			var out []alert.Alert
+			for _, st := range r.byRack[idx] {
+				st.current = st.gen.Next()
+				st.pred.Observe(st.current)
+				if st.pred.HistoryLen() < 3 {
+					continue // not enough history to extrapolate
+				}
+				a, fired, err := st.pred.Check(r.opts.Thresholds)
+				if err != nil || !fired {
+					continue
+				}
+				a.VMID = st.vm.ID
+				if h := st.vm.Host(); h != nil {
+					a.HostID = h.ID
+				}
+				a.RackIndex = idx
+				st.vm.Alert = a.Value
+				out = append(out, a)
+			}
+			alertsByRack[idx] = out
+		}(idx)
+	}
+	wg.Wait()
+	for _, as := range alertsByRack {
+		stats.ServerAlerts += len(as)
+	}
+
+	// Phase 2: rebuild the traffic plane from the dependency graph.
+	r.syncFlows()
+
+	// Phase 3: switch-side congestion. Hot outer switches trigger
+	// FLOWREROUTE; ToR uplink monitors raise FromLocalToR alerts.
+	var hot []int
+	if r.opts.UseQCN {
+		hot = r.qcnHotSwitches(stats)
+	} else {
+		hot = r.Flows.HotSwitches(r.opts.HotThreshold)
+	}
+	stats.HotSwitches = len(hot)
+	for _, sw := range hot {
+		stats.SwitchAlerts++
+		if r.opts.DisableReroute {
+			continue
+		}
+		moved := r.Flows.RerouteAroundHot(sw, r.opts.HotThreshold)
+		stats.Reroutes += len(moved)
+	}
+	for idx, rack := range r.Cluster.Racks {
+		util := r.uplinkUtilization(rack)
+		if util > stats.MaxUplinkUtil {
+			stats.MaxUplinkUtil = util
+		}
+		r.queueMon[idx].Observe(util)
+		if a, fired, err := r.queueMon[idx].Check(); err == nil && fired {
+			a.RackIndex = idx
+			alertsByRack[idx] = append(alertsByRack[idx], a)
+			stats.ToRAlerts++
+		}
+	}
+
+	// Phase 4 (serialized): management. The traffic plane's residual
+	// bandwidth feeds the cost model first.
+	r.Flows.UpdateGraphBandwidth()
+	r.Model.Refresh()
+	for idx, shim := range r.shims {
+		if len(alertsByRack[idx]) == 0 {
+			continue
+		}
+		rep, err := shim.ProcessAlerts(alertsByRack[idx])
+		if err != nil {
+			return nil, fmt.Errorf("runtime: shim %d: %w", idx, err)
+		}
+		stats.Migrations += len(rep.Migrations)
+		stats.MigrationCost += rep.TotalCost
+	}
+
+	stats.WorkloadStdDev = r.Cluster.WorkloadStdDev()
+	r.history = append(r.history, *stats)
+	return stats, nil
+}
+
+// Run advances n steps and returns the collected statistics.
+func (r *Runtime) Run(n int) ([]StepStats, error) {
+	for i := 0; i < n; i++ {
+		if _, err := r.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return r.History(), nil
+}
+
+// syncFlows reconciles the flow set with the VM dependency graph: one
+// flow per dependent pair hosted in different racks, with rate driven by
+// the pair's current traffic component. Existing flows keep their routes
+// (so reroutes survive across steps); only rate changes are applied in
+// place, and flows whose endpoints migrated are re-created.
+func (r *Runtime) syncFlows() {
+	type want struct {
+		src, dst int
+		rate     float64
+		ds       bool
+	}
+	desired := make(map[[2]int]want)
+	for idx := range r.byRack {
+		for _, st := range r.byRack[idx] {
+			for _, peerID := range r.Cluster.Deps.Peers(st.vm.ID) {
+				peer := r.Cluster.VM(peerID)
+				if peer == nil || peer.Host() == nil || st.vm.Host() == nil {
+					continue
+				}
+				a, b := st.vm.ID, peerID
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int{a, b}
+				if _, ok := desired[key]; ok {
+					continue
+				}
+				srcNode := st.vm.Host().Rack().NodeID
+				dstNode := peer.Host().Rack().NodeID
+				if srcNode == dstNode {
+					continue // intra-rack traffic never crosses the fabric
+				}
+				desired[key] = want{
+					src:  srcNode,
+					dst:  dstNode,
+					rate: r.opts.FlowRate(st.current.TRF),
+					// Dependencies with delay-sensitive endpoints produce
+					// delay-sensitive flows (PRIORITY must not move them).
+					ds: st.vm.DelaySensitive || peer.DelaySensitive,
+				}
+			}
+		}
+	}
+	// Reconcile in deterministic key order: drop stale flows, re-route
+	// moved ones, update rates (map iteration order would perturb the
+	// floating-point load sums).
+	existing := make([][2]int, 0, len(r.flowByPair))
+	for key := range r.flowByPair {
+		existing = append(existing, key)
+	}
+	sort.Slice(existing, func(i, j int) bool {
+		if existing[i][0] != existing[j][0] {
+			return existing[i][0] < existing[j][0]
+		}
+		return existing[i][1] < existing[j][1]
+	})
+	for _, key := range existing {
+		id := r.flowByPair[key]
+		f := r.Flows.Flow(id)
+		w, ok := desired[key]
+		if f == nil || !ok || f.Src != w.src || f.Dst != w.dst {
+			if f != nil {
+				r.Flows.RemoveFlow(id)
+			}
+			delete(r.flowByPair, key)
+			continue
+		}
+		if f.Rate != w.rate {
+			// Rate update failure is impossible for positive rates on a
+			// live flow; ignore the error to keep the loop total.
+			_ = r.Flows.SetRate(f, w.rate)
+		}
+		delete(desired, key) // handled
+	}
+	// Admit new pairs in deterministic order.
+	keys := make([][2]int, 0, len(desired))
+	for key := range desired {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		w := desired[key]
+		f, err := r.Flows.AddFlow(w.src, w.dst, w.rate, w.ds)
+		if err != nil {
+			continue // unroutable pairs are skipped, not fatal
+		}
+		r.flowByPair[key] = f.ID
+	}
+}
+
+// qcnHotSwitches advances each switch's congestion point by one step and
+// returns the switches whose CP signaled congestion. The queue runs in
+// normalized units: each step enqueues the switch's worst incident-link
+// utilization and drains the hot-threshold's worth, so a link persistently
+// above the threshold builds standing queue and triggers the Fb sample —
+// QCN's detection dynamics at the granularity this simulator resolves.
+func (r *Runtime) qcnHotSwitches(stats *StepStats) []int {
+	var hot []int
+	for _, sw := range r.Cluster.Graph.Switches() {
+		cp := r.cps[sw]
+		if cp == nil {
+			var err error
+			cp, err = qcn.NewCongestionPoint(qcn.CPConfig{QEq: 0.25, Capacity: 2})
+			if err != nil {
+				continue
+			}
+			r.cps[sw] = cp
+		}
+		cp.Enqueue(r.Flows.SwitchUtilization(sw))
+		cp.Dequeue(r.opts.HotThreshold)
+		if _, congested := cp.Sample(); congested {
+			hot = append(hot, sw)
+			stats.QCNFeedbacks++
+		}
+	}
+	return hot
+}
+
+// uplinkUtilization returns the maximum utilization over the rack's ToR
+// uplinks — the quantity the shim's queue monitor watches.
+func (r *Runtime) uplinkUtilization(rack *dcn.Rack) float64 {
+	max := 0.0
+	for _, e := range r.Cluster.Graph.Edges(rack.NodeID) {
+		if u := r.Flows.LinkUtilization(e.From, e.To); u > max {
+			max = u
+		}
+	}
+	return max
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if FatTree.String() != "fat-tree" || BCube.String() != "bcube" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+func TestBuildFatTree(t *testing.T) {
+	s, err := Build(Config{Kind: FatTree, Size: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cluster.Racks) != 8 {
+		t.Fatalf("racks = %d", len(s.Cluster.Racks))
+	}
+	if len(s.Shims) != 8 {
+		t.Fatalf("shims = %d", len(s.Shims))
+	}
+}
+
+func TestBuildBCube(t *testing.T) {
+	s, err := Build(Config{Kind: BCube, Size: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cluster.Racks) != 64 {
+		t.Fatalf("racks = %d, want 64 (8² server nodes)", len(s.Cluster.Racks))
+	}
+}
+
+func TestBuildInvalid(t *testing.T) {
+	if _, err := Build(Config{Kind: FatTree, Size: 3}); err == nil {
+		t.Error("odd pods accepted")
+	}
+	if _, err := Build(Config{Kind: Kind(7), Size: 4}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	s, err := Build(Config{Kind: FatTree, Size: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Populate()
+	if n == 0 {
+		t.Fatal("Populate created nothing")
+	}
+	if len(s.Cluster.VMs()) != n {
+		t.Fatalf("VM count mismatch: %d vs %d", len(s.Cluster.VMs()), n)
+	}
+}
+
+func TestPopulateSkewedCreatesImbalance(t *testing.T) {
+	s, err := Build(Config{Kind: FatTree, Size: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PopulateSkewed(0.5)
+	sd := s.Cluster.WorkloadStdDev()
+	if sd < 10 {
+		t.Fatalf("skewed population stddev = %.2f, want clearly unbalanced (>10)", sd)
+	}
+}
+
+func TestRunBalancingReducesStdDev(t *testing.T) {
+	s, err := Build(Config{Kind: FatTree, Size: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PopulateSkewed(0.5)
+	series, err := s.RunBalancing(24, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 25 {
+		t.Fatalf("series length = %d, want 25", len(series))
+	}
+	first, last := series[0], series[len(series)-1]
+	if last >= first {
+		t.Fatalf("stddev did not fall: %.2f -> %.2f", first, last)
+	}
+	// The paper's Fig. 9 shows roughly a halving over 24 rounds; require
+	// at least a 30% reduction to confirm the shape.
+	if last > 0.7*first {
+		t.Errorf("stddev only fell %.2f -> %.2f (<30%% reduction)", first, last)
+	}
+}
+
+func TestRunBalancingBCube(t *testing.T) {
+	s, err := Build(Config{Kind: BCube, Size: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PopulateSkewed(0.5)
+	series, err := s.RunBalancing(24, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[len(series)-1] >= series[0] {
+		t.Fatalf("BCube stddev did not fall: %.2f -> %.2f", series[0], series[len(series)-1])
+	}
+}
+
+func TestRunBalancingValidation(t *testing.T) {
+	s, err := Build(Config{Kind: FatTree, Size: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunBalancing(0, 0.05); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestSeedAlertsFraction(t *testing.T) {
+	s, err := Build(Config{Kind: FatTree, Size: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Populate()
+	alerts := s.SeedAlerts()
+	total := 0
+	for _, vms := range alerts {
+		total += len(vms)
+		for _, vm := range vms {
+			if vm.Alert < 0.9 {
+				t.Fatalf("alerted VM has Alert = %v", vm.Alert)
+			}
+		}
+	}
+	nVMs := len(s.Cluster.VMs())
+	// Roughly 5%, but at least one per rack.
+	if total < nVMs/40 || total > nVMs/5 {
+		t.Fatalf("alerted %d of %d VMs, want ≈ 5%%", total, nVMs)
+	}
+}
+
+func TestSeedAlertsDeterministic(t *testing.T) {
+	build := func() map[int][]int {
+		s, err := Build(Config{Kind: FatTree, Size: 4, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Populate()
+		out := map[int][]int{}
+		for rack, vms := range s.SeedAlerts() {
+			for _, vm := range vms {
+				out[rack] = append(out[rack], vm.ID)
+			}
+		}
+		return out
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("different rack sets")
+	}
+	for rack, ids := range a {
+		if len(ids) != len(b[rack]) {
+			t.Fatalf("rack %d differs", rack)
+		}
+		for i := range ids {
+			if ids[i] != b[rack][i] {
+				t.Fatalf("rack %d vm %d differs", rack, i)
+			}
+		}
+	}
+}
+
+func TestCompareFatTree(t *testing.T) {
+	res, err := Compare(Config{Kind: FatTree, Size: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alerted == 0 {
+		t.Fatal("no VMs alerted")
+	}
+	// The centralized manager sees every host; Sheriff only regions.
+	if res.SheriffSpace >= res.CentralSpace {
+		t.Fatalf("Sheriff space %d should be below centralized %d", res.SheriffSpace, res.CentralSpace)
+	}
+	// Costs should be comparable: Sheriff within 2× of the global optimum
+	// (the paper's Fig. 11 shows them close).
+	if res.SheriffCost > 2*res.CentralCost {
+		t.Fatalf("Sheriff cost %.1f far above centralized %.1f", res.SheriffCost, res.CentralCost)
+	}
+	if res.CentralCost > res.SheriffCost*1.05+1e-9 {
+		t.Fatalf("centralized cost %.1f above Sheriff %.1f: global pool should win", res.CentralCost, res.SheriffCost)
+	}
+}
+
+func TestCompareBCube(t *testing.T) {
+	res, err := Compare(Config{Kind: BCube, Size: 8, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SheriffSpace >= res.CentralSpace {
+		t.Fatalf("Sheriff space %d should be below centralized %d", res.SheriffSpace, res.CentralSpace)
+	}
+}
+
+func TestCompareScalesWithSize(t *testing.T) {
+	small, err := Compare(Config{Kind: FatTree, Size: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Compare(Config{Kind: FatTree, Size: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.CentralSpace <= small.CentralSpace {
+		t.Fatalf("central search space should grow with size: %d vs %d", small.CentralSpace, big.CentralSpace)
+	}
+	if big.Racks <= small.Racks {
+		t.Fatal("rack count should grow")
+	}
+}

@@ -1,0 +1,264 @@
+// Package smoothing implements the exponential-smoothing family — simple
+// exponential smoothing (SES), Holt's linear trend, and additive
+// Holt–Winters — as a third forecaster family beside ARIMA and NARNET.
+// These are the classic low-cost baselines for workload prediction: a
+// shim that cannot afford per-VM ARIMA refits (the situation the paper's
+// per-period collection loop creates) can run Holt–Winters at a few
+// floating-point operations per observation.
+//
+// All models satisfy the same ForecastFrom contract as the other
+// predictor families, so they slot into the dynamic selection pool.
+package smoothing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sheriff/internal/timeseries"
+)
+
+// Method identifies a smoothing family.
+type Method int
+
+const (
+	// SES: level only.
+	SES Method = iota
+	// Holt: level + additive trend.
+	Holt
+	// HoltWinters: level + trend + additive seasonality.
+	HoltWinters
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case SES:
+		return "ses"
+	case Holt:
+		return "holt"
+	case HoltWinters:
+		return "holt-winters"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config selects the method and its smoothing constants. Zero constants
+// are optimized by grid search at fit time.
+type Config struct {
+	Method Method
+	Period int     // season length (HoltWinters only)
+	Alpha  float64 // level constant in (0,1); 0 = optimize
+	Beta   float64 // trend constant in (0,1); 0 = optimize
+	Gamma  float64 // seasonal constant in (0,1); 0 = optimize
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("smoothing: %s must be in [0,1), got %v", name, v)
+		}
+		return nil
+	}
+	if err := check("Alpha", c.Alpha); err != nil {
+		return err
+	}
+	if err := check("Beta", c.Beta); err != nil {
+		return err
+	}
+	if err := check("Gamma", c.Gamma); err != nil {
+		return err
+	}
+	if c.Method == HoltWinters && c.Period < 2 {
+		return fmt.Errorf("smoothing: Holt-Winters requires Period >= 2, got %d", c.Period)
+	}
+	return nil
+}
+
+// Model is a fitted smoothing model.
+type Model struct {
+	Config Config
+	SSE    float64 // in-sample one-step sum of squared errors
+
+	history *timeseries.Series
+}
+
+// minLen returns the minimum series length for the method.
+func (c Config) minLen() int {
+	switch c.Method {
+	case HoltWinters:
+		return 2*c.Period + 2
+	case Holt:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// Fit selects any unspecified smoothing constants by grid search over the
+// in-sample one-step SSE and returns the fitted model.
+func Fit(s *timeseries.Series, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Len() < cfg.minLen() {
+		return nil, fmt.Errorf("smoothing: series length %d too short for %s (need >= %d)",
+			s.Len(), cfg.Method, cfg.minLen())
+	}
+	grid := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+	pick := func(fixed float64) []float64 {
+		if fixed > 0 {
+			return []float64{fixed}
+		}
+		return grid
+	}
+	alphas := pick(cfg.Alpha)
+	betas := []float64{0}
+	gammas := []float64{0}
+	if cfg.Method != SES {
+		betas = pick(cfg.Beta)
+	}
+	if cfg.Method == HoltWinters {
+		gammas = pick(cfg.Gamma)
+	}
+	best := math.Inf(1)
+	var bestCfg Config
+	for _, a := range alphas {
+		for _, b := range betas {
+			for _, g := range gammas {
+				c := cfg
+				c.Alpha, c.Beta, c.Gamma = a, b, g
+				sse, err := run(s, c, 0, nil)
+				if err != nil {
+					continue
+				}
+				if sse < best {
+					best = sse
+					bestCfg = c
+				}
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return nil, errors.New("smoothing: no parameter combination fit the series")
+	}
+	return &Model{Config: bestCfg, SSE: best, history: s.Clone()}, nil
+}
+
+// run smooths through the series with the given constants, returning the
+// one-step SSE; if h > 0 and out != nil, it also writes the h-step
+// forecasts from the series end into out.
+func run(s *timeseries.Series, cfg Config, h int, out []float64) (float64, error) {
+	n := s.Len()
+	switch cfg.Method {
+	case SES:
+		level := s.At(0)
+		sse := 0.0
+		for t := 1; t < n; t++ {
+			e := s.At(t) - level
+			sse += e * e
+			level += cfg.Alpha * e
+		}
+		for k := 0; k < h; k++ {
+			out[k] = level
+		}
+		return sse, nil
+
+	case Holt:
+		level := s.At(1)
+		trend := s.At(1) - s.At(0)
+		sse := 0.0
+		for t := 2; t < n; t++ {
+			pred := level + trend
+			e := s.At(t) - pred
+			sse += e * e
+			newLevel := cfg.Alpha*s.At(t) + (1-cfg.Alpha)*(level+trend)
+			trend = cfg.Beta*(newLevel-level) + (1-cfg.Beta)*trend
+			level = newLevel
+		}
+		for k := 0; k < h; k++ {
+			out[k] = level + trend*float64(k+1)
+		}
+		return sse, nil
+
+	case HoltWinters:
+		p := cfg.Period
+		if n < 2*p {
+			return 0, fmt.Errorf("smoothing: need >= %d points for period %d", 2*p, p)
+		}
+		// Initialization: first-season mean as level, cross-season slope
+		// as trend, first-season offsets as seasonality.
+		level := 0.0
+		for t := 0; t < p; t++ {
+			level += s.At(t)
+		}
+		level /= float64(p)
+		second := 0.0
+		for t := p; t < 2*p; t++ {
+			second += s.At(t)
+		}
+		second /= float64(p)
+		trend := (second - level) / float64(p)
+		season := make([]float64, p)
+		for t := 0; t < p; t++ {
+			season[t] = s.At(t) - level
+		}
+		sse := 0.0
+		for t := p; t < n; t++ {
+			si := t % p
+			pred := level + trend + season[si]
+			e := s.At(t) - pred
+			sse += e * e
+			newLevel := cfg.Alpha*(s.At(t)-season[si]) + (1-cfg.Alpha)*(level+trend)
+			trend = cfg.Beta*(newLevel-level) + (1-cfg.Beta)*trend
+			season[si] = cfg.Gamma*(s.At(t)-newLevel) + (1-cfg.Gamma)*season[si]
+			level = newLevel
+		}
+		for k := 0; k < h; k++ {
+			out[k] = level + trend*float64(k+1) + season[(n+k)%p]
+		}
+		return sse, nil
+
+	default:
+		return 0, fmt.Errorf("smoothing: unknown method %v", cfg.Method)
+	}
+}
+
+// Forecast returns h-step forecasts from the training series end.
+func (m *Model) Forecast(h int) ([]float64, error) {
+	return m.ForecastFrom(m.history, h)
+}
+
+// ForecastFrom smooths through the history with the fitted constants and
+// extrapolates h steps — the predictor-pool contract.
+func (m *Model) ForecastFrom(history *timeseries.Series, h int) ([]float64, error) {
+	if h <= 0 {
+		return nil, errors.New("smoothing: forecast horizon must be positive")
+	}
+	if history.Len() < m.Config.minLen() {
+		return nil, fmt.Errorf("smoothing: history length %d too short for %s", history.Len(), m.Config.Method)
+	}
+	out := make([]float64, h)
+	if _, err := run(history, m.Config, h, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RollingForecast produces one-step-ahead predictions over test, matching
+// the other families' evaluation protocol.
+func (m *Model) RollingForecast(train, test *timeseries.Series) ([]float64, error) {
+	history := train.Clone()
+	out := make([]float64, test.Len())
+	for t := 0; t < test.Len(); t++ {
+		fc, err := m.ForecastFrom(history, 1)
+		if err != nil {
+			return nil, fmt.Errorf("smoothing: rolling forecast at step %d: %w", t, err)
+		}
+		out[t] = fc[0]
+		history.Append(test.At(t))
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+)
+
+// ACF returns the sample autocorrelation function at lags 0..maxLag.
+// ACF[0] is always 1 for a non-constant series.
+func ACF(s *Series, maxLag int) ([]float64, error) {
+	n := s.Len()
+	if n == 0 {
+		return nil, errors.New("timeseries: ACF of empty series")
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	mean := s.Mean()
+	denom := 0.0
+	for t := 0; t < n; t++ {
+		d := s.At(t) - mean
+		denom += d * d
+	}
+	out := make([]float64, maxLag+1)
+	if denom == 0 {
+		out[0] = 1
+		return out, nil
+	}
+	for k := 0; k <= maxLag; k++ {
+		num := 0.0
+		for t := k; t < n; t++ {
+			num += (s.At(t) - mean) * (s.At(t-k) - mean)
+		}
+		out[k] = num / denom
+	}
+	return out, nil
+}
+
+// PACF returns the sample partial autocorrelation function at lags
+// 1..maxLag, computed via the Durbin–Levinson recursion. The returned
+// slice has maxLag entries; index i holds the PACF at lag i+1.
+func PACF(s *Series, maxLag int) ([]float64, error) {
+	acf, err := ACF(s, maxLag)
+	if err != nil {
+		return nil, err
+	}
+	if maxLag >= len(acf) {
+		maxLag = len(acf) - 1
+	}
+	if maxLag < 1 {
+		return nil, errors.New("timeseries: PACF needs maxLag >= 1")
+	}
+	pacf := make([]float64, maxLag)
+	phi := make([][]float64, maxLag+1)
+	for i := range phi {
+		phi[i] = make([]float64, maxLag+1)
+	}
+	phi[1][1] = acf[1]
+	pacf[0] = acf[1]
+	for k := 2; k <= maxLag; k++ {
+		num := acf[k]
+		den := 1.0
+		for j := 1; j < k; j++ {
+			num -= phi[k-1][j] * acf[k-j]
+			den -= phi[k-1][j] * acf[j]
+		}
+		if den == 0 {
+			phi[k][k] = 0
+		} else {
+			phi[k][k] = num / den
+		}
+		for j := 1; j < k; j++ {
+			phi[k][j] = phi[k-1][j] - phi[k][k]*phi[k-1][k-j]
+		}
+		pacf[k-1] = phi[k][k]
+	}
+	return pacf, nil
+}
+
+// LjungBox returns the Ljung–Box Q statistic for residual whiteness over
+// the first maxLag autocorrelations. Larger Q indicates more remaining
+// autocorrelation (worse model fit).
+func LjungBox(residuals *Series, maxLag int) (float64, error) {
+	n := residuals.Len()
+	acf, err := ACF(residuals, maxLag)
+	if err != nil {
+		return 0, err
+	}
+	q := 0.0
+	for k := 1; k < len(acf); k++ {
+		q += acf[k] * acf[k] / float64(n-k)
+	}
+	return float64(n) * (float64(n) + 2) * q, nil
+}
+
+// IsStationaryHint applies a cheap heuristic used in automated Box–Jenkins
+// order selection: a series is "probably stationary" when its lag-1
+// autocorrelation is comfortably below 1 and the ACF decays rather than
+// lingering near 1 across the first several lags.
+func IsStationaryHint(s *Series) bool {
+	if s.Len() < 8 {
+		return true
+	}
+	acf, err := ACF(s, 6)
+	if err != nil {
+		return true
+	}
+	// A unit-root series keeps the ACF near 1 for many lags.
+	high := 0
+	for k := 1; k < len(acf); k++ {
+		if acf[k] > 0.85 {
+			high++
+		}
+	}
+	return high < 4 && !math.IsNaN(acf[1])
+}

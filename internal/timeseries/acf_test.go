@@ -1,0 +1,135 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func ar1Series(n int, phi float64, seed int64) *Series {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float64, n)
+	for t := 1; t < n; t++ {
+		data[t] = phi*data[t-1] + rng.NormFloat64()
+	}
+	return New(data)
+}
+
+func TestACFLagZeroIsOne(t *testing.T) {
+	s := ar1Series(500, 0.6, 1)
+	acf, err := ACF(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(acf[0], 1, 1e-12) {
+		t.Fatalf("ACF[0] = %v, want 1", acf[0])
+	}
+}
+
+func TestACFEmpty(t *testing.T) {
+	if _, err := ACF(New(nil), 3); err == nil {
+		t.Fatal("expected error on empty series")
+	}
+}
+
+func TestACFConstantSeries(t *testing.T) {
+	acf, err := ACF(New([]float64{4, 4, 4, 4}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] != 1 || acf[1] != 0 {
+		t.Fatalf("constant series ACF = %v", acf)
+	}
+}
+
+func TestACFOfAR1MatchesTheory(t *testing.T) {
+	// For an AR(1) with coefficient phi, ACF(k) ≈ phi^k.
+	phi := 0.7
+	s := ar1Series(20000, phi, 42)
+	acf, err := ACF(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		want := math.Pow(phi, float64(k))
+		if math.Abs(acf[k]-want) > 0.05 {
+			t.Errorf("ACF[%d] = %.3f, want ≈ %.3f", k, acf[k], want)
+		}
+	}
+}
+
+func TestACFMaxLagClamped(t *testing.T) {
+	s := New([]float64{1, 2, 3})
+	acf, err := ACF(s, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acf) != 3 {
+		t.Fatalf("len(acf) = %d, want 3 (clamped)", len(acf))
+	}
+}
+
+func TestPACFOfAR1CutsOffAfterLag1(t *testing.T) {
+	phi := 0.7
+	s := ar1Series(20000, phi, 7)
+	pacf, err := PACF(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pacf[0]-phi) > 0.05 {
+		t.Errorf("PACF[1] = %.3f, want ≈ %.3f", pacf[0], phi)
+	}
+	for k := 1; k < len(pacf); k++ {
+		if math.Abs(pacf[k]) > 0.06 {
+			t.Errorf("PACF at lag %d = %.3f, want ≈ 0 for AR(1)", k+1, pacf[k])
+		}
+	}
+}
+
+func TestPACFNeedsLag(t *testing.T) {
+	if _, err := PACF(New([]float64{1, 2, 3}), 0); err == nil {
+		t.Fatal("expected error for maxLag < 1")
+	}
+}
+
+func TestLjungBoxWhiteNoiseSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	wn := FromFunc(2000, func(int) float64 { return rng.NormFloat64() })
+	q, err := LjungBox(wn, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chi-squared(10) 99th percentile ≈ 23.2; white noise should be well
+	// under with high probability at this seed.
+	if q > 30 {
+		t.Errorf("Ljung-Box Q = %.2f for white noise, suspiciously large", q)
+	}
+	// An AR(1) should produce a much larger Q.
+	qa, err := LjungBox(ar1Series(2000, 0.8, 3), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa < 10*q+100 {
+		t.Errorf("Ljung-Box should flag AR(1): wn=%.2f ar=%.2f", q, qa)
+	}
+}
+
+func TestIsStationaryHint(t *testing.T) {
+	// Random walk: not stationary.
+	rng := rand.New(rand.NewSource(11))
+	rw := make([]float64, 800)
+	for t := 1; t < len(rw); t++ {
+		rw[t] = rw[t-1] + rng.NormFloat64()
+	}
+	if IsStationaryHint(New(rw)) {
+		t.Error("random walk flagged stationary")
+	}
+	// White noise: stationary.
+	if !IsStationaryHint(FromFunc(800, func(int) float64 { return rng.NormFloat64() })) {
+		t.Error("white noise flagged non-stationary")
+	}
+	// Very short series defaults to stationary.
+	if !IsStationaryHint(New([]float64{1, 2})) {
+		t.Error("short series should default to stationary")
+	}
+}

@@ -1,0 +1,163 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decomposition is the classical additive split Y_t = T_t + S_t + R_t of
+// a seasonal series into trend, seasonal, and residual components. The
+// Box–Jenkins identification step (Sec. IV.B) uses exactly this view of
+// the data: the trend motivates the d in ARIMA(p,d,q), the seasonal
+// component the seasonal differencing, and the residual the ARMA part.
+type Decomposition struct {
+	Trend    *Series // centered-moving-average trend (NaN-free: edges extended)
+	Seasonal *Series // repeating seasonal pattern, mean zero
+	Residual *Series // what remains
+	Period   int
+}
+
+// Decompose performs classical additive decomposition with the given
+// season length. The series must cover at least two full periods.
+func Decompose(s *Series, period int) (*Decomposition, error) {
+	if period < 2 {
+		return nil, errors.New("timeseries: period must be >= 2")
+	}
+	n := s.Len()
+	if n < 2*period {
+		return nil, fmt.Errorf("timeseries: need >= 2 periods (%d points), have %d", 2*period, n)
+	}
+	// Centered moving average of window `period` (even windows use the
+	// standard half-weight endpoints).
+	trend := make([]float64, n)
+	half := period / 2
+	for t := 0; t < n; t++ {
+		lo, hi := t-half, t+half
+		if lo < 0 || hi >= n {
+			trend[t] = 0 // filled by edge extension below
+			continue
+		}
+		if period%2 == 0 {
+			sum := 0.5*s.At(lo) + 0.5*s.At(hi)
+			for i := lo + 1; i < hi; i++ {
+				sum += s.At(i)
+			}
+			trend[t] = sum / float64(period)
+		} else {
+			sum := 0.0
+			for i := lo; i <= hi; i++ {
+				sum += s.At(i)
+			}
+			trend[t] = sum / float64(period)
+		}
+	}
+	// Extend the trend to the edges by repeating the first/last defined
+	// values (simple and adequate for diagnostics).
+	for t := 0; t < half; t++ {
+		trend[t] = trend[half]
+	}
+	for t := n - half; t < n; t++ {
+		trend[t] = trend[n-half-1]
+	}
+
+	// Seasonal component: average detrended values per phase, centered to
+	// mean zero.
+	phase := make([]float64, period)
+	count := make([]int, period)
+	for t := 0; t < n; t++ {
+		phase[t%period] += s.At(t) - trend[t]
+		count[t%period]++
+	}
+	mean := 0.0
+	for p := 0; p < period; p++ {
+		if count[p] > 0 {
+			phase[p] /= float64(count[p])
+		}
+		mean += phase[p]
+	}
+	mean /= float64(period)
+	for p := range phase {
+		phase[p] -= mean
+	}
+
+	seasonal := make([]float64, n)
+	residual := make([]float64, n)
+	for t := 0; t < n; t++ {
+		seasonal[t] = phase[t%period]
+		residual[t] = s.At(t) - trend[t] - seasonal[t]
+	}
+	return &Decomposition{
+		Trend:    &Series{data: trend},
+		Seasonal: &Series{data: seasonal},
+		Residual: &Series{data: residual},
+		Period:   period,
+	}, nil
+}
+
+// SeasonalStrength returns 1 − Var(R)/Var(S+R) in [0,1]: near 1 means the
+// seasonal component dominates the detrended variation (Hyndman's F_S).
+func (d *Decomposition) SeasonalStrength() float64 {
+	sr := make([]float64, d.Residual.Len())
+	for t := range sr {
+		sr[t] = d.Seasonal.At(t) + d.Residual.At(t)
+	}
+	denom := (&Series{data: sr}).Variance()
+	if denom == 0 {
+		return 0
+	}
+	f := 1 - d.Residual.Variance()/denom
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// TrendStrength returns 1 − Var(R)/Var(T+R) in [0,1].
+func (d *Decomposition) TrendStrength() float64 {
+	tr := make([]float64, d.Residual.Len())
+	for t := range tr {
+		tr[t] = d.Trend.At(t) + d.Residual.At(t)
+	}
+	denom := (&Series{data: tr}).Variance()
+	if denom == 0 {
+		return 0
+	}
+	f := 1 - d.Residual.Variance()/denom
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// DetectPeriod estimates the dominant season length by scanning the
+// autocorrelation function for its strongest local peak in [minP, maxP].
+// It returns 0 when no lag shows meaningful correlation (< 0.2).
+func DetectPeriod(s *Series, minP, maxP int) int {
+	if minP < 2 {
+		minP = 2
+	}
+	if maxP >= s.Len()/2 {
+		maxP = s.Len()/2 - 1
+	}
+	if maxP < minP {
+		return 0
+	}
+	acf, err := ACF(s, maxP)
+	if err != nil {
+		return 0
+	}
+	best, bestLag := 0.2, 0
+	for lag := minP; lag <= maxP; lag++ {
+		// Local peak: higher than neighbors.
+		if acf[lag] > best && acf[lag] >= acf[lag-1] && (lag+1 > maxP || acf[lag] >= acf[lag+1]) {
+			best, bestLag = acf[lag], lag
+		}
+	}
+	return bestLag
+}

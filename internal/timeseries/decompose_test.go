@@ -1,0 +1,143 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func seasonalWithTrend(n, period int, amp, slope, noise float64, seed int64) *Series {
+	rng := rand.New(rand.NewSource(seed))
+	return FromFunc(n, func(t int) float64 {
+		return slope*float64(t) + amp*math.Sin(2*math.Pi*float64(t)/float64(period)) + noise*rng.NormFloat64()
+	})
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	s := New([]float64{1, 2, 3})
+	if _, err := Decompose(s, 1); err == nil {
+		t.Error("period 1 accepted")
+	}
+	if _, err := Decompose(s, 2); err == nil {
+		t.Error("too-short series accepted")
+	}
+}
+
+func TestDecomposeRecompositionIdentity(t *testing.T) {
+	s := seasonalWithTrend(240, 12, 5, 0.1, 1, 1)
+	d, err := Decompose(s, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		sum := d.Trend.At(i) + d.Seasonal.At(i) + d.Residual.At(i)
+		if math.Abs(sum-s.At(i)) > 1e-9 {
+			t.Fatalf("T+S+R != Y at %d: %v vs %v", i, sum, s.At(i))
+		}
+	}
+}
+
+func TestDecomposeSeasonalMeanZero(t *testing.T) {
+	s := seasonalWithTrend(240, 12, 5, 0.1, 1, 2)
+	d, err := Decompose(s, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full period of the seasonal component sums to ~0.
+	sum := 0.0
+	for p := 0; p < 12; p++ {
+		sum += d.Seasonal.At(p)
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("seasonal period sum = %v", sum)
+	}
+	// Seasonal repeats with the period.
+	for tt := 0; tt < 24; tt++ {
+		if d.Seasonal.At(tt) != d.Seasonal.At(tt+12) {
+			t.Fatal("seasonal component not periodic")
+		}
+	}
+}
+
+func TestDecomposeRecoversTrendSlope(t *testing.T) {
+	s := seasonalWithTrend(480, 24, 10, 0.5, 0.5, 3)
+	d, err := Decompose(s, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The interior trend should rise at ≈0.5/step.
+	lo, hi := 50, 400
+	slope := (d.Trend.At(hi) - d.Trend.At(lo)) / float64(hi-lo)
+	if math.Abs(slope-0.5) > 0.05 {
+		t.Fatalf("trend slope = %v, want ≈ 0.5", slope)
+	}
+}
+
+func TestDecomposeRecoversSeasonalAmplitude(t *testing.T) {
+	s := seasonalWithTrend(480, 24, 10, 0.1, 0.5, 4)
+	d, err := Decompose(s, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max := d.Seasonal.Max(); math.Abs(max-10) > 1.5 {
+		t.Fatalf("seasonal peak = %v, want ≈ 10", max)
+	}
+}
+
+func TestSeasonalStrength(t *testing.T) {
+	strong := seasonalWithTrend(480, 24, 10, 0, 0.5, 5)
+	d, err := Decompose(strong, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SeasonalStrength() < 0.9 {
+		t.Fatalf("strong season strength = %v, want > 0.9", d.SeasonalStrength())
+	}
+	rng := rand.New(rand.NewSource(6))
+	noise := FromFunc(480, func(int) float64 { return rng.NormFloat64() })
+	dn, err := Decompose(noise, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dn.SeasonalStrength() > 0.5 {
+		t.Fatalf("white-noise season strength = %v, want small", dn.SeasonalStrength())
+	}
+}
+
+func TestTrendStrength(t *testing.T) {
+	trending := seasonalWithTrend(480, 24, 0.5, 1.0, 0.5, 7)
+	d, err := Decompose(trending, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TrendStrength() < 0.9 {
+		t.Fatalf("strong trend strength = %v, want > 0.9", d.TrendStrength())
+	}
+}
+
+func TestDecomposeOddPeriod(t *testing.T) {
+	s := seasonalWithTrend(210, 7, 5, 0, 0.3, 8)
+	d, err := Decompose(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SeasonalStrength() < 0.8 {
+		t.Fatalf("odd-period decomposition weak: %v", d.SeasonalStrength())
+	}
+}
+
+func TestDetectPeriod(t *testing.T) {
+	s := seasonalWithTrend(600, 24, 10, 0, 1, 9)
+	if got := DetectPeriod(s, 2, 100); got < 22 || got > 26 {
+		t.Fatalf("DetectPeriod = %d, want ≈ 24", got)
+	}
+	rng := rand.New(rand.NewSource(10))
+	noise := FromFunc(600, func(int) float64 { return rng.NormFloat64() })
+	if got := DetectPeriod(noise, 2, 100); got != 0 {
+		t.Fatalf("DetectPeriod on noise = %d, want 0", got)
+	}
+	// Degenerate ranges.
+	if DetectPeriod(New([]float64{1, 2, 3}), 5, 4) != 0 {
+		t.Fatal("invalid range should return 0")
+	}
+}

@@ -1,0 +1,163 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiff(t *testing.T) {
+	s := New([]float64{1, 4, 9, 16})
+	d, err := Diff(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 5, 7}
+	for i, w := range want {
+		if d.At(i) != w {
+			t.Errorf("Diff[%d] = %v, want %v", i, d.At(i), w)
+		}
+	}
+}
+
+func TestDiffTooShort(t *testing.T) {
+	if _, err := Diff(New([]float64{1})); err == nil {
+		t.Fatal("expected error for short series")
+	}
+}
+
+func TestDiffNZeroIsCopy(t *testing.T) {
+	s := New([]float64{1, 2, 3})
+	d, err := DiffN(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Append(99)
+	if s.Len() != 3 {
+		t.Fatal("DiffN(0) must not alias the input")
+	}
+}
+
+func TestDiffNRemovesPolynomialTrend(t *testing.T) {
+	// A quadratic becomes constant after two differences.
+	s := FromFunc(20, func(t int) float64 { return float64(t*t) + 3*float64(t) + 7 })
+	d, err := DiffN(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if !almostEqual(d.At(i), 2, 1e-9) {
+			t.Fatalf("second difference of quadratic should be 2, got %v at %d", d.At(i), i)
+		}
+	}
+}
+
+func TestDiffNNegative(t *testing.T) {
+	if _, err := DiffN(New([]float64{1, 2}), -1); err == nil {
+		t.Fatal("expected error for negative order")
+	}
+}
+
+func TestSeasonalDiff(t *testing.T) {
+	s := New([]float64{1, 2, 3, 11, 12, 13})
+	d, err := SeasonalDiff(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if d.At(i) != 10 {
+			t.Fatalf("seasonal diff should be 10, got %v", d.At(i))
+		}
+	}
+	if _, err := SeasonalDiff(s, 0); err == nil {
+		t.Error("period 0 should error")
+	}
+	if _, err := SeasonalDiff(s, 6); err == nil {
+		t.Error("period >= length should error")
+	}
+}
+
+func TestIntegrateInvertsDiff(t *testing.T) {
+	s := New([]float64{5, 3, 8, 8, 1})
+	d, err := Diff(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Integrate(d, s.At(0))
+	if r.Len() != s.Len() {
+		t.Fatalf("length %d, want %d", r.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if !almostEqual(r.At(i), s.At(i), 1e-12) {
+			t.Fatalf("Integrate(Diff) mismatch at %d: %v vs %v", i, r.At(i), s.At(i))
+		}
+	}
+}
+
+func TestDiffTails(t *testing.T) {
+	s := New([]float64{1, 3, 6, 10}) // diffs: 2,3,4; second diffs: 1,1
+	tails, err := DiffTails(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tails[0] != 10 || tails[1] != 4 {
+		t.Fatalf("tails = %v, want [10 4]", tails)
+	}
+}
+
+func TestIntegrateForecastOrder1(t *testing.T) {
+	// Original series ends at 10; forecast differences are 2, 3.
+	// Reconstructed levels should be 12, 15.
+	out := IntegrateForecast([]float64{2, 3}, []float64{10})
+	if out[0] != 12 || out[1] != 15 {
+		t.Fatalf("got %v, want [12 15]", out)
+	}
+}
+
+func TestIntegrateForecastOrder2(t *testing.T) {
+	// s = t^2: 0 1 4 9 16; ∇ = 1 3 5 7; ∇² = 2 2 2.
+	// Forecasting ∇² = 2,2 should reconstruct 25, 36.
+	out := IntegrateForecast([]float64{2, 2}, []float64{16, 7})
+	if out[0] != 25 || out[1] != 36 {
+		t.Fatalf("got %v, want [25 36]", out)
+	}
+}
+
+// Property: IntegrateForecast with the true future differences reproduces
+// the true future values exactly, for any differencing order 0..3.
+func TestIntegrateForecastRoundTripProperty(t *testing.T) {
+	f := func(seed int64, dRaw uint8) bool {
+		d := int(dRaw % 4)
+		n := 40
+		s := FromFunc(n+5, func(t int) float64 {
+			x := float64(t)
+			return 0.5*x*x + math.Sin(x*float64(seed%5+1)*0.37)*10
+		})
+		hist := s.Slice(0, n)
+		future := s.Slice(n, n+5)
+		// Difference the whole series, then extract the "future" part of
+		// the differenced series as a perfect forecast.
+		dAll, err := DiffN(s, d)
+		if err != nil {
+			return false
+		}
+		fcDiff := make([]float64, 5)
+		for i := 0; i < 5; i++ {
+			fcDiff[i] = dAll.At(dAll.Len() - 5 + i)
+		}
+		tails, err := DiffTails(hist, d)
+		if err != nil {
+			return false
+		}
+		rec := IntegrateForecast(fcDiff, tails)
+		for i := 0; i < 5; i++ {
+			if !almostEqual(rec[i], future.At(i), 1e-6*math.Max(1, math.Abs(future.At(i)))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package topology
+
+import "fmt"
+
+// BCubeConfig parameterizes a BCube(n, 1): the two-level server-centric
+// topology of the paper's Sec. VI.B simulations, where "the number of
+// switches each level of Bcube" is swept along the x-axis of Figs. 13–14.
+// BCube(n,1) has n level-0 switches, n level-1 switches, and n² server
+// nodes; server (i, j) attaches to level-0 switch i and level-1 switch j.
+//
+// BCube is server-centric: servers relay traffic and act as the natural
+// delegation points, so each server node is modeled as a Rack (a
+// delegation unit with its own shim and VM slots). A node's one-hop wired
+// region is then the n−1 peers behind its level-0 switch plus the n−1
+// peers behind its level-1 switch — a genuinely regional neighborhood,
+// unlike the global view of the centralized manager.
+type BCubeConfig struct {
+	SwitchesPerLevel int // n: switches in each of the two levels
+
+	Level0Capacity float64 // level-0 (group) link capacity (default 1)
+	Level1Capacity float64 // level-1 (cross-group) link capacity (default 10)
+	Level0Distance float64 // default 1
+	Level1Distance float64 // default 2
+}
+
+func (c BCubeConfig) withDefaults() BCubeConfig {
+	if c.Level0Capacity == 0 {
+		c.Level0Capacity = 1
+	}
+	if c.Level1Capacity == 0 {
+		c.Level1Capacity = 10
+	}
+	if c.Level0Distance == 0 {
+		c.Level0Distance = 1
+	}
+	if c.Level1Distance == 0 {
+		c.Level1Distance = 2
+	}
+	return c
+}
+
+// BCube describes a built BCube(n,1) topology.
+type BCube struct {
+	*Graph
+	Config BCubeConfig
+
+	// RackIDs[i][j] is the node ID of server node (group i, position j).
+	RackIDs [][]int
+	// Level0IDs[i] is the node ID of level-0 switch i.
+	Level0IDs []int
+	// Level1IDs[j] is the node ID of level-1 switch j.
+	Level1IDs []int
+}
+
+// NewBCube builds a BCube(n,1) with n² server nodes.
+func NewBCube(cfg BCubeConfig) (*BCube, error) {
+	n := cfg.SwitchesPerLevel
+	if n < 2 {
+		return nil, fmt.Errorf("topology: BCube needs >= 2 switches per level, got %d", n)
+	}
+	cfg = cfg.withDefaults()
+	g := NewGraph()
+	b := &BCube{Graph: g, Config: cfg}
+
+	b.Level0IDs = make([]int, n)
+	b.Level1IDs = make([]int, n)
+	for i := 0; i < n; i++ {
+		b.Level0IDs[i] = g.AddNode(Switch, fmt.Sprintf("l0-%d", i), i, 0)
+	}
+	for j := 0; j < n; j++ {
+		b.Level1IDs[j] = g.AddNode(Switch, fmt.Sprintf("l1-%d", j), -1, 1)
+	}
+	b.RackIDs = make([][]int, n)
+	for i := 0; i < n; i++ {
+		b.RackIDs[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			id := g.AddNode(Rack, fmt.Sprintf("srv-%d-%d", i, j), i, 0)
+			b.RackIDs[i][j] = id
+			if err := g.AddLink(id, b.Level0IDs[i], cfg.Level0Capacity, cfg.Level0Distance); err != nil {
+				return nil, err
+			}
+			if err := g.AddLink(id, b.Level1IDs[j], cfg.Level1Capacity, cfg.Level1Distance); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// NumRacks returns the number of server nodes: n².
+func (b *BCube) NumRacks() int {
+	n := b.Config.SwitchesPerLevel
+	return n * n
+}

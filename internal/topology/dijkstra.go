@@ -1,0 +1,121 @@
+package topology
+
+import "container/heap"
+
+// MultiSource holds shortest paths from a designated set of source nodes
+// to every node, computed by Dijkstra per source. For the migration cost
+// model only rack-to-rack paths matter, so running |racks| Dijkstras is
+// far cheaper than cubic Floyd–Warshall on large Fat-Trees (the Sec. V.A
+// collapse only needs G(v_i, v_p) between racks).
+type MultiSource struct {
+	n      int
+	dist   map[int][]float64
+	parent map[int][]int32
+}
+
+// DijkstraFrom computes shortest paths from each source under the edge
+// cost. Costs must be non-negative; Inf-cost edges are skipped.
+func DijkstraFrom(g *Graph, sources []int, cost EdgeCost) *MultiSource {
+	ms := &MultiSource{
+		n:      g.NumNodes(),
+		dist:   make(map[int][]float64, len(sources)),
+		parent: make(map[int][]int32, len(sources)),
+	}
+	for _, s := range sources {
+		d, p := dijkstra(g, s, cost)
+		ms.dist[s] = d
+		ms.parent[s] = p
+	}
+	return ms
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func dijkstra(g *Graph, src int, cost EdgeCost) ([]float64, []int32) {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]int32, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = Inf
+		parent[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, e := range g.Edges(it.node) {
+			c := cost(e)
+			if c == Inf {
+				continue
+			}
+			if nd := it.dist + c; nd < dist[e.To] {
+				dist[e.To] = nd
+				parent[e.To] = int32(it.node)
+				heap.Push(q, pqItem{e.To, nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// Dist returns the minimal cost from a source node to any node. It
+// returns Inf if src was not in the source set or dst is unreachable.
+func (m *MultiSource) Dist(src, dst int) float64 {
+	d, ok := m.dist[src]
+	if !ok || dst < 0 || dst >= m.n {
+		return Inf
+	}
+	return d[dst]
+}
+
+// Path reconstructs one minimal path src → … → dst (inclusive), or nil
+// when unreachable or src is not a source.
+func (m *MultiSource) Path(src, dst int) []int {
+	p, ok := m.parent[src]
+	if !ok || dst < 0 || dst >= m.n {
+		return nil
+	}
+	if src == dst {
+		return []int{src}
+	}
+	if p[dst] < 0 {
+		return nil
+	}
+	var rev []int
+	for cur := dst; cur != -1; cur = int(p[cur]) {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+	}
+	if rev[len(rev)-1] != src {
+		return nil
+	}
+	out := make([]int, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}

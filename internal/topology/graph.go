@@ -1,0 +1,206 @@
+// Package topology builds the wired network graphs of the paper's Sec. II.C:
+// G_r = (V ∪ S, E_r), where V is the set of rack delegation nodes (shims,
+// co-located with ToR switches) and S the set of aggregation/core switches.
+// It provides Fat-Tree and BCube constructors matching the simulation
+// settings of Sec. VI.B, and Floyd–Warshall all-pairs shortest paths used
+// to collapse the transmission cost g(v_i, v_p, e_ip) into G(v_i, v_p)
+// (Sec. V.A.2).
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeKind distinguishes rack delegation nodes from interior switches.
+type NodeKind int
+
+const (
+	// Rack is a ToR switch + shim delegation node (an element of V).
+	Rack NodeKind = iota
+	// Switch is an aggregation or core switch (an element of S).
+	Switch
+)
+
+// String names the node kind.
+func (k NodeKind) String() string {
+	switch k {
+	case Rack:
+		return "rack"
+	case Switch:
+		return "switch"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a vertex of the wired graph.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Name  string
+	Pod   int // pod index (Fat-Tree) or group index (BCube); -1 if n/a
+	Level int // 0 = ToR/edge, 1 = aggregation, 2 = core (BCube: switch level)
+}
+
+// Edge is a directed half of a physical link. Links are installed in both
+// directions with identical attributes.
+type Edge struct {
+	From, To  int
+	Capacity  float64 // C(e): maximum capacity
+	Distance  float64 // D(e): physical distance
+	Bandwidth float64 // B(e): currently available bandwidth
+}
+
+// Graph is a mutable wired-network graph.
+type Graph struct {
+	nodes []Node
+	adj   [][]Edge
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(kind NodeKind, name string, pod, level int) int {
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Name: name, Pod: pod, Level: level})
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddLink installs a bidirectional link between a and b.
+func (g *Graph) AddLink(a, b int, capacity, distance float64) error {
+	if err := g.check(a); err != nil {
+		return err
+	}
+	if err := g.check(b); err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("topology: self-loop on node %d", a)
+	}
+	g.adj[a] = append(g.adj[a], Edge{From: a, To: b, Capacity: capacity, Distance: distance, Bandwidth: capacity})
+	g.adj[b] = append(g.adj[b], Edge{From: b, To: a, Capacity: capacity, Distance: distance, Bandwidth: capacity})
+	return nil
+}
+
+func (g *Graph) check(id int) error {
+	if id < 0 || id >= len(g.nodes) {
+		return fmt.Errorf("topology: node %d out of range [0,%d)", id, len(g.nodes))
+	}
+	return nil
+}
+
+// NumNodes returns the number of vertices.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id int) Node { return g.nodes[id] }
+
+// Edges returns the outgoing edges of a node. The returned slice is the
+// graph's own storage; treat it as read-only.
+func (g *Graph) Edges(id int) []Edge { return g.adj[id] }
+
+// EdgeBetween returns the directed edge a→b if a link exists.
+func (g *Graph) EdgeBetween(a, b int) (Edge, bool) {
+	if a < 0 || a >= len(g.adj) {
+		return Edge{}, false
+	}
+	for _, e := range g.adj[a] {
+		if e.To == b {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// SetBandwidth updates the available bandwidth on both directions of the
+// link a–b. It returns false if no such link exists.
+func (g *Graph) SetBandwidth(a, b int, bw float64) bool {
+	found := false
+	for dir := 0; dir < 2; dir++ {
+		from, to := a, b
+		if dir == 1 {
+			from, to = b, a
+		}
+		if from < 0 || from >= len(g.adj) {
+			return false
+		}
+		for i := range g.adj[from] {
+			if g.adj[from][i].To == to {
+				g.adj[from][i].Bandwidth = bw
+				found = true
+				break
+			}
+		}
+	}
+	return found
+}
+
+// Racks returns the IDs of all rack nodes, in creation order.
+func (g *Graph) Racks() []int {
+	var out []int
+	for _, n := range g.nodes {
+		if n.Kind == Rack {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Switches returns the IDs of all switch nodes, in creation order.
+func (g *Graph) Switches() []int {
+	var out []int
+	for _, n := range g.nodes {
+		if n.Kind == Switch {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Neighbors returns the IDs adjacent to a node.
+func (g *Graph) Neighbors(id int) []int {
+	es := g.adj[id]
+	out := make([]int, len(es))
+	for i, e := range es {
+		out[i] = e.To
+	}
+	return out
+}
+
+// RackNeighbors returns the rack nodes reachable from rack id through at
+// most maxSwitchHops interior switches (one-hop wired neighbors for
+// maxSwitchHops = 1, the paper's "dominating one hop wired neighbors").
+// The origin rack is not included.
+func (g *Graph) RackNeighbors(id int, maxSwitchHops int) []int {
+	type state struct{ node, switchHops int }
+	seen := make(map[int]bool, len(g.nodes))
+	seen[id] = true
+	var out []int
+	queue := []state{{id, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[cur.node] {
+			n := g.nodes[e.To]
+			if seen[n.ID] {
+				continue
+			}
+			if n.Kind == Rack {
+				seen[n.ID] = true
+				out = append(out, n.ID)
+				continue // do not traverse through racks
+			}
+			if cur.switchHops < maxSwitchHops {
+				seen[n.ID] = true
+				queue = append(queue, state{n.ID, cur.switchHops + 1})
+			}
+		}
+	}
+	return out
+}
+
+// Inf is the distance reported between disconnected nodes.
+var Inf = math.Inf(1)

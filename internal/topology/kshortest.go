@@ -1,0 +1,155 @@
+package topology
+
+import (
+	"sort"
+)
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst
+// under the edge cost, in nondecreasing cost order (Yen's algorithm).
+// FLOWREROUTE uses the alternatives to route conflict flows around hot
+// switches (Sec. III.B "reroute portion of flows to their destinations
+// without passing through hot switches").
+func KShortestPaths(g *Graph, src, dst, k int, cost EdgeCost) [][]int {
+	if k <= 0 || src < 0 || dst < 0 || src >= g.NumNodes() || dst >= g.NumNodes() {
+		return nil
+	}
+	first := shortestPathAvoiding(g, src, dst, cost, nil, nil)
+	if first == nil {
+		return nil
+	}
+	paths := [][]int{first}
+	var candidates []kspCandidate
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Spur from every node of the previous path except the last.
+		for i := 0; i < len(prev)-1; i++ {
+			spurNode := prev[i]
+			rootPath := prev[:i+1]
+
+			// Block the edges that would recreate already-found paths
+			// sharing this root.
+			blockedEdges := make(map[[2]int]bool)
+			for _, p := range paths {
+				if len(p) > i && equalPrefix(p, rootPath) {
+					blockedEdges[[2]int{p[i], p[i+1]}] = true
+				}
+			}
+			// Block root-path nodes (except the spur) to keep paths loopless.
+			blockedNodes := make(map[int]bool)
+			for _, n := range rootPath[:len(rootPath)-1] {
+				blockedNodes[n] = true
+			}
+
+			spurPath := shortestPathAvoiding(g, spurNode, dst, cost, blockedNodes, blockedEdges)
+			if spurPath == nil {
+				continue
+			}
+			total := append(append([]int(nil), rootPath[:len(rootPath)-1]...), spurPath...)
+			if containsPath(paths, total) || containsCandidate(candidates, total) {
+				continue
+			}
+			candidates = append(candidates, kspCandidate{path: total, cost: PathCost(g, total, cost)})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].cost < candidates[b].cost })
+		paths = append(paths, candidates[0].path)
+		candidates = candidates[1:]
+	}
+	return paths
+
+}
+
+func equalPrefix(p, prefix []int) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i, v := range prefix {
+		if p[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(paths [][]int, p []int) bool {
+	for _, q := range paths {
+		if equalPath(p, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// kspCandidate is a spur path awaiting promotion in Yen's algorithm.
+type kspCandidate struct {
+	path []int
+	cost float64
+}
+
+func containsCandidate(cands []kspCandidate, p []int) bool {
+	for _, c := range cands {
+		if equalPath(p, c.path) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalPath(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PathCost sums the edge costs along a node path. It returns Inf when a
+// hop has no edge.
+func PathCost(g *Graph, path []int, cost EdgeCost) float64 {
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		e, ok := g.EdgeBetween(path[i-1], path[i])
+		if !ok {
+			return Inf
+		}
+		total += cost(e)
+	}
+	return total
+}
+
+// shortestPathAvoiding is Dijkstra with blocked nodes/edges; it returns
+// the node path src…dst or nil.
+func shortestPathAvoiding(g *Graph, src, dst int, cost EdgeCost, blockedNodes map[int]bool, blockedEdges map[[2]int]bool) []int {
+	filtered := func(e Edge) float64 {
+		if blockedNodes[e.To] && e.To != dst {
+			return Inf
+		}
+		if blockedEdges[[2]int{e.From, e.To}] {
+			return Inf
+		}
+		return cost(e)
+	}
+	ms := DijkstraFrom(g, []int{src}, filtered)
+	return ms.Path(src, dst)
+}
+
+// ShortestPathAvoidingNodes returns one shortest path from src to dst that
+// does not pass through any node in avoid (endpoints exempt), or nil.
+// This is the direct "avoid the hot switch" primitive of FLOWREROUTE.
+func ShortestPathAvoidingNodes(g *Graph, src, dst int, avoid map[int]bool, cost EdgeCost) []int {
+	filtered := func(e Edge) float64 {
+		if avoid[e.To] && e.To != dst && e.To != src {
+			return Inf
+		}
+		return cost(e)
+	}
+	ms := DijkstraFrom(g, []int{src}, filtered)
+	return ms.Path(src, dst)
+}

@@ -1,0 +1,166 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+// diamondGraph: a -> {b, c} -> d with asymmetric costs.
+func diamondGraph(t *testing.T) (*Graph, [4]int) {
+	t.Helper()
+	g := NewGraph()
+	a := g.AddNode(Rack, "a", 0, 0)
+	b := g.AddNode(Switch, "b", 0, 1)
+	c := g.AddNode(Switch, "c", 0, 1)
+	d := g.AddNode(Rack, "d", 0, 0)
+	mustLink(t, g, a, b, 1)
+	mustLink(t, g, b, d, 1)
+	mustLink(t, g, a, c, 2)
+	mustLink(t, g, c, d, 2)
+	return g, [4]int{a, b, c, d}
+}
+
+func mustLink(t *testing.T, g *Graph, a, b int, dist float64) {
+	t.Helper()
+	if err := g.AddLink(a, b, 1, dist); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKShortestDiamond(t *testing.T) {
+	g, n := diamondGraph(t)
+	paths := KShortestPaths(g, n[0], n[3], 3, DistanceCost)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2 (graph has exactly two loopless routes)", len(paths))
+	}
+	if PathCost(g, paths[0], DistanceCost) != 2 {
+		t.Fatalf("first path cost = %v, want 2", PathCost(g, paths[0], DistanceCost))
+	}
+	if PathCost(g, paths[1], DistanceCost) != 4 {
+		t.Fatalf("second path cost = %v, want 4", PathCost(g, paths[1], DistanceCost))
+	}
+}
+
+func TestKShortestOrderingAndLooplessness(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ft.RackIDs[0][0]
+	dst := ft.RackIDs[1][0]
+	paths := KShortestPaths(ft.Graph, src, dst, 6, DistanceCost)
+	if len(paths) < 2 {
+		t.Fatalf("Fat-Tree should offer multiple routes, got %d", len(paths))
+	}
+	prev := -1.0
+	for _, p := range paths {
+		cost := PathCost(ft.Graph, p, DistanceCost)
+		if cost < prev {
+			t.Fatalf("paths not sorted: %v after %v", cost, prev)
+		}
+		prev = cost
+		seen := map[int]bool{}
+		for _, node := range p {
+			if seen[node] {
+				t.Fatalf("path has a loop: %v", p)
+			}
+			seen[node] = true
+		}
+		if p[0] != src || p[len(p)-1] != dst {
+			t.Fatalf("bad endpoints: %v", p)
+		}
+	}
+}
+
+func TestKShortestDistinctPaths(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := ft.RackIDs[0][0], ft.RackIDs[0][1]
+	paths := KShortestPaths(ft.Graph, src, dst, 4, DistanceCost)
+	for i := range paths {
+		for j := i + 1; j < len(paths); j++ {
+			if equalPath(paths[i], paths[j]) {
+				t.Fatalf("duplicate paths at %d and %d: %v", i, j, paths[i])
+			}
+		}
+	}
+	// Fat-Tree(4): two aggregation switches per pod → exactly 2 two-hop
+	// routes between pod ToRs (plus longer detours).
+	if len(paths) < 2 {
+		t.Fatalf("want >= 2 paths, got %d", len(paths))
+	}
+	if PathCost(ft.Graph, paths[0], DistanceCost) != 2 || PathCost(ft.Graph, paths[1], DistanceCost) != 2 {
+		t.Fatal("both pod-internal routes should cost 2")
+	}
+}
+
+func TestKShortestInvalidArgs(t *testing.T) {
+	g, n := diamondGraph(t)
+	if KShortestPaths(g, n[0], n[3], 0, DistanceCost) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if KShortestPaths(g, -1, n[3], 2, DistanceCost) != nil {
+		t.Error("bad src should return nil")
+	}
+	if KShortestPaths(g, n[0], 99, 2, DistanceCost) != nil {
+		t.Error("bad dst should return nil")
+	}
+}
+
+func TestKShortestDisconnected(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(Rack, "a", 0, 0)
+	b := g.AddNode(Rack, "b", 1, 0)
+	if KShortestPaths(g, a, b, 2, DistanceCost) != nil {
+		t.Fatal("disconnected should return nil")
+	}
+}
+
+func TestPathCostMissingEdge(t *testing.T) {
+	g, n := diamondGraph(t)
+	if !math.IsInf(PathCost(g, []int{n[0], n[3]}, DistanceCost), 1) {
+		t.Fatal("missing hop should cost Inf")
+	}
+}
+
+func TestShortestPathAvoidingNodes(t *testing.T) {
+	g, n := diamondGraph(t)
+	// Avoid b: the path must detour through c.
+	p := ShortestPathAvoidingNodes(g, n[0], n[3], map[int]bool{n[1]: true}, DistanceCost)
+	if p == nil {
+		t.Fatal("no path found")
+	}
+	for _, node := range p {
+		if node == n[1] {
+			t.Fatalf("path passes avoided node: %v", p)
+		}
+	}
+	if PathCost(g, p, DistanceCost) != 4 {
+		t.Fatalf("detour cost = %v, want 4", PathCost(g, p, DistanceCost))
+	}
+	// Avoid both middles: unreachable.
+	if ShortestPathAvoidingNodes(g, n[0], n[3], map[int]bool{n[1]: true, n[2]: true}, DistanceCost) != nil {
+		t.Fatal("fully blocked should return nil")
+	}
+}
+
+func TestKShortestOnFatTreeCrossPod(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := ft.RackIDs[0][0], ft.RackIDs[2][0]
+	paths := KShortestPaths(ft.Graph, src, dst, 8, DistanceCost)
+	// Fat-Tree(4): 2 agg × 2 core per group = 4 distinct 4-hop routes.
+	count6 := 0
+	for _, p := range paths {
+		if PathCost(ft.Graph, p, DistanceCost) == 6 {
+			count6++
+		}
+	}
+	if count6 < 4 {
+		t.Fatalf("want >= 4 minimal cross-pod routes, got %d of %d", count6, len(paths))
+	}
+}

@@ -1,0 +1,52 @@
+package traces
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the CSV parser with arbitrary input: it must
+// never panic, and any successfully parsed series must survive a
+// write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("t,v\n0,1.5\n1,2.5\n")
+	f.Add("0,1\n")
+	f.Add("# comment\n\n0,-3.25\n")
+	f.Add("t,v\n0,NaN\n")
+	f.Add("a,b,c\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if s.Len() == 0 {
+			t.Fatal("successful parse returned empty series")
+		}
+		var sb strings.Builder
+		if err := WriteCSV(&sb, "fuzz", s); err != nil {
+			t.Fatalf("re-write failed: %v", err)
+		}
+		s2, err := ReadCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if s2.Len() != s.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", s.Len(), s2.Len())
+		}
+	})
+}
+
+// FuzzReadProfileCSV: the profile parser must never panic.
+func FuzzReadProfileCSV(f *testing.F) {
+	f.Add("t,cpu,mem,io,trf\n0,0.1,0.2,0.3,0.4\n")
+	f.Add("0,1,2,3,4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		profiles, err := ReadProfileCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(profiles) == 0 {
+			t.Fatal("successful parse returned no profiles")
+		}
+	})
+}

@@ -1,0 +1,292 @@
+// Package sheriff is a Go implementation of "Sheriff: A Regional
+// Pre-Alert Management Scheme in Data Center Networks" (Gao, Xu, Wu,
+// Chen — ICPP 2015).
+//
+// Sheriff manages a data center network with per-rack delegation nodes
+// (shims) instead of one centralized controller. Each shim runs two
+// phases:
+//
+//   - Prediction: every VM's workload profile W = [CPU, MEM, IO, TRF] is
+//     forecast one collection period ahead using dynamic selection between
+//     ARIMA (Box–Jenkins) and NARNET (nonlinear autoregressive neural
+//     network) models; a predicted component above THRESHOLD raises an
+//     ALERT before the overload materializes.
+//   - Management: collected alerts drive the PRIORITY knapsack selection
+//     of VMs, minimum-weight matching of VMs to destination slots
+//     (VMMIGRATION with the REQUEST/ACK handshake), and FLOWREROUTE for
+//     outer-switch congestion. The centralized view reduces to k-median,
+//     solved by p-swap local search with a 3+2/p guarantee.
+//
+// This root package is the stable facade: it re-exports the library's
+// main types as aliases and offers one-call helpers for the common
+// workflows (forecasting a series, building a simulated DCN, running the
+// Sheriff-vs-centralized comparison, regenerating the paper's figures).
+package sheriff
+
+import (
+	"fmt"
+
+	"sheriff/internal/alert"
+	"sheriff/internal/arima"
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/experiments"
+	"sheriff/internal/flow"
+	"sheriff/internal/kmedian"
+	"sheriff/internal/migrate"
+	"sheriff/internal/narnet"
+	"sheriff/internal/predictor"
+	"sheriff/internal/runtime"
+	"sheriff/internal/sim"
+	"sheriff/internal/smoothing"
+	"sheriff/internal/timeseries"
+	"sheriff/internal/topology"
+	"sheriff/internal/traces"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the
+// single source of truth while giving users one import.
+type (
+	// Series is an equally spaced univariate time series.
+	Series = timeseries.Series
+	// ARIMAModel is a fitted ARIMA(p,d,q) model.
+	ARIMAModel = arima.Model
+	// ARIMAOrder selects (p, d, q).
+	ARIMAOrder = arima.Order
+	// NARNET is a trained nonlinear autoregressive neural network.
+	NARNET = narnet.Network
+	// NARNETConfig selects the NARNET(ni, nh) architecture.
+	NARNETConfig = narnet.Config
+	// Selector performs dynamic model selection over forecaster pools.
+	Selector = predictor.Selector
+	// Candidate is one member of a Selector pool.
+	Candidate = predictor.Candidate
+	// Forecaster is anything that can predict a series' future.
+	Forecaster = predictor.Forecaster
+
+	// Profile is one normalized workload profile W = [CPU, MEM, IO, TRF].
+	Profile = traces.Profile
+	// Alert is one ALERT message.
+	Alert = alert.Alert
+	// Thresholds holds the per-component ALERT trigger levels.
+	Thresholds = alert.Thresholds
+
+	// Cluster models racks, hosts and VMs over a wired topology.
+	Cluster = dcn.Cluster
+	// Rack is one basic DCN unit (ToR + hosts + shim).
+	Rack = dcn.Rack
+	// Host is a physical server.
+	Host = dcn.Host
+	// VM is a virtual machine.
+	VM = dcn.VM
+	// CostModel evaluates the Eqn. (1) migration cost.
+	CostModel = cost.Model
+	// CostParams holds C_r, C_d, δ, η, B_t.
+	CostParams = cost.Params
+	// Shim is a rack's delegation node running Algs. 1–4.
+	Shim = migrate.Shim
+	// MigrationReport summarizes one shim management round.
+	MigrationReport = migrate.Report
+
+	// SimConfig sizes a simulated DCN.
+	SimConfig = sim.Config
+	// Simulation is a built simulated DCN.
+	Simulation = sim.Sim
+	// CompareResult is one Sheriff-vs-centralized data point.
+	CompareResult = sim.CompareResult
+	// FigureTable is one regenerated paper figure.
+	FigureTable = experiments.Table
+
+	// SARIMAModel is a fitted seasonal ARIMA model.
+	SARIMAModel = arima.SeasonalModel
+	// SARIMAOrder selects (p,d,q)(P,D,Q)[s].
+	SARIMAOrder = arima.SeasonalOrder
+	// Decomposition is a trend/seasonal/residual split of a series.
+	Decomposition = timeseries.Decomposition
+	// FlowNetwork models the traffic plane for FLOWREROUTE.
+	FlowNetwork = flow.Network
+	// Flow is one routed traffic aggregate.
+	Flow = flow.Flow
+	// Runtime is the assembled predict→alert→manage loop.
+	Runtime = runtime.Runtime
+	// RuntimeOptions configures a Runtime.
+	RuntimeOptions = runtime.Options
+	// RuntimeStats summarizes one Runtime step.
+	RuntimeStats = runtime.StepStats
+	// Coordinator runs concurrent shim rounds with FCFS commits.
+	Coordinator = migrate.Coordinator
+	// MigrationTimeline is the Fig. 2 six-stage live-migration schedule.
+	MigrationTimeline = cost.Timeline
+	// CostTimelineParams tunes the pre-copy timeline model.
+	CostTimelineParams = cost.TimelineParams
+)
+
+// Topology kinds for SimConfig.Kind.
+const (
+	FatTree = sim.FatTree
+	BCube   = sim.BCube
+)
+
+// NewSeries wraps raw observations in a Series.
+func NewSeries(data []float64) *Series { return timeseries.New(data) }
+
+// FitARIMA fits an ARIMA(p,d,q) to the data by Hannan–Rissanen.
+func FitARIMA(data []float64, p, d, q int) (*ARIMAModel, error) {
+	return arima.Fit(timeseries.New(data), arima.Order{P: p, D: d, Q: q})
+}
+
+// AutoARIMA selects the order with minimal AIC over a small Box–Jenkins
+// grid and fits it.
+func AutoARIMA(data []float64) (*ARIMAModel, error) {
+	return arima.AutoFit(timeseries.New(data), arima.DefaultSearchSpace)
+}
+
+// TrainNARNET trains a NARNET(inputs, hidden) on the data.
+func TrainNARNET(data []float64, inputs, hidden int, seed int64) (*NARNET, error) {
+	return narnet.Train(timeseries.New(data), narnet.Config{Inputs: inputs, Hidden: hidden, Seed: seed})
+}
+
+// FitSARIMA fits a seasonal ARIMA(p,d,q)(P,D,Q)[period] to the data.
+func FitSARIMA(data []float64, order SARIMAOrder) (*SARIMAModel, error) {
+	return arima.FitSeasonal(timeseries.New(data), order)
+}
+
+// Decompose splits a seasonal series into trend + seasonal + residual
+// (classical additive decomposition).
+func Decompose(data []float64, period int) (*Decomposition, error) {
+	return timeseries.Decompose(timeseries.New(data), period)
+}
+
+// DetectPeriod estimates the dominant season length of the data via the
+// ACF, or 0 when none stands out.
+func DetectPeriod(data []float64, minP, maxP int) int {
+	return timeseries.DetectPeriod(timeseries.New(data), minP, maxP)
+}
+
+// NewRuntime assembles the full predict→alert→manage loop over a
+// populated cluster.
+func NewRuntime(cluster *Cluster, model *CostModel, opts RuntimeOptions) (*Runtime, error) {
+	return runtime.New(cluster, model, opts)
+}
+
+// NewFlowNetwork wraps a cluster's topology for flow routing and
+// FLOWREROUTE.
+func NewFlowNetwork(cluster *Cluster) *FlowNetwork {
+	return flow.NewNetwork(cluster.Graph)
+}
+
+// NewCoordinator builds a parallel shim coordinator over the cluster.
+func NewCoordinator(cluster *Cluster, model *CostModel, shims []*Shim) *Coordinator {
+	return migrate.NewCoordinator(cluster, model, shims)
+}
+
+// NewCombinedPredictor builds the paper's dynamic-selection predictor on
+// the training data: two ARIMA orders and two NARNET architectures, with
+// the sliding-window MSE of Eqn. (14) picking the winner each step.
+func NewCombinedPredictor(train []float64, seed int64) (*Selector, error) {
+	ts := timeseries.New(train)
+	pool, err := predictor.DefaultPool(ts, seed)
+	if err != nil {
+		return nil, err
+	}
+	return predictor.NewSelector(ts, predictor.Config{}, pool...)
+}
+
+// NewExtendedPredictor builds the dynamic-selection predictor with the
+// full candidate pool: ARIMA, NARNET, Holt, and (when the detected or
+// supplied period is >= 2) Holt–Winters. Pass period = 0 to auto-detect.
+func NewExtendedPredictor(train []float64, period int, seed int64) (*Selector, error) {
+	ts := timeseries.New(train)
+	if period == 0 {
+		period = timeseries.DetectPeriod(ts, 4, ts.Len()/3)
+	}
+	pool, err := predictor.ExtendedPool(ts, period, seed)
+	if err != nil {
+		return nil, err
+	}
+	return predictor.NewSelector(ts, predictor.Config{}, pool...)
+}
+
+// HoltWintersModel is a fitted exponential-smoothing model.
+type HoltWintersModel = smoothing.Model
+
+// FitHoltWinters fits additive Holt–Winters with the given season length
+// (smoothing constants optimized by grid search).
+func FitHoltWinters(data []float64, period int) (*HoltWintersModel, error) {
+	return smoothing.Fit(timeseries.New(data), smoothing.Config{Method: smoothing.HoltWinters, Period: period})
+}
+
+// DefaultThresholds returns 0.9 per profile component.
+func DefaultThresholds() Thresholds { return alert.DefaultThresholds() }
+
+// EvaluateAlert applies the ALERT rule of Sec. IV.C to a predicted
+// profile.
+func EvaluateAlert(p Profile, th Thresholds) (value float64, fired bool) {
+	return alert.Evaluate(p, th)
+}
+
+// NewFatTreeCluster builds a k-pod Fat-Tree cluster with the given host
+// shape and returns it with its cost model and one shim per rack.
+func NewFatTreeCluster(pods, hostsPerRack int, hostCapacity float64) (*Cluster, *CostModel, []*Shim, error) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: pods})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return assemble(ft.Graph, hostsPerRack, hostCapacity)
+}
+
+// NewBCubeCluster builds a BCube(n,1) cluster (n² server nodes).
+func NewBCubeCluster(switchesPerLevel, hostsPerRack int, hostCapacity float64) (*Cluster, *CostModel, []*Shim, error) {
+	b, err := topology.NewBCube(topology.BCubeConfig{SwitchesPerLevel: switchesPerLevel})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return assemble(b.Graph, hostsPerRack, hostCapacity)
+}
+
+func assemble(g *topology.Graph, hostsPerRack int, hostCapacity float64) (*Cluster, *CostModel, []*Shim, error) {
+	cluster, err := dcn.NewCluster(g, dcn.Config{
+		HostsPerRack: hostsPerRack,
+		HostCapacity: hostCapacity,
+		ToRCapacity:  hostCapacity * float64(hostsPerRack),
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	model, err := cost.New(cluster, cost.PaperParams())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	shims := make([]*Shim, 0, len(cluster.Racks))
+	for _, r := range cluster.Racks {
+		s, err := migrate.NewShim(cluster, model, r, migrate.DefaultParams())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		shims = append(shims, s)
+	}
+	return cluster, model, shims, nil
+}
+
+// BuildSimulation constructs a full simulated DCN.
+func BuildSimulation(cfg SimConfig) (*Simulation, error) { return sim.Build(cfg) }
+
+// Compare runs one Sheriff-vs-centralized comparison (one data point of
+// the paper's Figs. 11–14).
+func Compare(cfg SimConfig) (*CompareResult, error) { return sim.Compare(cfg) }
+
+// GenerateFigure regenerates one paper figure ("3" through "14") with the
+// given seed.
+func GenerateFigure(id string, seed int64) (*FigureTable, error) {
+	gen, ok := experiments.Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("sheriff: unknown figure %q (want one of %v)", id, experiments.FigureIDs())
+	}
+	return gen(seed)
+}
+
+// Figures lists the regenerable figure identifiers in paper order.
+func Figures() []string { return experiments.FigureIDs() }
+
+// LocalSearchRatio returns the VMMIGRATION approximation guarantee 3+2/p.
+func LocalSearchRatio(p int) float64 { return kmedian.ApproximationRatio(p) }
