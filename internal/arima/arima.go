@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"sheriff/internal/linalg"
 	"sheriff/internal/timeseries"
@@ -49,6 +50,24 @@ type Model struct {
 	N         int       // number of observations used in fitting
 
 	history *timeseries.Series // original-scale training series
+
+	mu sync.Mutex
+	fc *suffixState // incremental forecast context (see ForecastFrom)
+}
+
+// suffixState is the O(max(p,q)) forecasting context cached between
+// ForecastFrom calls on the same append-only history: the last p values of
+// the differenced series and the last q innovations, which fully determine
+// the MMSE forecast recursion. Advancing it over k freshly appended
+// observations costs O(k) instead of the O(n) full re-derivation, and the
+// continuation is bit-exact with a cold recompute (the residual recursion
+// is Markov in exactly this state).
+type suffixState struct {
+	src   *timeseries.Series
+	yLen  int       // observations folded into the state
+	yLast float64   // src.At(yLen-1), to detect non-append mutation
+	wTail []float64 // last p differenced values, most recent first
+	rTail []float64 // last q innovations, most recent first
 }
 
 // minObservations returns the minimum series length required to fit o.
@@ -253,6 +272,13 @@ func (m *Model) Forecast(h int) ([]float64, error) {
 // the recursion in which earlier forecasts stand in for unobserved values
 // and future innovations are replaced by their zero mean (paper Sec. IV.B,
 // ONE-STEP-AHEAD / K-STEP-AHEAD).
+//
+// Repeated calls with the same *Series value hit a suffix-aware fast path:
+// when the history has only grown since the previous call (the shim
+// collection loop's append-only pattern), the cached forecast context is
+// advanced over the new suffix in O(new points) instead of re-deriving the
+// full innovation sequence in O(n). Histories that shrank or were mutated
+// in place fall back to the full recompute.
 func (m *Model) ForecastFrom(history *timeseries.Series, h int) ([]float64, error) {
 	if h <= 0 {
 		return nil, errors.New("arima: forecast horizon must be positive")
@@ -260,6 +286,27 @@ func (m *Model) ForecastFrom(history *timeseries.Series, h int) ([]float64, erro
 	if history.Len() < minObservations(m.Order) {
 		return nil, fmt.Errorf("arima: history length %d too short for %s", history.Len(), m.Order)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.fc
+	if st == nil || st.src != history || st.yLen > history.Len() ||
+		history.At(st.yLen-1) != st.yLast {
+		var err error
+		if st, err = m.rebuildState(history); err != nil {
+			return nil, err
+		}
+		m.fc = st
+	} else if st.yLen < history.Len() {
+		if err := m.advanceState(st, history); err != nil {
+			return nil, err
+		}
+	}
+	return m.forecastFromState(st, history, h)
+}
+
+// rebuildState derives the forecast context from scratch — the original
+// full O(n) pass over the differenced series and its innovations.
+func (m *Model) rebuildState(history *timeseries.Series) (*suffixState, error) {
 	w, err := timeseries.DiffN(history, m.Order.D)
 	if err != nil {
 		return nil, err
@@ -267,32 +314,89 @@ func (m *Model) ForecastFrom(history *timeseries.Series, h int) ([]float64, erro
 	wraw := w.Raw()
 	res := m.residuals(wraw)
 	p, q := m.Order.P, m.Order.Q
-	n := len(wraw)
+	if len(wraw) < p || len(res) < q {
+		return nil, fmt.Errorf("arima: differenced history too short for %s", m.Order)
+	}
+	st := &suffixState{
+		src:   history,
+		yLen:  history.Len(),
+		yLast: history.Last(),
+		wTail: make([]float64, p),
+		rTail: make([]float64, q),
+	}
+	for i := 0; i < p; i++ {
+		st.wTail[i] = wraw[len(wraw)-1-i]
+	}
+	for j := 0; j < q; j++ {
+		st.rTail[j] = res[len(res)-1-j]
+	}
+	return st, nil
+}
 
-	// Extended arrays holding observed values then forecasts.
-	ext := make([]float64, n+h)
-	copy(ext, wraw)
-	extRes := make([]float64, n+h)
-	copy(extRes, res) // future residuals stay zero (their conditional mean)
-
-	for k := 0; k < h; k++ {
-		t := n + k
+// advanceState folds the freshly appended observations into the cached
+// context. New differenced values come from a local window (differencing
+// is a local operator, so the window result is bit-exact with the global
+// pass), and the innovation recursion continues from the cached tails.
+func (m *Model) advanceState(st *suffixState, history *timeseries.Series) error {
+	p, q, d := m.Order.P, m.Order.Q, m.Order.D
+	window, err := timeseries.DiffN(history.Slice(st.yLen-d, history.Len()), d)
+	if err != nil {
+		return err
+	}
+	for _, v := range window.Raw() {
 		pred := m.Intercept
 		for i := 1; i <= p; i++ {
-			pred += m.Phi[i-1] * ext[t-i]
+			pred += m.Phi[i-1] * st.wTail[i-1]
 		}
 		for j := 1; j <= q; j++ {
-			pred += m.Theta[j-1] * extRes[t-j]
+			pred += m.Theta[j-1] * st.rTail[j-1]
 		}
-		ext[t] = pred
+		r := v - pred
+		if p > 0 {
+			copy(st.wTail[1:], st.wTail[:p-1])
+			st.wTail[0] = v
+		}
+		if q > 0 {
+			copy(st.rTail[1:], st.rTail[:q-1])
+			st.rTail[0] = r
+		}
 	}
-	fc := ext[n:]
-	if m.Order.D == 0 {
-		out := make([]float64, h)
-		copy(out, fc)
-		return out, nil
+	st.yLen = history.Len()
+	st.yLast = history.Last()
+	return nil
+}
+
+// forecastFromState runs the MMSE forecast recursion off the cached tails
+// and re-integrates when the model differences.
+func (m *Model) forecastFromState(st *suffixState, history *timeseries.Series, h int) ([]float64, error) {
+	p, q, d := m.Order.P, m.Order.Q, m.Order.D
+	// Extended arrays: the p (resp. q) tail values, oldest first, then the
+	// forecast horizon. Future innovations stay at their zero mean.
+	ext := make([]float64, p+h)
+	for i := 0; i < p; i++ {
+		ext[p-1-i] = st.wTail[i]
 	}
-	tails, err := timeseries.DiffTails(history, m.Order.D)
+	extRes := make([]float64, q+h)
+	for j := 0; j < q; j++ {
+		extRes[q-1-j] = st.rTail[j]
+	}
+	for k := 0; k < h; k++ {
+		pred := m.Intercept
+		for i := 1; i <= p; i++ {
+			pred += m.Phi[i-1] * ext[p+k-i]
+		}
+		for j := 1; j <= q; j++ {
+			pred += m.Theta[j-1] * extRes[q+k-j]
+		}
+		ext[p+k] = pred
+	}
+	fc := ext[p:]
+	if d == 0 {
+		return fc, nil
+	}
+	// Difference tails only need the last d observations (each ∇^i tail is
+	// a function of the final i+1 values), so a window keeps this O(d²).
+	tails, err := timeseries.DiffTails(history.Slice(history.Len()-d-1, history.Len()), d)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"sheriff/internal/dcn"
+	"sheriff/internal/pool"
 	"sheriff/internal/topology"
 )
 
@@ -81,18 +82,27 @@ func New(c *dcn.Cluster, p Params) (*Model, error) {
 // Only rack nodes are sources — Eqn. (1) is evaluated between delegation
 // nodes, so per-rack Dijkstra replaces the paper's Floyd–Warshall with
 // identical results at far lower cost on large fabrics.
+// The transmission and distance sweeps are independent and run
+// concurrently on the shared worker pool (each sweep also fans its
+// per-rack sources out over the same pool).
 func (m *Model) Refresh() {
 	p := m.params
 	racks := m.cluster.Graph.Racks()
-	m.trans = topology.DijkstraFrom(m.cluster.Graph, racks, func(e topology.Edge) float64 {
-		if e.Bandwidth <= 0 || e.Bandwidth < p.BandwidthFloor {
-			return topology.Inf
-		}
-		t := p.RefSize / e.Bandwidth // T(e) for the reference size
-		u := e.Bandwidth / e.Capacity
-		return p.Delta*t + p.Eta*u
-	})
-	m.dist = topology.DijkstraFrom(m.cluster.Graph, racks, topology.DistanceCost)
+	pool.Shared().Run(
+		func() {
+			m.trans = topology.DijkstraFrom(m.cluster.Graph, racks, func(e topology.Edge) float64 {
+				if e.Bandwidth <= 0 || e.Bandwidth < p.BandwidthFloor {
+					return topology.Inf
+				}
+				t := p.RefSize / e.Bandwidth // T(e) for the reference size
+				u := e.Bandwidth / e.Capacity
+				return p.Delta*t + p.Eta*u
+			})
+		},
+		func() {
+			m.dist = topology.DijkstraFrom(m.cluster.Graph, racks, topology.DistanceCost)
+		},
+	)
 }
 
 // Params returns the model constants.

@@ -3,13 +3,13 @@ package migrate
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"sheriff/internal/alert"
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
 	"sheriff/internal/knapsack"
 	"sheriff/internal/matching"
+	"sheriff/internal/pool"
 )
 
 // Coordinator runs many shims' management rounds with distributed
@@ -57,35 +57,31 @@ func (co *Coordinator) Round(alertsByShim [][]alert.Alert) (*RoundReport, error)
 	}
 	report := &RoundReport{}
 
-	// Per-shim migration sets via PRIORITY (concurrent: reads only).
+	// Per-shim migration sets via PRIORITY (reads only, so the shims fan
+	// out over the shared worker pool).
 	vmSets := make([][]*dcn.VM, len(co.shims))
-	var wg sync.WaitGroup
-	for i, shim := range co.shims {
-		wg.Add(1)
-		go func(i int, shim *Shim) {
-			defer wg.Done()
-			var set []*dcn.VM
-			seen := map[int]bool{}
-			for _, a := range alertsByShim[i] {
-				if a.Kind != alert.FromServer {
-					continue
-				}
-				h := co.cluster.Host(a.HostID)
-				if h == nil || h.Rack() != shim.Rack {
-					continue
-				}
-				budget := shim.params.Alpha * h.Capacity
-				for _, vm := range knapsack.Priority(h.VMs(), knapsack.Alpha, budget) {
-					if !seen[vm.ID] {
-						seen[vm.ID] = true
-						set = append(set, vm)
-					}
+	pool.Shared().ForEach(len(co.shims), func(i int) {
+		shim := co.shims[i]
+		var set []*dcn.VM
+		seen := map[int]bool{}
+		for _, a := range alertsByShim[i] {
+			if a.Kind != alert.FromServer {
+				continue
+			}
+			h := co.cluster.Host(a.HostID)
+			if h == nil || h.Rack() != shim.Rack {
+				continue
+			}
+			budget := shim.params.Alpha * h.Capacity
+			for _, vm := range knapsack.Priority(h.VMs(), knapsack.Alpha, budget) {
+				if !seen[vm.ID] {
+					seen[vm.ID] = true
+					set = append(set, vm)
 				}
 			}
-			vmSets[i] = set
-		}(i, shim)
-	}
-	wg.Wait()
+		}
+		vmSets[i] = set
+	})
 
 	pending := vmSets
 	// Iterate: propose in parallel, commit FCFS, recompute losers.
@@ -93,18 +89,12 @@ func (co *Coordinator) Round(alertsByShim [][]alert.Alert) (*RoundReport, error)
 		report.Rounds++
 		proposals := make([][]proposal, len(co.shims))
 		spaces := make([]int, len(co.shims))
-		var pwg sync.WaitGroup
-		for i, shim := range co.shims {
+		pool.Shared().ForEach(len(co.shims), func(i int) {
 			if len(pending[i]) == 0 {
-				continue
+				return
 			}
-			pwg.Add(1)
-			go func(i int, shim *Shim) {
-				defer pwg.Done()
-				proposals[i], spaces[i] = shim.propose(pending[i])
-			}(i, shim)
-		}
-		pwg.Wait()
+			proposals[i], spaces[i] = co.shims[i].propose(pending[i])
+		})
 		for _, sp := range spaces {
 			report.SearchSpace += sp
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"sheriff/internal/timeseries"
 )
@@ -67,6 +68,21 @@ type Network struct {
 	scale      timeseries.Scale   // normalization used during training
 	history    *timeseries.Series // original-scale training series
 	trainedMSE float64            // final training MSE (normalized units)
+
+	mu sync.Mutex
+	fc *lineState // cached delay line (see ForecastFrom)
+}
+
+// lineState caches the normalized tapped-delay line between ForecastFrom
+// calls on the same append-only history: appending k observations shifts
+// the line by k, so advancing costs O(min(k, ni)) instead of O(ni) per
+// call. (The delay line is already O(ni) to rebuild, so unlike the ARIMA
+// suffix state this is a constant-factor saving, not an asymptotic one.)
+type lineState struct {
+	src   *timeseries.Series
+	yLen  int
+	yLast float64
+	line  []float64 // normalized values, most recent first, len = ni
 }
 
 // Train fits a NARNET to the series. The series must contain at least
@@ -241,7 +257,9 @@ func (n *Network) Forecast(h int) ([]float64, error) {
 }
 
 // ForecastFrom returns h-step-ahead predictions treating history as the
-// observed past.
+// observed past. Repeated calls with the same *Series value reuse the
+// cached delay line when the history has only grown (append-only);
+// anything else rebuilds the line from the last ni observations.
 func (n *Network) ForecastFrom(history *timeseries.Series, h int) ([]float64, error) {
 	if h <= 0 {
 		return nil, errors.New("narnet: forecast horizon must be positive")
@@ -250,11 +268,32 @@ func (n *Network) ForecastFrom(history *timeseries.Series, h int) ([]float64, er
 	if history.Len() < ni {
 		return nil, fmt.Errorf("narnet: history length %d shorter than delay line %d", history.Len(), ni)
 	}
-	// Delay line in normalized coordinates, most recent first.
-	line := make([]float64, ni)
-	for i := 0; i < ni; i++ {
-		line[i] = n.scale.Apply(history.At(history.Len() - 1 - i))
+	n.mu.Lock()
+	st := n.fc
+	grown := ni // default: rebuild the whole line
+	if st != nil && st.src == history && st.yLen <= history.Len() &&
+		history.At(st.yLen-1) == st.yLast {
+		grown = history.Len() - st.yLen
+	} else {
+		st = &lineState{src: history, line: make([]float64, ni)}
+		n.fc = st
 	}
+	if grown > ni {
+		grown = ni
+	}
+	if grown > 0 {
+		copy(st.line[grown:], st.line[:ni-grown])
+		for i := 0; i < grown; i++ {
+			st.line[i] = n.scale.Apply(history.At(history.Len() - 1 - i))
+		}
+	}
+	st.yLen = history.Len()
+	st.yLast = history.Last()
+	// Work on a copy: the closed-loop recursion feeds predictions back
+	// into the line, which must not leak into the cached observed state.
+	line := append([]float64(nil), st.line...)
+	n.mu.Unlock()
+
 	out := make([]float64, h)
 	for k := 0; k < h; k++ {
 		p := n.forwardNormalized(line, nil)

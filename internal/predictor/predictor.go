@@ -10,9 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"sheriff/internal/arima"
 	"sheriff/internal/narnet"
+	"sheriff/internal/pool"
 	"sheriff/internal/smoothing"
 	"sheriff/internal/timeseries"
 )
@@ -40,9 +42,10 @@ type Selector struct {
 	candidates []*Candidate
 	history    *timeseries.Series
 
-	lastPred  []float64 // most recent one-step prediction per candidate
-	havePred  bool
-	selection int // index of last winning candidate
+	lastPred     []float64 // cached one-step prediction per candidate
+	havePred     bool      // lastPred is valid for the current history
+	selection    int       // index of last winning candidate
+	hasSelection bool      // a Predict has succeeded since the last failure
 }
 
 // Config configures a Selector.
@@ -83,64 +86,79 @@ func NewCandidate(name string, f Forecaster) *Candidate {
 // Predict returns the one-step-ahead prediction of the currently best
 // candidate (minimum windowed MSE; first candidate wins ties, so the pool
 // order encodes a preference before any errors are observed).
+//
+// The per-candidate forecasts are computed once per history state and
+// cached until the next Observe: calling Predict repeatedly between
+// observations reuses the cached values instead of re-running every
+// forecaster (the fitness ranking cannot change without a new error).
 func (s *Selector) Predict() (float64, error) {
+	if !s.havePred {
+		for i, c := range s.candidates {
+			fc, err := c.F.ForecastFrom(s.history, 1)
+			if err != nil {
+				// A candidate that cannot forecast simply does not compete
+				// this round; record a non-prediction.
+				s.lastPred[i] = math.NaN()
+				continue
+			}
+			s.lastPred[i] = fc[0]
+		}
+		s.havePred = true
+	}
 	best := -1
 	bestMSE := math.Inf(1)
 	var bestVal float64
 	for i, c := range s.candidates {
-		fc, err := c.F.ForecastFrom(s.history, 1)
-		if err != nil {
-			// A candidate that cannot forecast simply does not compete
-			// this round; record a non-prediction.
-			s.lastPred[i] = math.NaN()
+		if math.IsNaN(s.lastPred[i]) {
 			continue
 		}
-		s.lastPred[i] = fc[0]
 		if m := c.MSE(); m < bestMSE || best == -1 {
-			best, bestMSE, bestVal = i, m, fc[0]
+			best, bestMSE, bestVal = i, m, s.lastPred[i]
 		}
 	}
 	if best == -1 {
+		s.hasSelection = false
 		return 0, errors.New("predictor: no candidate could forecast")
 	}
-	s.havePred = true
 	s.selection = best
+	s.hasSelection = true
 	return bestVal, nil
 }
 
-// PredictK returns an h-step-ahead forecast from the currently best
-// candidate — the paper's K-STEP-AHEAD mode, where later steps reuse
-// earlier predictions as history inside the winning model. The fitness
-// ranking is still based on one-step errors (Eqn. 14), so PredictK does
-// not change the selection state.
-func (s *Selector) PredictK(h int) ([]float64, error) {
+// PredictK returns an h-step-ahead forecast — the paper's K-STEP-AHEAD
+// mode, where later steps reuse earlier predictions as history inside the
+// winning model — together with the name of the candidate that actually
+// produced it. Candidates are tried in ascending windowed-MSE order
+// (ties keep pool order), so when the best candidate cannot forecast the
+// fallback is the next-fittest model, not whichever happens to sit first
+// in the pool. The fitness ranking is still based on one-step errors
+// (Eqn. 14), so PredictK does not change the selection state.
+func (s *Selector) PredictK(h int) ([]float64, string, error) {
 	if h <= 0 {
-		return nil, errors.New("predictor: horizon must be positive")
+		return nil, "", errors.New("predictor: horizon must be positive")
 	}
-	best := -1
-	bestMSE := math.Inf(1)
-	for i, c := range s.candidates {
-		if m := c.MSE(); m < bestMSE || best == -1 {
-			best, bestMSE = i, m
-		}
+	if len(s.candidates) == 0 {
+		return nil, "", errors.New("predictor: empty pool")
 	}
-	if best == -1 {
-		return nil, errors.New("predictor: empty pool")
+	order := make([]int, len(s.candidates))
+	for i := range order {
+		order[i] = i
 	}
-	fc, err := s.candidates[best].F.ForecastFrom(s.history, h)
-	if err != nil {
-		// Fall back to any candidate that can forecast.
-		for i, c := range s.candidates {
-			if i == best {
-				continue
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.candidates[order[a]].MSE() < s.candidates[order[b]].MSE()
+	})
+	var firstErr error
+	for _, i := range order {
+		fc, err := s.candidates[i].F.ForecastFrom(s.history, h)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
 			}
-			if fc, err2 := c.F.ForecastFrom(s.history, h); err2 == nil {
-				return fc, nil
-			}
+			continue
 		}
-		return nil, fmt.Errorf("predictor: k-step forecast: %w", err)
+		return fc, s.candidates[i].Name, nil
 	}
-	return fc, nil
+	return nil, "", fmt.Errorf("predictor: k-step forecast: %w", firstErr)
 }
 
 // Observe reveals the true value for the step last predicted, updating
@@ -161,8 +179,15 @@ func (s *Selector) Observe(actual float64) {
 func (c *Candidate) Observe(err float64) { c.mse.Observe(err) }
 
 // Selection returns the name of the candidate that produced the most
-// recent prediction.
-func (s *Selector) Selection() string { return s.candidates[s.selection].Name }
+// recent successful prediction. Before the first successful Predict — and
+// after a Predict in which no candidate could forecast — it returns ""
+// rather than inventing a winner.
+func (s *Selector) Selection() string {
+	if !s.hasSelection {
+		return ""
+	}
+	return s.candidates[s.selection].Name
+}
 
 // Candidates returns the pool (for inspection and reporting).
 func (s *Selector) Candidates() []*Candidate { return s.candidates }
@@ -195,48 +220,80 @@ func (s *Selector) Run(test *timeseries.Series) (pred []float64, winShare map[st
 // ExtendedPool builds DefaultPool plus the exponential-smoothing family:
 // Holt's linear method and, when period >= 2, additive Holt–Winters with
 // that season length. Pass period = 0 to skip the seasonal candidate.
+// The three families fit concurrently on the shared worker pool.
+//
+// When every candidate fails, the returned error wraps the underlying
+// per-family fit errors (errors.Join), so callers see why the whole pool
+// died instead of a bare "failed to fit".
 func ExtendedPool(train *timeseries.Series, period int, seed int64) ([]*Candidate, error) {
-	pool, err := DefaultPool(train, seed)
-	if err != nil {
-		pool = nil // smoothing may still succeed below
-	}
-	if m, err := smoothing.Fit(train, smoothing.Config{Method: smoothing.Holt}); err == nil {
-		pool = append(pool, NewCandidate("Holt", m))
+	var (
+		base           []*Candidate
+		baseErr        error
+		holt, hw       *smoothing.Model
+		holtErr, hwErr error
+	)
+	tasks := []func(){
+		func() { base, baseErr = DefaultPool(train, seed) },
+		func() { holt, holtErr = smoothing.Fit(train, smoothing.Config{Method: smoothing.Holt}) },
 	}
 	if period >= 2 {
-		if m, err := smoothing.Fit(train, smoothing.Config{Method: smoothing.HoltWinters, Period: period}); err == nil {
-			pool = append(pool, NewCandidate(fmt.Sprintf("HoltWinters[%d]", period), m))
-		}
+		tasks = append(tasks, func() {
+			hw, hwErr = smoothing.Fit(train, smoothing.Config{Method: smoothing.HoltWinters, Period: period})
+		})
 	}
-	if len(pool) == 0 {
-		return nil, errors.New("predictor: every candidate failed to fit")
+	pool.Shared().Run(tasks...)
+
+	var out []*Candidate
+	if baseErr == nil {
+		out = base
 	}
-	return pool, nil
+	if holtErr == nil {
+		out = append(out, NewCandidate("Holt", holt))
+	}
+	if period >= 2 && hwErr == nil {
+		out = append(out, NewCandidate(fmt.Sprintf("HoltWinters[%d]", period), hw))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("predictor: every candidate failed to fit: %w",
+			errors.Join(baseErr, holtErr, hwErr))
+	}
+	return out, nil
 }
 
 // DefaultPool builds the paper's four-candidate pool on a training series:
-// ARIMA(p1,d1,q1), ARIMA(p2,d2,q2), NARNET(ni1,nh1), NARNET(ni2,nh2).
-// Any candidate whose fit fails is dropped; at least one must survive.
+// ARIMA(p1,d1,q1), ARIMA(p2,d2,q2), NARNET(ni1,nh1), NARNET(ni2,nh2),
+// fitting the candidates concurrently on the shared worker pool (each fit
+// is independent and deterministic, so the pool order is stable). Any
+// candidate whose fit fails is dropped; at least one must survive, and
+// when none do the returned error wraps every underlying fit error.
 func DefaultPool(train *timeseries.Series, seed int64) ([]*Candidate, error) {
-	var pool []*Candidate
-	type arimaSpec struct{ o arima.Order }
-	for _, spec := range []arimaSpec{
-		{arima.Order{P: 1, D: 1, Q: 1}},
-		{arima.Order{P: 2, D: 1, Q: 2}},
-	} {
-		if m, err := arima.Fit(train, spec.o); err == nil {
-			pool = append(pool, NewCandidate(spec.o.String(), m))
+	type spec struct {
+		name string
+		fit  func() (Forecaster, error)
+	}
+	specs := []spec{}
+	for _, o := range []arima.Order{{P: 1, D: 1, Q: 1}, {P: 2, D: 1, Q: 2}} {
+		o := o
+		specs = append(specs, spec{o.String(), func() (Forecaster, error) { return arima.Fit(train, o) }})
+	}
+	for i, nn := range []struct{ ni, nh int }{{8, 20}, {12, 10}} {
+		cfg := narnet.Config{Inputs: nn.ni, Hidden: nn.nh, Seed: seed + int64(i)}
+		specs = append(specs, spec{fmt.Sprintf("NARNET(%d,%d)", nn.ni, nn.nh),
+			func() (Forecaster, error) { return narnet.Train(train, cfg) }})
+	}
+	fitted := make([]Forecaster, len(specs))
+	errs := make([]error, len(specs))
+	pool.Shared().ForEach(len(specs), func(i int) {
+		fitted[i], errs[i] = specs[i].fit()
+	})
+	var out []*Candidate
+	for i, sp := range specs {
+		if errs[i] == nil {
+			out = append(out, NewCandidate(sp.name, fitted[i]))
 		}
 	}
-	type nnSpec struct{ ni, nh int }
-	for i, spec := range []nnSpec{{8, 20}, {12, 10}} {
-		cfg := narnet.Config{Inputs: spec.ni, Hidden: spec.nh, Seed: seed + int64(i)}
-		if n, err := narnet.Train(train, cfg); err == nil {
-			pool = append(pool, NewCandidate(fmt.Sprintf("NARNET(%d,%d)", spec.ni, spec.nh), n))
-		}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("predictor: every candidate failed to fit: %w", errors.Join(errs...))
 	}
-	if len(pool) == 0 {
-		return nil, errors.New("predictor: every candidate failed to fit")
-	}
-	return pool, nil
+	return out, nil
 }

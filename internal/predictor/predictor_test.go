@@ -1,12 +1,14 @@
 package predictor
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"sheriff/internal/arima"
 	"sheriff/internal/narnet"
+	"sheriff/internal/smoothing"
 	"sheriff/internal/timeseries"
 )
 
@@ -297,7 +299,7 @@ func TestPredictK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fc, err := sel.PredictK(4)
+	fc, name, err := sel.PredictK(4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,10 +307,10 @@ func TestPredictK(t *testing.T) {
 		t.Fatalf("len = %d", len(fc))
 	}
 	// Ties break to the first candidate before any observation.
-	if fc[0] != 5 {
-		t.Fatalf("PredictK[0] = %v, want candidate a's 5", fc[0])
+	if fc[0] != 5 || name != "a" {
+		t.Fatalf("PredictK = %v (%s), want candidate a's 5", fc[0], name)
 	}
-	if _, err := sel.PredictK(0); err == nil {
+	if _, _, err := sel.PredictK(0); err == nil {
 		t.Fatal("zero horizon accepted")
 	}
 }
@@ -321,11 +323,193 @@ func TestPredictKFallsBackOnFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fc, err := sel.PredictK(2)
+	fc, name, err := sel.PredictK(2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fc[0] != 7 || fc[1] != 7 {
 		t.Fatalf("fallback forecast = %v", fc)
+	}
+	if name != "ok" {
+		t.Fatalf("PredictK reported %q, want the candidate actually used (ok)", name)
+	}
+}
+
+func TestPredictKEmptyPool(t *testing.T) {
+	var sel Selector // zero value: no candidates
+	if _, _, err := sel.PredictK(3); err == nil {
+		t.Fatal("empty-pool PredictK succeeded")
+	}
+}
+
+func TestPredictKOrdersFallbackByMSE(t *testing.T) {
+	h := timeseries.New([]float64{5, 5, 5})
+	// Pool order: fail, far, near. After observations, "near" has the
+	// lower MSE, so the fallback must pick it even though "far" comes
+	// first in the pool.
+	sel, err := NewSelector(h, Config{Window: 5},
+		NewCandidate("fail", failingForecaster{}),
+		NewCandidate("far", constantForecaster{50}),
+		NewCandidate("near", constantForecaster{6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sel.Predict(); err != nil {
+			t.Fatal(err)
+		}
+		sel.Observe(5)
+	}
+	fc, name, err := sel.PredictK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "near" || fc[0] != 6 {
+		t.Fatalf("PredictK used %q (%v), want lowest-MSE candidate near", name, fc[0])
+	}
+}
+
+func TestPredictKAllFailWrapsError(t *testing.T) {
+	h := timeseries.New([]float64{1, 2, 3})
+	sel, err := NewSelector(h, Config{}, NewCandidate("f", failingForecaster{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = sel.PredictK(2)
+	if err == nil {
+		t.Fatal("expected error when every candidate fails")
+	}
+	if !errors.Is(err, errEveryTime) {
+		t.Fatalf("error %v does not wrap the underlying forecast error", err)
+	}
+}
+
+func TestObserveSkipsFailedForecasts(t *testing.T) {
+	h := timeseries.New([]float64{1, 2, 3})
+	fail := NewCandidate("fail", failingForecaster{})
+	ok := NewCandidate("ok", constantForecaster{7})
+	sel, err := NewSelector(h, Config{Window: 5}, fail, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.Predict(); err != nil {
+		t.Fatal(err)
+	}
+	sel.Observe(7)
+	// The failing candidate produced no prediction, so its fitness must
+	// stay unobserved (+Inf), not be polluted by a NaN error.
+	if !math.IsInf(fail.MSE(), 1) {
+		t.Fatalf("failed candidate MSE = %v, want +Inf", fail.MSE())
+	}
+	if ok.MSE() != 0 {
+		t.Fatalf("ok candidate MSE = %v, want 0", ok.MSE())
+	}
+}
+
+func TestSelectionEmptyUntilSuccess(t *testing.T) {
+	h := timeseries.New([]float64{1, 2, 3})
+	sel, err := NewSelector(h, Config{},
+		NewCandidate("a", constantForecaster{1}),
+		NewCandidate("b", constantForecaster{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Selection(); got != "" {
+		t.Fatalf("Selection before any Predict = %q, want \"\"", got)
+	}
+	if _, err := sel.Predict(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Selection(); got != "a" {
+		t.Fatalf("Selection after Predict = %q, want a", got)
+	}
+}
+
+func TestSelectionResetAfterFailedPredict(t *testing.T) {
+	h := timeseries.New([]float64{1, 2, 3})
+	flaky := &switchableForecaster{v: 4}
+	sel, err := NewSelector(h, Config{}, NewCandidate("flaky", flaky))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.Predict(); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Selection() != "flaky" {
+		t.Fatalf("Selection = %q", sel.Selection())
+	}
+	sel.Observe(4)
+	flaky.broken = true
+	if _, err := sel.Predict(); err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := sel.Selection(); got != "" {
+		t.Fatalf("Selection after failed Predict = %q, want \"\"", got)
+	}
+}
+
+// switchableForecaster forecasts a constant until broken.
+type switchableForecaster struct {
+	v      float64
+	broken bool
+}
+
+func (s *switchableForecaster) ForecastFrom(_ *timeseries.Series, h int) ([]float64, error) {
+	if s.broken {
+		return nil, errEveryTime
+	}
+	out := make([]float64, h)
+	for i := range out {
+		out[i] = s.v
+	}
+	return out, nil
+}
+
+// TestIncrementalForecastMatchesCold drives one fitted model of each
+// family incrementally (ForecastFrom after every append to one shared
+// Series) and compares against a cold call on a fresh copy of the same
+// history. The incremental caches must be bit-exact with recomputation.
+func TestIncrementalForecastMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	train := timeseries.FromFunc(300, func(tt int) float64 {
+		return 50 + 20*math.Sin(2*math.Pi*float64(tt)/24) + rng.NormFloat64()
+	})
+	am, err := arima.Fit(train, arima.Order{P: 2, D: 1, Q: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := narnet.Train(train, narnet.Config{Inputs: 8, Hidden: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := smoothing.Fit(train, smoothing.Config{Method: smoothing.HoltWinters, Period: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []struct {
+		name string
+		f    Forecaster
+	}{{"arima", am}, {"narnet", nn}, {"holtwinters", hm}}
+
+	hist := train.Clone()
+	for step := 0; step < 40; step++ {
+		for _, m := range models {
+			warm, err := m.f.ForecastFrom(hist, 3)
+			if err != nil {
+				t.Fatalf("%s warm step %d: %v", m.name, step, err)
+			}
+			cold, err := m.f.ForecastFrom(hist.Clone(), 3)
+			if err != nil {
+				t.Fatalf("%s cold step %d: %v", m.name, step, err)
+			}
+			for k := range warm {
+				if warm[k] != cold[k] {
+					t.Fatalf("%s step %d horizon %d: warm %v != cold %v",
+						m.name, step, k, warm[k], cold[k])
+				}
+			}
+		}
+		next := 50 + 20*math.Sin(2*math.Pi*float64(300+step)/24) + rng.NormFloat64()
+		hist.Append(next)
 	}
 }

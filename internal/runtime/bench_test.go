@@ -1,0 +1,60 @@
+package runtime
+
+import (
+	"testing"
+
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/topology"
+)
+
+// buildBenchRuntime assembles the 48-pod Fat-Tree runtime used by
+// BenchmarkRuntimeStep: 1152 racks, 2304 hosts, 6912 VMs. Thresholds are
+// set above the normalized profile range so the benchmark isolates the
+// per-step prediction hot path (phase 1 plus the per-rack queue monitors);
+// management is exercised by the figure benches at the repo root.
+func buildBenchRuntime(b *testing.B, pods int) *Runtime {
+	b.Helper()
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: pods})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster, err := dcn.NewCluster(ft.Graph, dcn.Config{HostsPerRack: 2, HostCapacity: 100, ToRCapacity: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster.Populate(dcn.PopulateOptions{VMsPerHost: 3, MinCapacity: 5, MaxCapacity: 20, DependencyProb: 0.5, CrossRackDependencyProb: 0.4, Seed: 42})
+	model, err := cost.New(cluster, cost.PaperParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Seed: 42}
+	opts.Thresholds.CPU, opts.Thresholds.Mem, opts.Thresholds.IO, opts.Thresholds.TRF = 2, 2, 2, 2
+	r, err := New(cluster, model, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkRuntimeStep measures one collection period T on a 48-pod
+// Fat-Tree. Run with a fixed iteration count for before/after comparisons
+// (history length affects per-step cost):
+//
+//	go test -run - -bench BenchmarkRuntimeStep -benchtime 10x ./internal/runtime/
+func BenchmarkRuntimeStep(b *testing.B) {
+	r := buildBenchRuntime(b, 48)
+	// Prime past the cold-start window: flow routes are established and
+	// every VM has enough history to extrapolate.
+	for i := 0; i < 15; i++ {
+		if _, err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

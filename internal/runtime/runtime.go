@@ -3,9 +3,11 @@
 // profiles, forecasts the next period, raises pre-alerts, and manages its
 // region — VM migration for server/ToR alerts, flow rerouting for hot
 // outer switches (Sec. II–V assembled). Prediction is embarrassingly
-// parallel and runs one goroutine per rack; management mutates shared
-// cluster state and is serialized, mirroring the paper's split between
-// local monitoring and coordinated action.
+// parallel and is distributed over individual VM states on the shared
+// bounded worker pool (one goroutine per rack would bottleneck on the
+// largest rack); management mutates shared cluster state and is
+// serialized, mirroring the paper's split between local monitoring and
+// coordinated action.
 package runtime
 
 import (
@@ -13,13 +15,15 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
+	"time"
 
 	"sheriff/internal/alert"
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
 	"sheriff/internal/flow"
+	"sheriff/internal/metrics"
 	"sheriff/internal/migrate"
+	"sheriff/internal/pool"
 	"sheriff/internal/qcn"
 	"sheriff/internal/timeseries"
 	"sheriff/internal/traces"
@@ -64,12 +68,16 @@ func (o Options) withDefaults() Options {
 }
 
 // vmState is one VM's monitoring stack: its synthetic workload source and
-// the per-component profile predictor.
+// the per-component profile predictor. alert/fired are per-step scratch
+// written only by the worker that owns the state during phase 1.
 type vmState struct {
 	vm      *dcn.VM
+	rack    int
 	gen     *traces.WorkloadGen
 	pred    *alert.ProfilePredictor
 	current traces.Profile
+	alert   alert.Alert
+	fired   bool
 }
 
 // ewmaTrend is a cheap ComponentForecaster: exponentially weighted level
@@ -98,6 +106,55 @@ func (e ewmaTrend) ForecastFrom(h *timeseries.Series, n int) ([]float64, error) 
 	return out, nil
 }
 
+// trendState is ewmaTrend with suffix-aware incremental state: the level
+// and trend fully determine both the forecast and the continuation of the
+// recursion, so a bound history that only grows (the per-step collection
+// pattern) costs O(new points) per forecast instead of a full O(n)
+// re-smoothing. The continuation is bit-exact with ewmaTrend's cold pass.
+// Each trendState must be bound to exactly one append-only history; it is
+// not safe for concurrent use (each VM component and queue monitor owns
+// its own instance).
+type trendState struct {
+	ewmaTrend
+	n            int     // observations folded into level/trend
+	last         float64 // history.At(n-1), to detect non-append mutation
+	level, trend float64
+}
+
+// ForecastFrom implements alert.ComponentForecaster incrementally.
+func (ts *trendState) ForecastFrom(h *timeseries.Series, n int) ([]float64, error) {
+	if h.Len() == 0 {
+		return nil, errors.New("runtime: empty history")
+	}
+	start := ts.n
+	if start < 1 || start > h.Len() || h.At(start-1) != ts.last {
+		ts.level, ts.trend = h.At(0), 0
+		start = 1
+	}
+	for t := start; t < h.Len(); t++ {
+		prev := ts.level
+		ts.level = ts.alpha*h.At(t) + (1-ts.alpha)*(ts.level+ts.trend)
+		ts.trend = ts.beta*(ts.level-prev) + (1-ts.beta)*ts.trend
+	}
+	ts.n = h.Len()
+	ts.last = h.At(h.Len() - 1)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = ts.level + ts.trend*float64(i+1)
+	}
+	return out, nil
+}
+
+// PhaseTimings holds one step's wall-clock phase durations. Timings are
+// measurement artifacts: they vary run to run and are excluded from any
+// determinism comparison of StepStats.
+type PhaseTimings struct {
+	Predict    time.Duration // phase 1: observe + forecast + pre-alerts
+	Flows      time.Duration // phase 2: traffic-plane reconciliation
+	Congestion time.Duration // phase 3: hot switches, reroutes, ToR monitors
+	Manage     time.Duration // phase 4: cost refresh + shim management
+}
+
 // StepStats summarizes one runtime step.
 type StepStats struct {
 	Step           int
@@ -111,6 +168,7 @@ type StepStats struct {
 	WorkloadStdDev float64
 	MaxUplinkUtil  float64
 	QCNFeedbacks   int // congestion messages sampled (UseQCN only)
+	Timings        PhaseTimings
 }
 
 // Runtime is the assembled system.
@@ -121,13 +179,30 @@ type Runtime struct {
 
 	opts       Options
 	shims      []*migrate.Shim
-	byRack     [][]*vmState // vm states grouped by rack index
+	vms        []*vmState   // all vm states, ascending VM ID (phase-1 work items)
+	byRack     [][]*vmState // the same states grouped by rack index
 	queueMon   []*alert.QueueMonitor
 	cps        map[int]*qcn.CongestionPoint // per-switch CPs (UseQCN)
 	flowByPair map[[2]int]int               // dependency pair -> flow ID
+	workers    *pool.Pool
 	rng        *rand.Rand
 	step       int
 	history    []StepStats
+	modelStale bool // link bandwidth changed since the last Model.Refresh
+
+	phaseSummaries [4]metrics.Summary // per-phase duration stats, seconds
+}
+
+// PhaseSummaries returns streaming duration statistics (in seconds) for
+// the four Step phases, aggregated over every step so far, keyed
+// "predict", "flows", "congestion", "manage".
+func (r *Runtime) PhaseSummaries() map[string]*metrics.Summary {
+	return map[string]*metrics.Summary{
+		"predict":    &r.phaseSummaries[0],
+		"flows":      &r.phaseSummaries[1],
+		"congestion": &r.phaseSummaries[2],
+		"manage":     &r.phaseSummaries[3],
+	}
 }
 
 // New assembles a runtime over an already populated cluster.
@@ -145,6 +220,7 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 		cps:        make(map[int]*qcn.CongestionPoint),
 		flowByPair: make(map[[2]int]int),
 		byRack:     make([][]*vmState, len(cluster.Racks)),
+		workers:    pool.Shared(),
 	}
 	for _, rack := range cluster.Racks {
 		shim, err := migrate.NewShim(cluster, model, rack, opts.Migrate)
@@ -152,7 +228,7 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 			return nil, err
 		}
 		r.shims = append(r.shims, shim)
-		qm, err := alert.NewQueueMonitor(ewmaTrend{alpha: 0.5, beta: 0.3}, opts.QueueLimit, 0.9)
+		qm, err := alert.NewQueueMonitor(&trendState{ewmaTrend: ewmaTrend{alpha: 0.5, beta: 0.3}}, opts.QueueLimit, 0.9)
 		if err != nil {
 			return nil, err
 		}
@@ -160,14 +236,18 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 	}
 	vms := cluster.VMs()
 	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
+	comp := func() alert.ComponentForecaster {
+		return &trendState{ewmaTrend: ewmaTrend{alpha: 0.5, beta: 0.3}}
+	}
 	for _, vm := range vms {
-		f := ewmaTrend{alpha: 0.5, beta: 0.3}
+		idx := vm.Host().Rack().Index
 		st := &vmState{
 			vm:   vm,
+			rack: idx,
 			gen:  traces.NewWorkloadGen(24, opts.Seed+int64(vm.ID)),
-			pred: alert.NewProfilePredictor(f, f, f, f),
+			pred: alert.NewProfilePredictor(comp(), comp(), comp(), comp()),
 		}
-		idx := vm.Host().Rack().Index
+		r.vms = append(r.vms, st)
 		r.byRack[idx] = append(r.byRack[idx], st)
 	}
 	return r, nil
@@ -176,51 +256,57 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 // History returns the per-step statistics recorded so far.
 func (r *Runtime) History() []StepStats { return r.history }
 
-// Step advances one collection period T. The prediction phase runs one
-// goroutine per rack; management is serialized.
+// Step advances one collection period T. The prediction phase distributes
+// individual VM states over the shared worker pool (dynamic index
+// claiming, so skewed rack sizes balance across cores instead of
+// serializing behind the largest rack); management is serialized.
 func (r *Runtime) Step() (*StepStats, error) {
 	stats := &StepStats{Step: r.step}
 	r.step++
 
-	// Phase 1 (parallel): observe, predict, raise alerts per rack.
+	// Phase 1 (parallel): observe, predict, raise alerts per VM. Each
+	// worker touches only the claimed vmState (its generator, predictor,
+	// and VM are owned by that state), so no locking is needed; results
+	// are folded in deterministic VM order afterwards.
+	phaseStart := time.Now()
+	r.workers.ForEach(len(r.vms), func(i int) {
+		st := r.vms[i]
+		st.fired = false
+		st.current = st.gen.Next()
+		st.pred.Observe(st.current)
+		if st.pred.HistoryLen() < 3 {
+			return // not enough history to extrapolate
+		}
+		a, fired, err := st.pred.Check(r.opts.Thresholds)
+		if err != nil || !fired {
+			return
+		}
+		a.VMID = st.vm.ID
+		if h := st.vm.Host(); h != nil {
+			a.HostID = h.ID
+		}
+		a.RackIndex = st.rack
+		st.vm.Alert = a.Value
+		st.alert = a
+		st.fired = true
+	})
 	alertsByRack := make([][]alert.Alert, len(r.byRack))
-	var wg sync.WaitGroup
-	for idx := range r.byRack {
-		wg.Add(1)
-		go func(idx int) {
-			defer wg.Done()
-			var out []alert.Alert
-			for _, st := range r.byRack[idx] {
-				st.current = st.gen.Next()
-				st.pred.Observe(st.current)
-				if st.pred.HistoryLen() < 3 {
-					continue // not enough history to extrapolate
-				}
-				a, fired, err := st.pred.Check(r.opts.Thresholds)
-				if err != nil || !fired {
-					continue
-				}
-				a.VMID = st.vm.ID
-				if h := st.vm.Host(); h != nil {
-					a.HostID = h.ID
-				}
-				a.RackIndex = idx
-				st.vm.Alert = a.Value
-				out = append(out, a)
-			}
-			alertsByRack[idx] = out
-		}(idx)
+	for _, st := range r.vms {
+		if st.fired {
+			alertsByRack[st.rack] = append(alertsByRack[st.rack], st.alert)
+			stats.ServerAlerts++
+		}
 	}
-	wg.Wait()
-	for _, as := range alertsByRack {
-		stats.ServerAlerts += len(as)
-	}
+	stats.Timings.Predict = time.Since(phaseStart)
 
 	// Phase 2: rebuild the traffic plane from the dependency graph.
+	phaseStart = time.Now()
 	r.syncFlows()
+	stats.Timings.Flows = time.Since(phaseStart)
 
 	// Phase 3: switch-side congestion. Hot outer switches trigger
 	// FLOWREROUTE; ToR uplink monitors raise FromLocalToR alerts.
+	phaseStart = time.Now()
 	var hot []int
 	if r.opts.UseQCN {
 		hot = r.qcnHotSwitches(stats)
@@ -248,14 +334,23 @@ func (r *Runtime) Step() (*StepStats, error) {
 			stats.ToRAlerts++
 		}
 	}
+	stats.Timings.Congestion = time.Since(phaseStart)
 
-	// Phase 4 (serialized): management. The traffic plane's residual
-	// bandwidth feeds the cost model first.
-	r.Flows.UpdateGraphBandwidth()
-	r.Model.Refresh()
+	// Phase 4 (serialized): management. The cost model's shortest-path
+	// tables are refreshed lazily: only a step that actually manages
+	// alerts pays for the |racks| Dijkstra sweeps, and a refresh is
+	// carried over (modelStale) so the tables reflect the latest traffic
+	// plane when the next alert arrives.
+	phaseStart = time.Now()
+	r.modelStale = true
 	for idx, shim := range r.shims {
 		if len(alertsByRack[idx]) == 0 {
 			continue
+		}
+		if r.modelStale {
+			r.Flows.UpdateGraphBandwidth()
+			r.Model.Refresh()
+			r.modelStale = false
 		}
 		rep, err := shim.ProcessAlerts(alertsByRack[idx])
 		if err != nil {
@@ -264,8 +359,12 @@ func (r *Runtime) Step() (*StepStats, error) {
 		stats.Migrations += len(rep.Migrations)
 		stats.MigrationCost += rep.TotalCost
 	}
+	stats.Timings.Manage = time.Since(phaseStart)
 
 	stats.WorkloadStdDev = r.Cluster.WorkloadStdDev()
+	for i, d := range []time.Duration{stats.Timings.Predict, stats.Timings.Flows, stats.Timings.Congestion, stats.Timings.Manage} {
+		r.phaseSummaries[i].Observe(d.Seconds())
+	}
 	r.history = append(r.history, *stats)
 	return stats, nil
 }

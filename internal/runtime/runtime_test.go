@@ -145,6 +145,9 @@ func TestRuntimeDeterministicWithSeed(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range ha {
+		// Wall-clock phase timings are not deterministic; everything else
+		// must match bit-for-bit.
+		ha[i].Timings, hb[i].Timings = PhaseTimings{}, PhaseTimings{}
 		if ha[i] != hb[i] {
 			t.Fatalf("step %d diverged: %+v vs %+v", i, ha[i], hb[i])
 		}
@@ -192,5 +195,64 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 	if o.FlowRate(0.5) <= 0 {
 		t.Fatal("default flow rate non-positive")
+	}
+}
+
+// TestRuntimeStepConcurrencyManyRacks drives the parallel phase-1 fan-out
+// across a fabric with many racks for enough steps to cross the alert
+// thresholds, so `go test -race` exercises the worker-pool distribution,
+// the shared Dijkstra sweeps, and the coordinator fan-outs together.
+func TestRuntimeStepConcurrencyManyRacks(t *testing.T) {
+	r := buildRuntime(t, 4, 9) // 4-pod Fat-Tree: 8 racks
+	if len(r.Cluster.Racks) < 3 {
+		t.Fatalf("topology has %d racks, want >= 3", len(r.Cluster.Racks))
+	}
+	if _, err := r.Run(25); err != nil {
+		t.Fatal(err)
+	}
+	sums := r.PhaseSummaries()
+	for _, phase := range []string{"predict", "flows", "congestion", "manage"} {
+		s, ok := sums[phase]
+		if !ok || s.Count() != 25 {
+			t.Fatalf("phase %q timing summary missing or incomplete: %+v", phase, sums)
+		}
+	}
+}
+
+// TestTrendStateMatchesEwmaTrend pins the incremental per-component
+// forecaster to the cold ewmaTrend recursion: continuing from cached
+// (level, trend) over an appended suffix must be bit-exact with a full
+// recompute at every step.
+func TestTrendStateMatchesEwmaTrend(t *testing.T) {
+	cold := ewmaTrend{alpha: 0.5, beta: 0.3}
+	warm := &trendState{ewmaTrend: cold}
+	h := timeseries.New([]float64{3})
+	for step := 0; step < 50; step++ {
+		w, err := warm.ForecastFrom(h, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cold.ForecastFrom(h, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w[0] != c[0] || w[1] != c[1] {
+			t.Fatalf("step %d: warm %v != cold %v", step, w, c)
+		}
+		h.Append(3 + 0.5*float64(step) + math.Sin(float64(step)))
+	}
+	// A rewritten history (different last value at the cached position)
+	// must reset the cache rather than continue from stale state.
+	h2 := timeseries.New([]float64{100, 90, 80})
+	w, err := warm.ForecastFrom(h2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cold.ForecastFrom(h2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != c[0] {
+		t.Fatalf("after history swap: warm %v != cold %v", w[0], c[0])
 	}
 }

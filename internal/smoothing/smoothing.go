@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"sheriff/internal/timeseries"
 )
@@ -83,6 +84,25 @@ type Model struct {
 	SSE    float64 // in-sample one-step sum of squared errors
 
 	history *timeseries.Series
+
+	mu sync.Mutex
+	fc *smoothState // incremental smoothing state (see ForecastFrom)
+}
+
+// smoothState is the O(1)-per-observation smoothing context cached
+// between ForecastFrom calls on the same append-only history: level,
+// trend, and the seasonal offsets fully determine both the forecast and
+// the continuation of the recursion, so appending k observations costs
+// O(k) instead of the O(n) re-smoothing pass. The continuation is
+// bit-exact with a cold pass (exponential smoothing is Markov in exactly
+// this state).
+type smoothState struct {
+	src    *timeseries.Series
+	n      int     // observations folded into the state
+	last   float64 // src.At(n-1), to detect non-append mutation
+	level  float64
+	trend  float64
+	season []float64 // length Period (HoltWinters only)
 }
 
 // minLen returns the minimum series length for the method.
@@ -233,6 +253,12 @@ func (m *Model) Forecast(h int) ([]float64, error) {
 
 // ForecastFrom smooths through the history with the fitted constants and
 // extrapolates h steps — the predictor-pool contract.
+//
+// Repeated calls with the same *Series value hit a suffix-aware fast
+// path: when the history has only grown since the previous call, the
+// cached level/trend/season state is advanced over the new suffix in
+// O(new points) instead of re-smoothing the whole series. Histories that
+// shrank or were mutated in place fall back to a full pass.
 func (m *Model) ForecastFrom(history *timeseries.Series, h int) ([]float64, error) {
 	if h <= 0 {
 		return nil, errors.New("smoothing: forecast horizon must be positive")
@@ -240,11 +266,113 @@ func (m *Model) ForecastFrom(history *timeseries.Series, h int) ([]float64, erro
 	if history.Len() < m.Config.minLen() {
 		return nil, fmt.Errorf("smoothing: history length %d too short for %s", history.Len(), m.Config.Method)
 	}
-	out := make([]float64, h)
-	if _, err := run(history, m.Config, h, out); err != nil {
-		return nil, err
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.fc
+	if st == nil || st.src != history || st.n > history.Len() ||
+		history.At(st.n-1) != st.last {
+		var err error
+		if st, err = m.initState(history); err != nil {
+			return nil, err
+		}
+		m.fc = st
 	}
-	return out, nil
+	m.advanceState(st, history)
+	return m.forecastState(st, history.Len(), h), nil
+}
+
+// initState seeds the smoothing recursion exactly as run does: SES starts
+// from the first observation, Holt from the first two, Holt–Winters from
+// the first two seasons.
+func (m *Model) initState(history *timeseries.Series) (*smoothState, error) {
+	st := &smoothState{src: history}
+	switch m.Config.Method {
+	case SES:
+		st.level = history.At(0)
+		st.n = 1
+	case Holt:
+		st.level = history.At(1)
+		st.trend = history.At(1) - history.At(0)
+		st.n = 2
+	case HoltWinters:
+		p := m.Config.Period
+		if history.Len() < 2*p {
+			return nil, fmt.Errorf("smoothing: need >= %d points for period %d", 2*p, p)
+		}
+		level := 0.0
+		for t := 0; t < p; t++ {
+			level += history.At(t)
+		}
+		level /= float64(p)
+		second := 0.0
+		for t := p; t < 2*p; t++ {
+			second += history.At(t)
+		}
+		second /= float64(p)
+		st.level = level
+		st.trend = (second - level) / float64(p)
+		st.season = make([]float64, p)
+		for t := 0; t < p; t++ {
+			st.season[t] = history.At(t) - level
+		}
+		st.n = p
+	default:
+		return nil, fmt.Errorf("smoothing: unknown method %v", m.Config.Method)
+	}
+	st.last = history.At(st.n - 1)
+	return st, nil
+}
+
+// advanceState folds observations [st.n, history.Len()) into the state,
+// mirroring run's recursions step for step.
+func (m *Model) advanceState(st *smoothState, history *timeseries.Series) {
+	cfg := m.Config
+	n := history.Len()
+	switch cfg.Method {
+	case SES:
+		for t := st.n; t < n; t++ {
+			st.level += cfg.Alpha * (history.At(t) - st.level)
+		}
+	case Holt:
+		for t := st.n; t < n; t++ {
+			newLevel := cfg.Alpha*history.At(t) + (1-cfg.Alpha)*(st.level+st.trend)
+			st.trend = cfg.Beta*(newLevel-st.level) + (1-cfg.Beta)*st.trend
+			st.level = newLevel
+		}
+	case HoltWinters:
+		p := cfg.Period
+		for t := st.n; t < n; t++ {
+			si := t % p
+			newLevel := cfg.Alpha*(history.At(t)-st.season[si]) + (1-cfg.Alpha)*(st.level+st.trend)
+			st.trend = cfg.Beta*(newLevel-st.level) + (1-cfg.Beta)*st.trend
+			st.season[si] = cfg.Gamma*(history.At(t)-newLevel) + (1-cfg.Gamma)*st.season[si]
+			st.level = newLevel
+		}
+	}
+	st.n = n
+	st.last = history.At(n - 1)
+}
+
+// forecastState extrapolates h steps from the folded state; n is the
+// history length the extrapolation starts from (seasonal indexing).
+func (m *Model) forecastState(st *smoothState, n, h int) []float64 {
+	out := make([]float64, h)
+	switch m.Config.Method {
+	case SES:
+		for k := range out {
+			out[k] = st.level
+		}
+	case Holt:
+		for k := range out {
+			out[k] = st.level + st.trend*float64(k+1)
+		}
+	case HoltWinters:
+		p := m.Config.Period
+		for k := range out {
+			out[k] = st.level + st.trend*float64(k+1) + st.season[(n+k)%p]
+		}
+	}
+	return out
 }
 
 // RollingForecast produces one-step-ahead predictions over test, matching

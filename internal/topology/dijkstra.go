@@ -1,6 +1,10 @@
 package topology
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"sheriff/internal/pool"
+)
 
 // MultiSource holds shortest paths from a designated set of source nodes
 // to every node, computed by Dijkstra per source. For the migration cost
@@ -14,17 +18,26 @@ type MultiSource struct {
 }
 
 // DijkstraFrom computes shortest paths from each source under the edge
-// cost. Costs must be non-negative; Inf-cost edges are skipped.
+// cost. Costs must be non-negative; Inf-cost edges are skipped. The
+// per-source searches are independent and run on the shared worker pool
+// (the cost model refreshes from every rack of a large fabric at once);
+// cost must therefore be safe for concurrent calls — the stateless
+// closures used across the tree are. Results are identical to the serial
+// sweep: each source's search is self-contained and assembled in order.
 func DijkstraFrom(g *Graph, sources []int, cost EdgeCost) *MultiSource {
 	ms := &MultiSource{
 		n:      g.NumNodes(),
 		dist:   make(map[int][]float64, len(sources)),
 		parent: make(map[int][]int32, len(sources)),
 	}
-	for _, s := range sources {
-		d, p := dijkstra(g, s, cost)
-		ms.dist[s] = d
-		ms.parent[s] = p
+	dists := make([][]float64, len(sources))
+	parents := make([][]int32, len(sources))
+	pool.Shared().ForEach(len(sources), func(i int) {
+		dists[i], parents[i] = dijkstra(g, sources[i], cost)
+	})
+	for i, s := range sources {
+		ms.dist[s] = dists[i]
+		ms.parent[s] = parents[i]
 	}
 	return ms
 }
