@@ -5,6 +5,8 @@
 //	sheriffsim -mode balance -topology fat-tree -size 8 -rounds 24
 //	sheriffsim -mode compare -topology bcube -size 12
 //	sheriffsim -mode sweep -topology fat-tree -sizes 8,16,24,32
+//	sheriffsim -mode plan -topology fat-tree -size 48 -k 32
+//	sheriffsim -mode plan -size 16 -exact   # adds the branch-and-bound OPT
 package main
 
 import (
@@ -13,12 +15,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sheriff/internal/sim"
 )
 
 func main() {
-	mode := flag.String("mode", "balance", "balance, compare, or sweep")
+	mode := flag.String("mode", "balance", "balance, compare, sweep, or plan")
 	topo := flag.String("topology", "fat-tree", "fat-tree or bcube")
 	size := flag.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
 	sizes := flag.String("sizes", "", "comma-separated size sweep (mode=sweep)")
@@ -26,6 +29,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	hostsPerRack := flag.Int("hosts", 4, "hosts per rack")
 	vmsPerHost := flag.Int("vms", 4, "VMs per host")
+	k := flag.Int("k", 0, "destination ToRs to plan (mode=plan; 0 = clients/4)")
+	p := flag.Int("p", 1, "Alg. 5 swap size (mode=plan)")
+	exact := flag.Bool("exact", false, "also compute the branch-and-bound optimum (mode=plan)")
 	flag.Parse()
 
 	kind, err := parseKind(*topo)
@@ -55,6 +61,8 @@ func main() {
 			c.Size = sz
 			runCompare(c)
 		}
+	case "plan":
+		runPlan(cfg, *k, *p, *exact)
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
@@ -88,6 +96,20 @@ func runCompare(cfg sim.Config) {
 	fmt.Printf("%s size %-3d racks %-5d VMs %-6d alerted %-4d | sheriff cost %10.1f space %8d | central cost %10.1f space %8d\n",
 		cfg.Kind, cfg.Size, res.Racks, res.VMs, res.Alerted,
 		res.SheriffCost, res.SheriffSpace, res.CentralCost, res.CentralSpace)
+}
+
+func runPlan(cfg sim.Config, k, p int, exact bool) {
+	res, err := sim.ComparePlanning(cfg, k, p, exact)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s size %-3d racks %-5d clients %-4d k %-4d | local-search cost %10.1f swaps %4d in %v",
+		cfg.Kind, cfg.Size, res.Racks, res.Clients, res.K, res.LocalCost, res.LocalSwaps, res.LocalTime.Round(time.Microsecond))
+	if res.HasExact {
+		fmt.Printf(" | optimal cost %10.1f in %v (ratio %.4f)",
+			res.ExactCost, res.ExactTime.Round(time.Microsecond), res.Ratio())
+	}
+	fmt.Println()
 }
 
 func parseKind(s string) (sim.Kind, error) {

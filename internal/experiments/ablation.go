@@ -106,13 +106,7 @@ func AblationPrioritySelection(seed int64) (*Table, error) {
 		} else {
 			// Naive: order by Value descending until the budget fills.
 			vms := h.VMs()
-			for i := range vms {
-				for j := i + 1; j < len(vms); j++ {
-					if vms[j].Value > vms[i].Value {
-						vms[i], vms[j] = vms[j], vms[i]
-					}
-				}
-			}
+			sort.Slice(vms, func(i, j int) bool { return vms[i].Value > vms[j].Value })
 			used := 0.0
 			for _, vm := range vms {
 				if used+vm.Capacity > budget {
@@ -451,6 +445,39 @@ func AblationKMedianPlanning(seed int64) (*Table, error) {
 	return t, nil
 }
 
+// AblationPlanningScale sweeps Fat-Tree pod counts through the Sec. V.A
+// destination-planning engine: Local Search cost and wall time at every
+// size, and the branch-and-bound optimum where it is feasible — the
+// planning-side view of the Figs. 11–12 APP-vs-OPT comparison at scales
+// the seed's enumerator (full C(|F|, K) scan) could never reach.
+func AblationPlanningScale(seed int64) (*Table, error) {
+	t := &Table{
+		Name:    "Ablation A9",
+		Title:   "k-median planning at scale: Local Search vs branch-and-bound optimum",
+		Columns: []string{"pods", "racks", "clients", "k", "ls_cost", "ls_ms", "opt_cost", "opt_ms", "ratio"},
+		Notes: []string{
+			"5% alerts per rack; k = clients/4; opt columns are 0 where the",
+			"exact reference is skipped (branch-and-bound stays exponential)",
+		},
+	}
+	for _, pods := range []int{4, 8, 16} {
+		exact := pods <= 8
+		res, err := sim.ComparePlanning(sim.Config{Kind: sim.FatTree, Size: pods, Seed: seed}, 0, 1, exact)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: planning scale pods=%d: %w", pods, err)
+		}
+		optCost, optMs, ratio := 0.0, 0.0, 0.0
+		if res.HasExact {
+			optCost = res.ExactCost
+			optMs = float64(res.ExactTime.Milliseconds())
+			ratio = res.Ratio()
+		}
+		t.AddRow(float64(pods), float64(res.Racks), float64(res.Clients), float64(res.K),
+			res.LocalCost, float64(res.LocalTime.Milliseconds()), optCost, optMs, ratio)
+	}
+	return t, nil
+}
+
 // Ablations lists every ablation generator for the CLI.
 var Ablations = map[string]func(seed int64) (*Table, error){
 	"swap-size":       AblationSwapSize,
@@ -461,4 +488,5 @@ var Ablations = map[string]func(seed int64) (*Table, error){
 	"reroute":         AblationReroute,
 	"placement":       AblationPlacement,
 	"kmedian":         AblationKMedianPlanning,
+	"planning-scale":  AblationPlanningScale,
 }

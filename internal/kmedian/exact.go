@@ -1,0 +1,115 @@
+package kmedian
+
+import (
+	"math"
+	"sort"
+)
+
+// Exact solves the instance optimally by branch-and-bound over K-subsets
+// of facilities, replacing the seed's full enumeration. The search keeps
+// per-client service distances for the partial selection and prunes with
+// the lower bound Σ_c min(dS[c], suffMin[i][c]): no completion drawing its
+// remaining facilities from positions ≥ i can serve client c cheaper than
+// the best of the already-chosen set and the best facility still
+// available. The bound is monotone in i (fewer facilities remain), so once
+// one loop position prunes, the rest of the level prunes with it.
+//
+// A p=1 Local Search run seeds the incumbent, which is what gives the
+// pruning its teeth: LS typically lands within a few percent of OPT, so
+// most of the C(|F|, K) tree falls to the bound. The returned cost equals
+// the enumeration optimum exactly (equiv_test.go checks bit-equality);
+// only the identity of cost-tied optima may differ.
+func Exact(in *Instance) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	nF := len(in.Facilities)
+	nC := len(in.Clients)
+
+	// Incumbent upper bound from the (deterministic) local search.
+	inc, err := LocalSearch(in, Options{P: 1, Seed: 0})
+	if err != nil {
+		return nil, err
+	}
+	best := inc.Cost
+	bestOpen := append([]int(nil), inc.Open...)
+
+	// suffMin[i][ci] = min cost from client ci to any facility at position
+	// ≥ i in the Facilities order.
+	suffMin := make([][]float64, nF+1)
+	suffMin[nF] = make([]float64, nC)
+	for ci := range suffMin[nF] {
+		suffMin[nF][ci] = math.Inf(1)
+	}
+	for i := nF - 1; i >= 0; i-- {
+		f := in.Facilities[i]
+		row := make([]float64, nC)
+		for ci, c := range in.Clients {
+			d := in.Cost[c][f]
+			if s := suffMin[i+1][ci]; s < d {
+				d = s
+			}
+			row[ci] = d
+		}
+		suffMin[i] = row
+	}
+
+	// Per-depth scratch for the partial-selection service distances, so the
+	// DFS allocates nothing per node.
+	dS := make([][]float64, in.K+1)
+	for d := range dS {
+		dS[d] = make([]float64, nC)
+	}
+	for ci := range dS[0] {
+		dS[0][ci] = math.Inf(1)
+	}
+	chosen := make([]int, in.K)
+
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		cur := dS[depth]
+		if depth == in.K {
+			total := 0.0
+			for ci := range cur {
+				total += cur[ci]
+			}
+			if total < best {
+				best = total
+				bestOpen = append(bestOpen[:0], chosen...)
+			}
+			return
+		}
+		for i := start; i <= nF-(in.K-depth); i++ {
+			lb := 0.0
+			for ci := range cur {
+				d := cur[ci]
+				if s := suffMin[i][ci]; s < d {
+					d = s
+				}
+				lb += d
+			}
+			if lb >= best {
+				// suffMin only grows with i, so every later position at
+				// this level is bounded out too.
+				return
+			}
+			f := in.Facilities[i]
+			next := dS[depth+1]
+			for ci, c := range in.Clients {
+				d := cur[ci]
+				if w := in.Cost[c][f]; w < d {
+					d = w
+				}
+				next[ci] = d
+			}
+			chosen[depth] = f
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+
+	assign, total := evaluate(in, bestOpen)
+	sorted := append([]int(nil), bestOpen...)
+	sort.Ints(sorted)
+	return &Solution{Open: sorted, Assignment: assign, Cost: total}, nil
+}

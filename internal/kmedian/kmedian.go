@@ -2,8 +2,17 @@
 // Sec. V.A: the VMMIGRATION problem is reduced to k-median over the rack
 // cost matrix (C = source ToRs, F = all ToRs), and solved with the p-swap
 // Local Search of Alg. 5 (Arya et al., the paper's [29]), which carries
-// the 3 + 2/p approximation guarantee. An exact brute-force solver over
-// small instances provides the "global optimal" reference.
+// the 3 + 2/p approximation guarantee. An exact branch-and-bound solver
+// provides the "global optimal" reference.
+//
+// The solvers are built for the Figs. 11–14 scale: LocalSearch maintains
+// per-client nearest/second-nearest caches so a trial swap costs
+// O(clients) instead of O(clients × K), generates swap candidates lazily
+// by combinadic rank instead of materializing both combination sets, and
+// fans the candidate scan out over the shared worker pool with
+// deterministic first-improvement semantics. Exact prunes the subset tree
+// with per-client suffix minima from a local-search incumbent. DESIGN.md
+// §8 documents the invariants.
 package kmedian
 
 import (
@@ -11,6 +20,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+
+	"sheriff/internal/pool"
 )
 
 // Instance is one k-median instance. Cost[i][j] is the cost of connecting
@@ -85,9 +97,17 @@ func evaluate(in *Instance, open []int) ([]int, float64) {
 // Options tunes LocalSearch.
 type Options struct {
 	P        int   // swap size p of Alg. 5 (ratio 3 + 2/p); default 1
-	Seed     int64 // randomization seed for the initial solution and scan order
+	Seed     int64 // randomization seed for the initial solution
 	MaxSwaps int   // safety cap on improving swaps; default 100000
 	Epsilon  float64
+
+	// Pool bounds the parallel candidate scan; nil uses pool.Shared().
+	// The chosen swap is identical for any pool size (first-improvement
+	// in deterministic rank order).
+	Pool *pool.Pool
+	// ScanChunk is the number of candidates per scan chunk; 0 uses the
+	// default. Exposed for the scan-determinism tests.
+	ScanChunk int
 }
 
 func (o Options) withDefaults() Options {
@@ -100,12 +120,23 @@ func (o Options) withDefaults() Options {
 	if o.Epsilon <= 0 {
 		o.Epsilon = 1e-9
 	}
+	if o.Pool == nil {
+		o.Pool = pool.Shared()
+	}
+	if o.ScanChunk <= 0 {
+		o.ScanChunk = defaultScanChunk
+	}
 	return o
 }
 
 // LocalSearch runs Alg. 5: start from an arbitrary feasible solution of K
 // facilities and keep applying improving swaps of up to P facilities until
 // none exists. The result is a (3 + 2/P)-approximation of the optimum.
+//
+// The search state (assignment and cost) is maintained incrementally
+// across swaps — no cold re-evaluation after an accepted swap or at loop
+// exit — and stays bit-equal to what a from-scratch evaluate would return
+// for the same open set.
 func LocalSearch(in *Instance, opts Options) (*Solution, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -119,21 +150,28 @@ func LocalSearch(in *Instance, opts Options) (*Solution, error) {
 	for i := 0; i < in.K; i++ {
 		open[i] = in.Facilities[perm[i]]
 	}
-	openSet := make(map[int]bool, in.K)
-	for _, f := range open {
-		openSet[f] = true
+	st := newState(in, open)
+	closed := make([]int, 0, len(in.Facilities)-in.K)
+	for _, f := range in.Facilities {
+		if !st.isOpen[f] {
+			closed = append(closed, f)
+		}
 	}
-	_, cur := evaluate(in, open)
 
+	// Per-swap-size resume offsets: each scan starts one rank past the
+	// previously accepted swap of that size (the open/closed cardinalities
+	// never change, so the rank space per size is stable).
+	resume := make([]int64, opts.P+1)
 	swaps := 0
 	for swaps < opts.MaxSwaps {
 		improved := false
 		// p = 1 swaps first (cheap and usually sufficient), then widen to
 		// the configured swap size.
 		for size := 1; size <= opts.P && !improved; size++ {
-			if sw := findImprovingSwap(in, open, openSet, cur, size, opts.Epsilon, rng); sw != nil {
-				applySwap(open, openSet, sw.out, sw.in)
-				_, cur = evaluate(in, open)
+			if sw := st.findSwap(closed, size, resume[size], opts.Epsilon, opts.Pool, opts.ScanChunk); sw != nil {
+				st.apply(sw.outs, sw.ins)
+				replaceAll(closed, sw.ins, sw.outs)
+				resume[size] = sw.rank + 1
 				swaps++
 				improved = true
 			}
@@ -142,110 +180,14 @@ func LocalSearch(in *Instance, opts Options) (*Solution, error) {
 			break
 		}
 	}
-	assign, total := evaluate(in, open)
-	sorted := append([]int(nil), open...)
-	sortInts(sorted)
-	return &Solution{Open: sorted, Assignment: assign, Cost: total, Swaps: swaps}, nil
-}
-
-type swap struct {
-	out, in []int
-}
-
-// findImprovingSwap searches for a swap of exactly `size` facilities that
-// lowers the cost by more than eps, scanning in randomized order and
-// returning the first improvement found.
-func findImprovingSwap(in *Instance, open []int, openSet map[int]bool, cur float64, size int, eps float64, rng *rand.Rand) *swap {
-	// Closed facilities.
-	var closed []int
-	for _, f := range in.Facilities {
-		if !openSet[f] {
-			closed = append(closed, f)
-		}
-	}
-	if len(closed) < size || len(open) < size {
-		return nil
-	}
-	outSets := combinations(open, size)
-	inSets := combinations(closed, size)
-	rng.Shuffle(len(outSets), func(i, j int) { outSets[i], outSets[j] = outSets[j], outSets[i] })
-	rng.Shuffle(len(inSets), func(i, j int) { inSets[i], inSets[j] = inSets[j], inSets[i] })
-
-	trial := make([]int, len(open))
-	for _, outs := range outSets {
-		for _, ins := range inSets {
-			copy(trial, open)
-			replace(trial, outs, ins)
-			if _, c := evaluate(in, trial); c < cur-eps {
-				return &swap{out: outs, in: ins}
-			}
-		}
-	}
-	return nil
-}
-
-// combinations returns all size-element subsets of items. For size 1 this
-// is one slice per element; callers keep size ≤ p (small).
-func combinations(items []int, size int) [][]int {
-	var out [][]int
-	cur := make([]int, 0, size)
-	var rec func(start int)
-	rec = func(start int) {
-		if len(cur) == size {
-			out = append(out, append([]int(nil), cur...))
-			return
-		}
-		for i := start; i <= len(items)-(size-len(cur)); i++ {
-			cur = append(cur, items[i])
-			rec(i + 1)
-			cur = cur[:len(cur)-1]
-		}
-	}
-	rec(0)
-	return out
-}
-
-func replace(sol []int, outs, ins []int) {
-	for k, o := range outs {
-		for i, f := range sol {
-			if f == o {
-				sol[i] = ins[k]
-				break
-			}
-		}
-	}
-}
-
-func applySwap(open []int, openSet map[int]bool, outs, ins []int) {
-	replace(open, outs, ins)
-	for _, o := range outs {
-		delete(openSet, o)
-	}
-	for _, i := range ins {
-		openSet[i] = true
-	}
-}
-
-// Exact solves the instance optimally by enumerating every K-subset of
-// facilities. Exponential; intended for the small "global optimal"
-// baselines of Figs. 11/13 and for ratio validation.
-func Exact(in *Instance) (*Solution, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	bestCost := math.Inf(1)
-	var bestOpen []int
-	subsets := combinations(in.Facilities, in.K)
-	for _, open := range subsets {
-		if _, c := evaluate(in, open); c < bestCost {
-			bestCost = c
-			bestOpen = open
-		}
-	}
-	assign, total := evaluate(in, bestOpen)
-	sorted := append([]int(nil), bestOpen...)
-	sortInts(sorted)
-	return &Solution{Open: sorted, Assignment: assign, Cost: total}, nil
+	sorted := append([]int(nil), st.open...)
+	sort.Ints(sorted)
+	return &Solution{
+		Open:       sorted,
+		Assignment: append([]int(nil), st.n1...),
+		Cost:       st.cost,
+		Swaps:      swaps,
+	}, nil
 }
 
 // ApproximationRatio returns the guarantee of Alg. 5 for swap size p.
@@ -254,12 +196,4 @@ func ApproximationRatio(p int) float64 {
 		p = 1
 	}
 	return 3 + 2/float64(p)
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

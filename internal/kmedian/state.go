@@ -1,0 +1,195 @@
+package kmedian
+
+import "math"
+
+// state is the incrementally maintained search state of LocalSearch: the
+// open set plus, per client, the nearest and second-nearest open facility.
+// With these caches a trial swap's cost is computed in O(clients) instead
+// of the O(clients × K) of a cold evaluate, and an applied swap updates
+// the caches in place (an O(K) rescan only for the few clients whose top-2
+// contained a closed facility).
+//
+// Bit-exactness invariant: d1, Cost, and the per-client service distances
+// produced by trialSingle/trialMulti are identical — not merely within an
+// epsilon — to what a cold evaluate over the same open set returns. Trial
+// costs are therefore computed as full per-client sums in client order
+// (never as running deltas), so no floating-point drift can accumulate
+// across swaps. equiv_test.go pins this.
+type state struct {
+	in     *Instance
+	open   []int  // current open facilities, in swap-stable order
+	isOpen []bool // isOpen[f] for every facility/node index
+
+	n1, n2 []int     // per client: nearest / second-nearest open facility (-1 if none)
+	d1, d2 []float64 // their distances (d2 = +Inf when K == 1)
+	cost   float64   // sum of d1 in client order (== cold evaluate total)
+}
+
+func newState(in *Instance, open []int) *state {
+	st := &state{
+		in:     in,
+		open:   append([]int(nil), open...),
+		isOpen: make([]bool, len(in.Cost)),
+		n1:     make([]int, len(in.Clients)),
+		n2:     make([]int, len(in.Clients)),
+		d1:     make([]float64, len(in.Clients)),
+		d2:     make([]float64, len(in.Clients)),
+	}
+	for _, f := range st.open {
+		st.isOpen[f] = true
+	}
+	for ci := range in.Clients {
+		st.rescanTop2(ci)
+	}
+	st.recomputeCost()
+	return st
+}
+
+// rescanTop2 recomputes client ci's nearest and second-nearest open
+// facility by a full scan of the open set, with the same strict-< running
+// minimum as evaluate (so ties resolve to the earlier facility in open
+// order and d1 is bit-equal to evaluate's per-client minimum).
+func (st *state) rescanTop2(ci int) {
+	c := st.in.Clients[ci]
+	row := st.in.Cost[c]
+	b1, b2 := math.Inf(1), math.Inf(1)
+	f1, f2 := -1, -1
+	for _, f := range st.open {
+		d := row[f]
+		if d < b1 {
+			b2, f2 = b1, f1
+			b1, f1 = d, f
+		} else if d < b2 {
+			b2, f2 = d, f
+		}
+	}
+	st.n1[ci], st.d1[ci] = f1, b1
+	st.n2[ci], st.d2[ci] = f2, b2
+}
+
+// recomputeCost re-sums the per-client service distances in client order —
+// the same summation a cold evaluate performs, so st.cost stays bit-equal
+// to evaluate(in, open)'s total.
+func (st *state) recomputeCost() {
+	total := 0.0
+	for ci := range st.in.Clients {
+		total += st.d1[ci]
+	}
+	st.cost = total
+}
+
+// trialSingle returns the total cost of the solution obtained by closing
+// `out` and opening `f`, in O(clients). For each client the new service
+// distance is min(candidate, kept) where kept is d1 if the client's
+// nearest survives the swap and d2 otherwise — exactly the minimum a cold
+// evaluate would find over open \ {out} ∪ {f}.
+func (st *state) trialSingle(out, f int) float64 {
+	cost := st.in.Cost
+	total := 0.0
+	for ci, c := range st.in.Clients {
+		d := cost[c][f]
+		base := st.d1[ci]
+		if st.n1[ci] == out {
+			base = st.d2[ci]
+		}
+		if d < base {
+			base = d
+		}
+		total += base
+	}
+	return total
+}
+
+// trialMulti is trialSingle generalized to a p-swap: close every facility
+// in outs, open every facility in ins. The surviving-open minimum is d1 if
+// the nearest survives, d2 if only the second-nearest does, and an O(K)
+// scan in the (rare) case both were closed. outs and ins are small (≤ p).
+func (st *state) trialMulti(outs, ins []int) float64 {
+	cost := st.in.Cost
+	total := 0.0
+	for ci, c := range st.in.Clients {
+		row := cost[c]
+		best := math.Inf(1)
+		for _, f := range ins {
+			if d := row[f]; d < best {
+				best = d
+			}
+		}
+		switch {
+		case !containsInt(outs, st.n1[ci]):
+			if st.d1[ci] < best {
+				best = st.d1[ci]
+			}
+		case st.n2[ci] >= 0 && !containsInt(outs, st.n2[ci]):
+			if st.d2[ci] < best {
+				best = st.d2[ci]
+			}
+		default:
+			for _, f := range st.open {
+				if containsInt(outs, f) {
+					continue
+				}
+				if d := row[f]; d < best {
+					best = d
+				}
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+// apply commits a swap: outs leave the open set, ins join it, and the
+// per-client caches are updated in place. Clients whose top-2 contained a
+// closed facility are rescanned (O(K)); every other client only folds the
+// new facilities into its cached pair (O(p)). The total cost is then
+// re-summed in client order to stay bit-equal with a cold evaluate.
+func (st *state) apply(outs, ins []int) {
+	replaceAll(st.open, outs, ins)
+	for _, f := range outs {
+		st.isOpen[f] = false
+	}
+	for _, f := range ins {
+		st.isOpen[f] = true
+	}
+	cost := st.in.Cost
+	for ci, c := range st.in.Clients {
+		if containsInt(outs, st.n1[ci]) || (st.n2[ci] >= 0 && containsInt(outs, st.n2[ci])) {
+			st.rescanTop2(ci)
+			continue
+		}
+		row := cost[c]
+		for _, f := range ins {
+			d := row[f]
+			if d < st.d1[ci] {
+				st.n2[ci], st.d2[ci] = st.n1[ci], st.d1[ci]
+				st.n1[ci], st.d1[ci] = f, d
+			} else if d < st.d2[ci] {
+				st.n2[ci], st.d2[ci] = f, d
+			}
+		}
+	}
+	st.recomputeCost()
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// replaceAll substitutes outs[k] with ins[k] in place, preserving slice
+// positions (so the open/closed scan orders stay deterministic).
+func replaceAll(sol []int, outs, ins []int) {
+	for k, o := range outs {
+		for i, f := range sol {
+			if f == o {
+				sol[i] = ins[k]
+				break
+			}
+		}
+	}
+}

@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"sheriff/internal/alert"
 	"sheriff/internal/centralized"
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
+	"sheriff/internal/kmedian"
 	"sheriff/internal/migrate"
 	"sheriff/internal/topology"
 )
@@ -401,6 +403,96 @@ func Compare(cfg Config) (*CompareResult, error) {
 	res.CentralCost = mg.TotalCost
 	res.CentralSpace = mg.SearchSpace
 	res.CentralMigrations = len(mg.Migrations)
+	return res, nil
+}
+
+// PlanningResult is one Sec. V.A destination-planning comparison point:
+// the Alg. 5 Local Search plan (APP) against the branch-and-bound optimum
+// (OPT) over the same alerted-rack clients — the planning view of the
+// Figs. 11/13 Sheriff-vs-optimal curves, now feasible at the paper's
+// 48-pod scale.
+type PlanningResult struct {
+	Racks   int // facilities (all ToRs)
+	Clients int // alerted source racks
+	K       int // destination ToRs planned
+
+	LocalCost  float64
+	LocalSwaps int
+	LocalTime  time.Duration
+
+	HasExact  bool // false when the exact reference was skipped
+	ExactCost float64
+	ExactTime time.Duration
+}
+
+// Ratio returns LocalCost/ExactCost (1 = optimal), or 0 without an exact
+// reference.
+func (r *PlanningResult) Ratio() float64 {
+	if !r.HasExact || r.ExactCost == 0 {
+		return 0
+	}
+	return r.LocalCost / r.ExactCost
+}
+
+// ComparePlanning builds the cluster, seeds the paper's 5% alerts, and
+// solves the k-median destination plan for the alerted racks with Local
+// Search — and, when exact is set, with the branch-and-bound optimum as
+// the OPT reference. k ≤ 0 defaults to one destination per four alerted
+// racks.
+func ComparePlanning(cfg Config, k, p int, exact bool) (*PlanningResult, error) {
+	s, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.PopulateHotPods(0.5, 0.85, 0.35)
+	alerts := s.SeedAlerts()
+	clients := make([]int, 0, len(alerts))
+	for idx, vms := range alerts {
+		if len(vms) > 0 {
+			clients = append(clients, idx)
+		}
+	}
+	sort.Ints(clients)
+	if len(clients) == 0 {
+		return nil, errors.New("sim: no alerted racks to plan for")
+	}
+	if k <= 0 {
+		k = len(clients) / 4
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(s.Cluster.Racks) {
+		k = len(s.Cluster.Racks)
+	}
+
+	res := &PlanningResult{Racks: len(s.Cluster.Racks), Clients: len(clients), K: k}
+	start := time.Now()
+	ls, err := s.Central.PlanDestinationsOpts(clients, centralized.PlanOptions{K: k, P: p, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("sim: planning local search: %w", err)
+	}
+	res.LocalTime = time.Since(start)
+	res.LocalCost = ls.Cost
+	res.LocalSwaps = ls.Swaps
+
+	if exact {
+		start = time.Now()
+		ex, err := s.Central.PlanDestinationsOpts(clients, centralized.PlanOptions{K: k, Exact: true})
+		if err != nil {
+			return nil, fmt.Errorf("sim: planning exact: %w", err)
+		}
+		res.ExactTime = time.Since(start)
+		res.ExactCost = ex.Cost
+		res.HasExact = true
+		if ls.Cost < ex.Cost-1e-9 {
+			return nil, fmt.Errorf("sim: local search %v beat the exact optimum %v", ls.Cost, ex.Cost)
+		}
+		if bound := kmedian.ApproximationRatio(p)*ex.Cost + 1e-9; ls.Cost > bound {
+			return nil, fmt.Errorf("sim: local search %v violates the %v×OPT guarantee (OPT %v)",
+				ls.Cost, kmedian.ApproximationRatio(p), ex.Cost)
+		}
+	}
 	return res, nil
 }
 

@@ -222,3 +222,38 @@ func TestCompareScalesWithSize(t *testing.T) {
 		t.Fatal("rack count should grow")
 	}
 }
+
+func TestComparePlanningExactSmall(t *testing.T) {
+	res, err := ComparePlanning(Config{Kind: FatTree, Size: 4, Seed: 5}, 2, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 || res.Clients < 1 || res.Racks != 8 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	if !res.HasExact {
+		t.Fatal("exact reference missing")
+	}
+	if res.LocalCost < res.ExactCost-1e-9 {
+		t.Fatalf("local search %v below optimum %v", res.LocalCost, res.ExactCost)
+	}
+	if r := res.Ratio(); r < 1-1e-9 || r > 5+1e-9 {
+		t.Fatalf("ratio %v outside [1, 5]", r)
+	}
+}
+
+func TestComparePlanningDefaultK(t *testing.T) {
+	res, err := ComparePlanning(Config{Kind: BCube, Size: 4, Seed: 6}, 0, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 1 {
+		t.Fatalf("default k = %d", res.K)
+	}
+	if res.HasExact {
+		t.Fatal("exact reference not requested")
+	}
+	if res.LocalCost <= 0 {
+		t.Fatalf("planning cost %v", res.LocalCost)
+	}
+}
