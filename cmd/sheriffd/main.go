@@ -7,6 +7,7 @@
 //
 //	sheriffd -topology fat-tree -size 8 -steps 50
 //	sheriffd -topology bcube -size 6 -steps 30 -hosts 2 -vms 3
+//	sheriffd -size 8 -steps 20 -trace run.jsonl
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
 	"sheriff/internal/metrics"
+	"sheriff/internal/obs"
 	"sheriff/internal/runtime"
 	"sheriff/internal/topology"
 )
@@ -30,7 +32,27 @@ func main() {
 	vmsPerHost := flag.Int("vms", 3, "VMs per host")
 	depProb := flag.Float64("deps", 0.5, "dependency probability between VM pairs")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	trace := flag.String("trace", "", "write a JSONL event trace of every step to this file")
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		rec, err = obs.New(obs.Options{Sinks: []obs.Sink{obs.NewJSONL(f)}})
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := rec.Err(); err != nil {
+				fail(fmt.Errorf("trace: %w", err))
+			}
+			fmt.Printf("trace: %d events -> %s\n", rec.Seq(), *trace)
+		}()
+	}
 
 	var g *topology.Graph
 	switch strings.ToLower(*topo) {
@@ -70,7 +92,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	rt, err := runtime.New(cluster, model, runtime.Options{Seed: *seed})
+	rt, err := runtime.New(cluster, model, runtime.Options{Seed: *seed, Recorder: rec})
 	if err != nil {
 		fail(err)
 	}

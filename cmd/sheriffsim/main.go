@@ -7,6 +7,11 @@
 //	sheriffsim -mode sweep -topology fat-tree -sizes 8,16,24,32
 //	sheriffsim -mode plan -topology fat-tree -size 48 -k 32
 //	sheriffsim -mode plan -size 16 -exact   # adds the branch-and-bound OPT
+//	sheriffsim -mode dist -size 8 -loss 0.05 -trace out.jsonl
+//
+// -trace writes a JSONL event stream (see internal/obs); with no explicit
+// -mode it implies -mode dist, the message-level protocol whose
+// REQUEST/ACK/REJECT/retry decisions the trace captures.
 package main
 
 import (
@@ -17,11 +22,14 @@ import (
 	"strings"
 	"time"
 
+	"sheriff/internal/comm"
+	"sheriff/internal/migrate"
+	"sheriff/internal/obs"
 	"sheriff/internal/sim"
 )
 
 func main() {
-	mode := flag.String("mode", "balance", "balance, compare, sweep, or plan")
+	mode := flag.String("mode", "balance", "balance, compare, sweep, plan, or dist")
 	topo := flag.String("topology", "fat-tree", "fat-tree or bcube")
 	size := flag.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
 	sizes := flag.String("sizes", "", "comma-separated size sweep (mode=sweep)")
@@ -32,7 +40,38 @@ func main() {
 	k := flag.Int("k", 0, "destination ToRs to plan (mode=plan; 0 = clients/4)")
 	p := flag.Int("p", 1, "Alg. 5 swap size (mode=plan)")
 	exact := flag.Bool("exact", false, "also compute the branch-and-bound optimum (mode=plan)")
+	loss := flag.Float64("loss", 0.05, "bus message loss rate (mode=dist)")
+	trace := flag.String("trace", "", "write a JSONL event trace to this file (implies -mode dist unless -mode is set)")
 	flag.Parse()
+
+	modeSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "mode" {
+			modeSet = true
+		}
+	})
+	if *trace != "" && !modeSet {
+		*mode = "dist"
+	}
+
+	var rec *obs.Recorder
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		rec, err = obs.New(obs.Options{Sinks: []obs.Sink{obs.NewJSONL(f)}})
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := rec.Err(); err != nil {
+				fail(fmt.Errorf("trace: %w", err))
+			}
+			fmt.Printf("trace: %d events -> %s\n", rec.Seq(), *trace)
+		}()
+	}
 
 	kind, err := parseKind(*topo)
 	if err != nil {
@@ -44,6 +83,7 @@ func main() {
 		Seed:         *seed,
 		HostsPerRack: *hostsPerRack,
 		VMsPerHost:   *vmsPerHost,
+		Migrate:      migrate.Params{Recorder: rec},
 	}
 
 	switch *mode {
@@ -63,9 +103,33 @@ func main() {
 		}
 	case "plan":
 		runPlan(cfg, *k, *p, *exact)
+	case "dist":
+		runDist(cfg, *loss, rec)
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// runDist drives the Alg. 4 message protocol: pod-level hotspots force
+// cross-rack placement, the lossy bus forces retries, and every REQUEST,
+// ACK, REJECT, and timeout retry lands in the trace with its round number.
+func runDist(cfg sim.Config, loss float64, rec *obs.Recorder) {
+	s, err := sim.Build(cfg)
+	if err != nil {
+		fail(err)
+	}
+	n := s.PopulateHotPods(0.5, 0.85, 0.35)
+	fmt.Printf("%s size %d: %d racks, %d hosts, %d VMs, loss %.3f\n",
+		cfg.Kind, cfg.Size, len(s.Cluster.Racks), len(s.Cluster.Hosts()), n, loss)
+	res, err := s.RunDistributed(
+		comm.Options{LossRate: loss, Seed: cfg.Seed, Recorder: rec},
+		migrate.DistOptions{Recorder: rec},
+	)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("dist: %d migrations cost %.1f | rejected %d retransmits %d unplaced %d in %d rounds (space %d)\n",
+		len(res.Migrations), res.TotalCost, res.Rejected, res.Retransmits, len(res.Unplaced), res.Rounds, res.SearchSpace)
 }
 
 func runBalance(cfg sim.Config, rounds int) {

@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+
+	"sheriff/internal/obs"
 )
 
 // Type tags a message's protocol role.
@@ -67,6 +70,9 @@ type Options struct {
 	MaxDelay int
 	// Seed drives loss and delay draws.
 	Seed int64
+	// Recorder, when non-nil, receives a send/deliver/drop event per
+	// message movement; drop causes are seed-deterministic.
+	Recorder *obs.Recorder
 }
 
 // Validate reports whether the options are usable.
@@ -80,12 +86,18 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// withDefaults completes the option-struct convention (Validate +
+// withDefaults). Every zero value is meaningful on the bus — lossless,
+// next-round delivery, seed 0 — so nothing is rewritten.
+func (o Options) withDefaults() Options { return o }
+
 // Bus is a deterministic in-memory message network. It is not safe for
 // concurrent use; protocols drive it round by round.
 type Bus struct {
 	opts     Options
 	rng      *rand.Rand
 	nextID   int
+	round    int // completed Deliver rounds, stamps event rounds
 	inFlight []pending
 	inbox    map[int][]Message
 	dropped  int
@@ -103,11 +115,23 @@ func NewBus(opts Options) (*Bus, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	opts = opts.withDefaults()
 	return &Bus{
 		opts:  opts,
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 		inbox: make(map[int][]Message),
 	}, nil
+}
+
+// event fills the common Event fields for one message: the sender as the
+// shim, the VM/host under negotiation, and the message type plus
+// destination node as attributes.
+func (b *Bus) event(kind obs.Kind, m Message) obs.Event {
+	return obs.Event{
+		Kind: kind, Round: b.round, Shim: m.From, VM: m.VMID, Host: m.HostID,
+		Value: m.Value,
+		Attrs: map[string]string{"msg": m.Type.String(), "to": strconv.Itoa(m.To)},
+	}
 }
 
 // Send enqueues a message for delivery and returns its bus ID. The
@@ -117,8 +141,17 @@ func (b *Bus) Send(m Message) int {
 	m.ID = b.nextID
 	b.nextID++
 	b.sent++
+	rec := b.opts.Recorder
+	if rec.Enabled() {
+		rec.Record(b.event(obs.KindSend, m))
+	}
 	if b.opts.LossRate > 0 && b.rng.Float64() < b.opts.LossRate {
 		b.dropped++
+		if rec.Enabled() {
+			e := b.event(obs.KindDrop, m)
+			e.Attrs["cause"] = "loss"
+			rec.Record(e)
+		}
 		return m.ID
 	}
 	delay := 0
@@ -132,6 +165,8 @@ func (b *Bus) Send(m Message) int {
 // Deliver advances one round: messages whose delay expired move to their
 // destination inboxes in send order. It returns how many were delivered.
 func (b *Bus) Deliver() int {
+	b.round++
+	rec := b.opts.Recorder
 	var still []pending
 	delivered := 0
 	for _, p := range b.inFlight {
@@ -142,6 +177,9 @@ func (b *Bus) Deliver() int {
 		}
 		b.inbox[p.msg.To] = append(b.inbox[p.msg.To], p.msg)
 		delivered++
+		if rec.Enabled() {
+			rec.Record(b.event(obs.KindDeliver, p.msg))
+		}
 	}
 	b.inFlight = still
 	return delivered

@@ -22,8 +22,13 @@ import (
 	"math/rand"
 	"sort"
 
+	"sheriff/internal/obs"
 	"sheriff/internal/pool"
 )
+
+// obsNone marks the identity fields that have no meaning for k-median
+// events (the solver is not tied to a shim, VM, or host).
+const obsNone = -1
 
 // Instance is one k-median instance. Cost[i][j] is the cost of connecting
 // client i to facility j; Clients and Facilities index into Cost (rack
@@ -108,6 +113,11 @@ type Options struct {
 	// ScanChunk is the number of candidates per scan chunk; 0 uses the
 	// default. Exposed for the scan-determinism tests.
 	ScanChunk int
+	// Recorder, when non-nil, receives the cost trajectory: one cost
+	// event for the initial solution, a swap event per accepted swap, and
+	// a scan event per candidate scan (Value = ranks covered, which is
+	// deterministic for any pool size).
+	Recorder *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -158,6 +168,9 @@ func LocalSearch(in *Instance, opts Options) (*Solution, error) {
 		}
 	}
 
+	rec := opts.Recorder
+	rec.Record(obs.Event{Kind: obs.KindCost, Shim: obsNone, VM: obsNone, Host: obsNone, Value: st.cost})
+
 	// Per-swap-size resume offsets: each scan starts one rank past the
 	// previously accepted swap of that size (the open/closed cardinalities
 	// never change, so the rank space per size is stable).
@@ -168,12 +181,30 @@ func LocalSearch(in *Instance, opts Options) (*Solution, error) {
 		// p = 1 swaps first (cheap and usually sufficient), then widen to
 		// the configured swap size.
 		for size := 1; size <= opts.P && !improved; size++ {
-			if sw := st.findSwap(closed, size, resume[size], opts.Epsilon, opts.Pool, opts.ScanChunk); sw != nil {
+			sw := st.findSwap(closed, size, resume[size], opts.Epsilon, opts.Pool, opts.ScanChunk)
+			if rec.Enabled() {
+				// Ranks covered by the scan in deterministic rank order:
+				// up to and including the accepted candidate, or the whole
+				// space when the scan proved local optimality for `size`.
+				total := satMul(binom(len(st.open), size), binom(len(closed), size))
+				covered := total
+				if sw != nil {
+					covered = (sw.rank-resume[size]%total+total)%total + 1
+				}
+				rec.Record(obs.Event{Kind: obs.KindScan, Round: swaps, Shim: obsNone, VM: obsNone, Host: obsNone,
+					Value: float64(covered), Attrs: map[string]string{"size": fmt.Sprint(size)}})
+			}
+			if sw != nil {
 				st.apply(sw.outs, sw.ins)
 				replaceAll(closed, sw.ins, sw.outs)
 				resume[size] = sw.rank + 1
 				swaps++
 				improved = true
+				if rec.Enabled() {
+					rec.Record(obs.Event{Kind: obs.KindSwap, Round: swaps, Shim: obsNone, VM: obsNone, Host: obsNone,
+						Value: st.cost, Attrs: map[string]string{
+							"outs": fmt.Sprint(sw.outs), "ins": fmt.Sprint(sw.ins)}})
+				}
 			}
 		}
 		if !improved {

@@ -9,6 +9,7 @@ import (
 	"sheriff/internal/dcn"
 	"sheriff/internal/knapsack"
 	"sheriff/internal/matching"
+	"sheriff/internal/obs"
 	"sheriff/internal/pool"
 )
 
@@ -83,6 +84,10 @@ func (co *Coordinator) Round(alertsByShim [][]alert.Alert) (*RoundReport, error)
 		vmSets[i] = set
 	})
 
+	shimByRack := make(map[int]*Shim, len(co.shims))
+	for _, s := range co.shims {
+		shimByRack[s.Rack.Index] = s
+	}
 	pending := vmSets
 	// Iterate: propose in parallel, commit FCFS, recompute losers.
 	for {
@@ -100,24 +105,44 @@ func (co *Coordinator) Round(alertsByShim [][]alert.Alert) (*RoundReport, error)
 		}
 
 		// Commit FCFS by shim index, then VM ID — a deterministic stand-in
-		// for message arrival order.
+		// for message arrival order. The destination rack's shim (when the
+		// coordinator manages it) applies its own RequestPolicy, mirroring
+		// the message protocol's destination-side admission.
 		var next [][]*dcn.VM = make([][]*dcn.VM, len(co.shims))
 		committed := false
 		for i := range co.shims {
+			src := co.shims[i]
+			rec := src.params.Recorder
 			for _, p := range proposals[i] {
-				if Request(p.vm, p.dst) {
+				rec.Record(obs.Event{Kind: obs.KindRequest, Round: report.Rounds,
+					Shim: src.Rack.Index, VM: p.vm.ID, Host: p.dst.ID, Value: p.cost})
+				granted := Request(p.vm, p.dst)
+				if granted {
+					if dstShim := shimByRack[p.dst.Rack().Index]; dstShim != nil {
+						if pol := dstShim.params.RequestPolicy; pol != nil && !pol(p.vm, p.dst) {
+							granted = false
+						}
+					}
+				}
+				if granted {
 					from := p.vm.Host()
 					if err := co.cluster.Move(p.vm, p.dst); err != nil {
 						report.Collisions++
 						next[i] = append(next[i], p.vm)
+						rec.Record(obs.Event{Kind: obs.KindReject, Round: report.Rounds,
+							Shim: src.Rack.Index, VM: p.vm.ID, Host: p.dst.ID, Value: p.cost})
 						continue
 					}
 					report.Migrations = append(report.Migrations, Migration{VM: p.vm, From: from, To: p.dst, Cost: p.cost})
 					report.TotalCost += p.cost
 					committed = true
+					rec.Record(obs.Event{Kind: obs.KindAck, Round: report.Rounds,
+						Shim: src.Rack.Index, VM: p.vm.ID, Host: p.dst.ID, Value: p.cost})
 				} else {
 					report.Collisions++
 					next[i] = append(next[i], p.vm)
+					rec.Record(obs.Event{Kind: obs.KindReject, Round: report.Rounds,
+						Shim: src.Rack.Index, VM: p.vm.ID, Host: p.dst.ID, Value: p.cost})
 				}
 			}
 		}

@@ -8,9 +8,11 @@ import (
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
 	"sheriff/internal/matching"
+	"sheriff/internal/obs"
 )
 
-// DistOptions tunes the message-passing migration protocol.
+// DistOptions tunes the message-passing migration protocol. Zero fields
+// mean "use the default"; negative values are a Validate error.
 type DistOptions struct {
 	// MaxRounds bounds the protocol (a round = propose, deliver, decide,
 	// deliver, collect). Default 30.
@@ -18,13 +20,33 @@ type DistOptions struct {
 	// RequestTimeout is how many rounds a request may stay unanswered
 	// before the source assumes it was lost and retries. Default 3.
 	RequestTimeout int
+	// RequestPolicy, when non-nil, is consulted by every destination shim
+	// before its capacity check — the protocol-wide admission / failure
+	// injection point. Destination shims additionally apply their own
+	// Params.RequestPolicy.
+	RequestPolicy RequestPolicy
+	// Recorder, when non-nil, receives request/ack/reject/retry/unplaced
+	// events with protocol round numbers.
+	Recorder *obs.Recorder
+}
+
+// Validate reports whether the options are usable. Negative values are
+// errors; zero values mean "use the default".
+func (o DistOptions) Validate() error {
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("migrate: MaxRounds must be >= 0 (0 = default), got %d", o.MaxRounds)
+	}
+	if o.RequestTimeout < 0 {
+		return fmt.Errorf("migrate: RequestTimeout must be >= 0 (0 = default), got %d", o.RequestTimeout)
+	}
+	return nil
 }
 
 func (o DistOptions) withDefaults() DistOptions {
-	if o.MaxRounds <= 0 {
+	if o.MaxRounds == 0 {
 		o.MaxRounds = 30
 	}
-	if o.RequestTimeout <= 0 {
+	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 3
 	}
 	return o
@@ -63,7 +85,11 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 	if len(vmSets) != len(shims) {
 		return nil, fmt.Errorf("migrate: %d VM sets for %d shims", len(vmSets), len(shims))
 	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
+	rec := opts.Recorder
 	res := &DistResult{}
 
 	shimByRack := make(map[int]*Shim, len(shims))
@@ -131,6 +157,8 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 				dst := hosts[hi]
 				seq++
 				pending[i][seq] = &outstanding{vm: vm, dst: dst, cost: costs[vi][hi]}
+				rec.Record(obs.Event{Kind: obs.KindRequest, Round: res.Rounds,
+					Shim: shim.Rack.Index, VM: vm.ID, Host: dst.ID, Value: costs[vi][hi]})
 				bus.Send(comm.Message{
 					Type: comm.MsgRequest,
 					From: shim.Rack.Index,
@@ -152,7 +180,7 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 				vm := c.VM(msg.VMID)
 				dst := c.Host(msg.HostID)
 				reply := comm.MsgReject
-				if vm != nil && dst != nil && dst.Rack() == shim.Rack && Request(vm, dst) {
+				if vm != nil && dst != nil && dst.Rack() == shim.Rack && allowRequest(opts.RequestPolicy, shim, vm, dst) {
 					if err := c.Move(vm, dst); err == nil {
 						reply = comm.MsgAck
 					}
@@ -182,10 +210,14 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 						VM: req.vm, From: nil, To: req.dst, Cost: req.cost,
 					})
 					res.TotalCost += req.cost
+					rec.Record(obs.Event{Kind: obs.KindAck, Round: res.Rounds,
+						Shim: shims[i].Rack.Index, VM: req.vm.ID, Host: req.dst.ID, Value: req.cost})
 				case comm.MsgReject:
 					res.Rejected++
 					excludeDist(excluded[i], req.vm.ID, req.dst.ID)
 					remaining[i] = append(remaining[i], req.vm)
+					rec.Record(obs.Event{Kind: obs.KindReject, Round: res.Rounds,
+						Shim: shims[i].Rack.Index, VM: req.vm.ID, Host: req.dst.ID, Value: req.cost})
 				}
 			}
 			// Timeouts: either the request or its reply was lost.
@@ -206,10 +238,20 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 						VM: req.vm, From: nil, To: req.dst, Cost: req.cost,
 					})
 					res.TotalCost += req.cost
+					if rec.Enabled() {
+						rec.Record(obs.Event{Kind: obs.KindAck, Round: res.Rounds,
+							Shim: shims[i].Rack.Index, VM: req.vm.ID, Host: req.dst.ID,
+							Value: req.cost, Attrs: map[string]string{"cause": "lost-ack"}})
+					}
 					continue
 				}
 				res.Retransmits++
 				remaining[i] = append(remaining[i], req.vm)
+				if rec.Enabled() {
+					rec.Record(obs.Event{Kind: obs.KindRetry, Round: res.Rounds,
+						Shim: shims[i].Rack.Index, VM: req.vm.ID, Host: req.dst.ID,
+						Value: req.cost, Attrs: map[string]string{"cause": "timeout"}})
+				}
 			}
 			if len(remaining[i]) > 0 || len(pending[i]) > 0 {
 				done = false
@@ -219,16 +261,39 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 			break
 		}
 	}
-	// Whatever is still waiting after MaxRounds is unplaced.
+	// Whatever is still waiting after MaxRounds is unplaced. Pending maps
+	// drain in seq order so the result (and its trace) is deterministic.
 	for i := range shims {
 		res.Unplaced = append(res.Unplaced, remaining[i]...)
-		for _, req := range pending[i] {
-			if req.vm.Host() != req.dst {
+		var waiting []int
+		for s := range pending[i] {
+			waiting = append(waiting, s)
+		}
+		sort.Ints(waiting)
+		for _, s := range waiting {
+			if req := pending[i][s]; req.vm.Host() != req.dst {
 				res.Unplaced = append(res.Unplaced, req.vm)
 			}
 		}
 	}
+	if rec.Enabled() {
+		for _, vm := range res.Unplaced {
+			rec.Record(obs.Event{Kind: obs.KindUnplaced, Round: res.Rounds, Shim: ShimUnknown, VM: vm.ID, Host: ShimUnknown})
+		}
+	}
 	return res, nil
+}
+
+// allowRequest composes the protocol-wide policy, the destination shim's
+// own policy, and the Alg. 4 capacity check.
+func allowRequest(protocol RequestPolicy, dstShim *Shim, vm *dcn.VM, dst *dcn.Host) bool {
+	if protocol != nil && !protocol(vm, dst) {
+		return false
+	}
+	if p := dstShim.params.RequestPolicy; p != nil && !p(vm, dst) {
+		return false
+	}
+	return Request(vm, dst)
 }
 
 func excludeDist(m map[int]map[int]bool, vmID, hostID int) {

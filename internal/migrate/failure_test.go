@@ -17,17 +17,20 @@ func TestVMMigrationRetriesAfterTransientRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 	rejectsLeft := 2
-	SetRequestGate(func(*dcn.VM, *dcn.Host) bool {
-		if rejectsLeft > 0 {
-			rejectsLeft--
-			return false
-		}
-		return true
-	})
-	defer SetRequestGate(nil)
+	opts := MigrationOptions{
+		ForbidSameRack: true,
+		Shim:           ShimUnknown,
+		Policy: func(*dcn.VM, *dcn.Host) bool {
+			if rejectsLeft > 0 {
+				rejectsLeft--
+				return false
+			}
+			return true
+		},
+	}
 
 	dsts := []*dcn.Host{fx.cluster.Racks[1].Hosts[0], fx.cluster.Racks[1].Hosts[1], fx.cluster.Racks[2].Hosts[0]}
-	res, err := VMMigration(fx.cluster, fx.model, []*dcn.VM{vm}, dsts)
+	res, err := VMMigrationWith(fx.cluster, fx.model, []*dcn.VM{vm}, dsts, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,10 +50,13 @@ func TestVMMigrationGivesUpUnderPermanentRejection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	SetRequestGate(func(*dcn.VM, *dcn.Host) bool { return false })
-	defer SetRequestGate(nil)
+	opts := MigrationOptions{
+		ForbidSameRack: true,
+		Shim:           ShimUnknown,
+		Policy:         func(*dcn.VM, *dcn.Host) bool { return false },
+	}
 
-	res, err := VMMigration(fx.cluster, fx.model, []*dcn.VM{vm}, []*dcn.Host{fx.cluster.Racks[1].Hosts[0]})
+	res, err := VMMigrationWith(fx.cluster, fx.model, []*dcn.VM{vm}, []*dcn.Host{fx.cluster.Racks[1].Hosts[0]}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,12 +86,15 @@ func TestVMMigrationPartialRejection(t *testing.T) {
 	d1 := fx.cluster.Racks[1].Hosts[0]
 	d2 := fx.cluster.Racks[1].Hosts[1]
 	// d1 refuses VM a specifically (e.g. policy conflict), accepts b.
-	SetRequestGate(func(vm *dcn.VM, dst *dcn.Host) bool {
-		return !(vm == a && dst == d1)
-	})
-	defer SetRequestGate(nil)
+	opts := MigrationOptions{
+		ForbidSameRack: true,
+		Shim:           ShimUnknown,
+		Policy: func(vm *dcn.VM, dst *dcn.Host) bool {
+			return !(vm == a && dst == d1)
+		},
+	}
 
-	res, err := VMMigration(fx.cluster, fx.model, []*dcn.VM{a, b}, []*dcn.Host{d1, d2})
+	res, err := VMMigrationWith(fx.cluster, fx.model, []*dcn.VM{a, b}, []*dcn.Host{d1, d2}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"sheriff/internal/dcn"
 	"sheriff/internal/knapsack"
 	"sheriff/internal/matching"
+	"sheriff/internal/obs"
 )
 
 // Migration records one applied VM move.
@@ -37,9 +38,19 @@ type Report struct {
 	Rejected    int // REQUEST handshakes answered with REJECT
 }
 
+// RequestPolicy decides whether a REQUEST handshake may be granted,
+// before the Alg. 4 capacity check. It is the injectable admission /
+// failure-injection point: per-call (MigrationOptions, DistOptions) or
+// per-shim (Params), so concurrent coordinators never share mutable
+// global state. A nil policy always allows.
+type RequestPolicy func(vm *dcn.VM, dst *dcn.Host) bool
+
 // Params tunes the shim protocol. Alpha and Beta are the capacity
 // portions of Alg. 1/2 ("we present α, β as different portion of capacity
 // for migration since it is not necessary to migrate all VMs").
+//
+// Zero numeric fields mean "use the default" (applied by WithDefaults at
+// construction); negative values are a Validate error.
 type Params struct {
 	Alpha float64 // portion of server capacity to unload on a host alert
 	Beta  float64 // portion of ToR capacity to unload on a ToR alert
@@ -47,6 +58,13 @@ type Params struct {
 	// racks reachable through at most this many switches (1 = the paper's
 	// one-hop wired neighbors).
 	NeighborSwitchHops int
+	// RequestPolicy, when non-nil, is consulted on every handshake the
+	// shim answers or commits (ProcessAlerts, Coordinator commits,
+	// DistributedVMMigration destinations).
+	RequestPolicy RequestPolicy
+	// Recorder, when non-nil, receives request/ack/reject/unplaced events
+	// from the shim's migration rounds.
+	Recorder *obs.Recorder
 }
 
 // DefaultParams matches the regional scheme: one-hop neighbors,
@@ -55,16 +73,34 @@ func DefaultParams() Params {
 	return Params{Alpha: 0.2, Beta: 0.2, NeighborSwitchHops: 1}
 }
 
-// Validate reports whether the parameters are usable.
+// WithDefaults returns p with zero numeric fields replaced by the
+// DefaultParams values. Negative fields are left for Validate to reject.
+func (p Params) WithDefaults() Params {
+	d := DefaultParams()
+	if p.Alpha == 0 {
+		p.Alpha = d.Alpha
+	}
+	if p.Beta == 0 {
+		p.Beta = d.Beta
+	}
+	if p.NeighborSwitchHops == 0 {
+		p.NeighborSwitchHops = d.NeighborSwitchHops
+	}
+	return p
+}
+
+// Validate reports whether the parameters are usable. Zero numeric
+// fields are accepted (they mean "use the default"); negative or
+// out-of-range values are errors.
 func (p Params) Validate() error {
-	if p.Alpha <= 0 || p.Alpha > 1 {
-		return fmt.Errorf("migrate: Alpha must be in (0,1], got %v", p.Alpha)
+	if p.Alpha < 0 || p.Alpha > 1 {
+		return fmt.Errorf("migrate: Alpha must be in [0,1] (0 = default), got %v", p.Alpha)
 	}
-	if p.Beta <= 0 || p.Beta > 1 {
-		return fmt.Errorf("migrate: Beta must be in (0,1], got %v", p.Beta)
+	if p.Beta < 0 || p.Beta > 1 {
+		return fmt.Errorf("migrate: Beta must be in [0,1] (0 = default), got %v", p.Beta)
 	}
-	if p.NeighborSwitchHops < 1 {
-		return fmt.Errorf("migrate: NeighborSwitchHops must be >= 1, got %d", p.NeighborSwitchHops)
+	if p.NeighborSwitchHops < 0 {
+		return fmt.Errorf("migrate: NeighborSwitchHops must be >= 0 (0 = default), got %d", p.NeighborSwitchHops)
 	}
 	return nil
 }
@@ -85,6 +121,7 @@ func NewShim(c *dcn.Cluster, m *cost.Model, rack *dcn.Rack, p Params) (*Shim, er
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	p = p.WithDefaults()
 	s := &Shim{Rack: rack, cluster: c, model: m, params: p}
 	for _, nodeID := range c.Graph.RackNeighbors(rack.NodeID, p.NeighborSwitchHops) {
 		if r := c.RackByNode(nodeID); r != nil {
@@ -146,16 +183,25 @@ func (s *Shim) ProcessAlerts(alerts []alert.Alert) (*Report, error) {
 	// other hosts of this rack; ToR-congestion VMs must leave the rack
 	// ("release the workload of ToR_i … to neighbor racks").
 	if len(hostSet) > 0 {
-		if err := report.merge(VMMigration(s.cluster, s.model, hostSet, s.regionHosts(true))); err != nil {
+		if err := report.merge(VMMigrationWith(s.cluster, s.model, hostSet, s.regionHosts(true), s.migrationOptions())); err != nil {
 			return report, err
 		}
 	}
 	if len(torSet) > 0 {
-		if err := report.merge(VMMigration(s.cluster, s.model, torSet, s.regionHosts(false))); err != nil {
+		if err := report.merge(VMMigrationWith(s.cluster, s.model, torSet, s.regionHosts(false), s.migrationOptions())); err != nil {
 			return report, err
 		}
 	}
 	return report, nil
+}
+
+// migrationOptions projects the shim's params onto one VMMIGRATION call.
+func (s *Shim) migrationOptions() MigrationOptions {
+	return MigrationOptions{
+		Policy:   s.params.RequestPolicy,
+		Recorder: s.params.Recorder,
+		Shim:     s.Rack.Index,
+	}
 }
 
 // merge folds a VMMIGRATION result into the round report.
@@ -216,6 +262,39 @@ type MigrationResult struct {
 // ErrNoCandidates is returned when the destination set is empty.
 var ErrNoCandidates = errors.New("migrate: no candidate destination hosts")
 
+// MigrationOptions configures one VMMIGRATION invocation.
+type MigrationOptions struct {
+	// ForbidSameRack applies the Eqn. (6) constraint: a VM may only land
+	// in a rack other than its own (v_p ∈ N(v_i)), the setting of the
+	// Figs. 11–14 comparison where alerts mean the whole rack must shed
+	// load.
+	ForbidSameRack bool
+	// Policy, when non-nil, is consulted before the Alg. 4 capacity check
+	// on every REQUEST handshake.
+	Policy RequestPolicy
+	// Recorder, when non-nil, receives request/ack/reject/unplaced events
+	// with the retry round numbers.
+	Recorder *obs.Recorder
+	// Shim tags recorded events with the source shim's rack index; leave
+	// zero-valued calls at ShimUnknown.
+	Shim int
+}
+
+// ShimUnknown marks events whose source shim is not identified.
+const ShimUnknown = -1
+
+// decide runs one Alg. 4 handshake decision: policy first, then the FCFS
+// capacity check. The cause names the refusing stage for trace events.
+func (o *MigrationOptions) decide(vm *dcn.VM, dst *dcn.Host) (ok bool, cause string) {
+	if o.Policy != nil && !o.Policy(vm, dst) {
+		return false, "policy"
+	}
+	if !Request(vm, dst) {
+		return false, "capacity"
+	}
+	return true, ""
+}
+
 // VMMigration implements Alg. 3: while the candidate set is non-empty,
 // build the bipartite cost graph between candidate VMs and destination
 // slots, compute a minimum-weight matching (Kuhn–Munkres), and apply each
@@ -223,25 +302,33 @@ var ErrNoCandidates = errors.New("migrate: no candidate destination hosts")
 // rejected are retried in the next round against the remaining slots; the
 // loop ends when every VM is placed or no progress is possible.
 func VMMigration(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*dcn.Host) (*MigrationResult, error) {
-	return VMMigrationOpts(c, m, f, candidates, false)
+	return VMMigrationWith(c, m, f, candidates, MigrationOptions{Shim: ShimUnknown})
 }
 
-// VMMigrationOpts is VMMigration with the Eqn. (6) constraint switchable:
-// with forbidSameRack, a VM may only land in a rack other than its own
-// (v_p ∈ N(v_i)), the setting of the Figs. 11–14 comparison where alerts
-// mean the whole rack must shed load.
+// VMMigrationOpts is VMMigration with the Eqn. (6) constraint switchable.
+//
+// Deprecated: use VMMigrationWith with MigrationOptions.ForbidSameRack,
+// which also carries the request policy and event recorder.
 func VMMigrationOpts(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*dcn.Host, forbidSameRack bool) (*MigrationResult, error) {
+	return VMMigrationWith(c, m, f, candidates, MigrationOptions{ForbidSameRack: forbidSameRack, Shim: ShimUnknown})
+}
+
+// VMMigrationWith is the fully configurable Alg. 3 entry point.
+func VMMigrationWith(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*dcn.Host, o MigrationOptions) (*MigrationResult, error) {
 	if len(candidates) == 0 {
 		return nil, ErrNoCandidates
 	}
 	res := &MigrationResult{}
+	rec := o.Recorder
 	remaining := append([]*dcn.VM(nil), f...)
 	// Destinations that rejected a VM are excluded from its later rounds
 	// ("v_i should recalculate possible migration destinations"). The
 	// exclusion set only grows, so the loop terminates.
 	excluded := make(map[int]map[int]bool)
 
+	round := 0
 	for len(remaining) > 0 {
+		round++
 		costs := make([][]float64, len(remaining))
 		feasible := false
 		for i, vm := range remaining {
@@ -251,7 +338,7 @@ func VMMigrationOpts(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*d
 					costs[i][j] = matching.Forbidden
 					continue
 				}
-				if forbidSameRack && vm.Host() != nil && h.Rack() == vm.Host().Rack() {
+				if o.ForbidSameRack && vm.Host() != nil && h.Rack() == vm.Host().Rack() {
 					costs[i][j] = matching.Forbidden
 					continue
 				}
@@ -287,24 +374,30 @@ func VMMigrationOpts(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*d
 			anyMatched = true
 			dst := candidates[j]
 			moveCost := costs[i][j]
+			rec.Record(obs.Event{Kind: obs.KindRequest, Round: round, Shim: o.Shim, VM: vm.ID, Host: dst.ID, Value: moveCost})
 			// Alg. 4 REQUEST: the destination's delegation node re-checks
 			// capacity (FCFS) and replies ACK or REJECT.
-			if Request(vm, dst) {
+			ok, cause := o.decide(vm, dst)
+			if ok {
 				from := vm.Host()
 				if err := c.Move(vm, dst); err != nil {
 					// The handshake said yes but placement failed (e.g. a
 					// dependency raced in): treat as a rejection.
-					res.Rejected++
-					exclude(vm.ID, j)
-					next = append(next, vm)
-					continue
+					ok, cause = false, "race"
+				} else {
+					res.Migrations = append(res.Migrations, Migration{VM: vm, From: from, To: dst, Cost: moveCost})
+					res.TotalCost += moveCost
+					rec.Record(obs.Event{Kind: obs.KindAck, Round: round, Shim: o.Shim, VM: vm.ID, Host: dst.ID, Value: moveCost})
 				}
-				res.Migrations = append(res.Migrations, Migration{VM: vm, From: from, To: dst, Cost: moveCost})
-				res.TotalCost += moveCost
-			} else {
+			}
+			if !ok {
 				res.Rejected++
 				exclude(vm.ID, j)
 				next = append(next, vm)
+				if rec.Enabled() {
+					rec.Record(obs.Event{Kind: obs.KindReject, Round: round, Shim: o.Shim, VM: vm.ID, Host: dst.ID,
+						Value: moveCost, Attrs: map[string]string{"cause": cause}})
+				}
 			}
 		}
 		if !anyMatched {
@@ -312,6 +405,11 @@ func VMMigrationOpts(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*d
 			break
 		}
 		remaining = next
+	}
+	if rec.Enabled() {
+		for _, vm := range res.Unplaced {
+			rec.Record(obs.Event{Kind: obs.KindUnplaced, Round: round, Shim: o.Shim, VM: vm.ID, Host: ShimUnknown})
+		}
 	}
 	return res, nil
 }
@@ -337,22 +435,12 @@ func pairCost(c *dcn.Cluster, m *cost.Model, vm *dcn.VM, h *dcn.Host) float64 {
 	return mc
 }
 
-// requestGate, when non-nil, is consulted before the capacity check —
-// a failure-injection point for tests simulating lost or refused REQUEST
-// messages (Alg. 4's REJECT path under adverse conditions).
-var requestGate func(vm *dcn.VM, dst *dcn.Host) bool
-
-// SetRequestGate installs (or clears, with nil) the failure-injection
-// gate. Intended for tests; not safe for concurrent use with migrations.
-func SetRequestGate(gate func(vm *dcn.VM, dst *dcn.Host) bool) { requestGate = gate }
-
 // Request implements Alg. 4: the receiving delegation node grants the
 // migration iff the destination host still has capacity for the VM
 // (first come, first served). It does not mutate state; the actual move
-// follows on ACK.
+// follows on ACK. Admission and failure injection compose in front of
+// this check through RequestPolicy — the old package-global gate is gone
+// (it was unsafe under the parallel coordinator).
 func Request(vm *dcn.VM, dst *dcn.Host) bool {
-	if requestGate != nil && !requestGate(vm, dst) {
-		return false
-	}
 	return dst.Free() >= vm.Capacity
 }

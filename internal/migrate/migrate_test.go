@@ -36,15 +36,23 @@ func TestParamsValidate(t *testing.T) {
 	if err := DefaultParams().Validate(); err != nil {
 		t.Fatalf("default params invalid: %v", err)
 	}
+	// Zero fields now mean "use the default" and must validate.
+	if err := (Params{}).Validate(); err != nil {
+		t.Fatalf("zero params invalid: %v", err)
+	}
 	bad := []Params{
-		{Alpha: 0, Beta: 0.2, NeighborSwitchHops: 1},
+		{Alpha: -0.1, Beta: 0.2, NeighborSwitchHops: 1},
 		{Alpha: 0.2, Beta: 1.5, NeighborSwitchHops: 1},
-		{Alpha: 0.2, Beta: 0.2, NeighborSwitchHops: 0},
+		{Alpha: 0.2, Beta: 0.2, NeighborSwitchHops: -1},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
 			t.Errorf("case %d accepted: %+v", i, p)
 		}
+	}
+	def := (Params{}).WithDefaults()
+	if def.Alpha != DefaultParams().Alpha || def.NeighborSwitchHops != DefaultParams().NeighborSwitchHops {
+		t.Fatalf("WithDefaults() = %+v, want DefaultParams()", def)
 	}
 }
 

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"sheriff/internal/pool"
+)
+
+// TestRecorderConcurrentHammer drives one recorder from the shared worker
+// pool — the same pool the runtime's parallel phases run on — while
+// readers snapshot the ring and counters. Run under -race (the CI race
+// job covers internal/obs).
+func TestRecorderConcurrentHammer(t *testing.T) {
+	r, err := New(Options{Ring: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 16, 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	stop := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Events()
+			_ = r.Stats(KindSend)
+			_ = r.Kinds()
+		}
+	}()
+	pool.Shared().ForEach(writers, func(i int) {
+		for j := 0; j < perWriter; j++ {
+			r.Record(Event{Kind: KindSend, Shim: i, Value: float64(j)})
+		}
+	})
+	close(stop)
+	wg.Wait()
+
+	if got := r.Count(KindSend); got != writers*perWriter {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter)
+	}
+	if r.Seq() != writers*perWriter {
+		t.Fatalf("seq = %d, want %d", r.Seq(), writers*perWriter)
+	}
+	// Sequence numbers in the ring must be strictly increasing: the ring
+	// holds a consistent suffix of the event stream.
+	ev := r.Events()
+	if len(ev) != 256 {
+		t.Fatalf("ring = %d events, want 256", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("ring seq gap at %d: %d -> %d", i, ev[i-1].Seq, ev[i].Seq)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
+	"sheriff/internal/obs"
 	"sheriff/internal/topology"
 )
 
@@ -46,6 +47,29 @@ func BenchmarkRuntimeStep(b *testing.B) {
 	r := buildBenchRuntime(b, 48)
 	// Prime past the cold-start window: flow routes are established and
 	// every VM has enough history to extrapolate.
+	for i := 0; i < 15; i++ {
+		if _, err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeStepRecorded is BenchmarkRuntimeStep with an active
+// event recorder (in-memory ring, no sinks) — the enabled-path cost, to
+// compare against the nil-recorder fast path above.
+func BenchmarkRuntimeStepRecorded(b *testing.B) {
+	r := buildBenchRuntime(b, 48)
+	rec, err := obs.New(obs.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.opts.Recorder = rec
 	for i := 0; i < 15; i++ {
 		if _, err := r.Step(); err != nil {
 			b.Fatal(err)

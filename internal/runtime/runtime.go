@@ -23,6 +23,7 @@ import (
 	"sheriff/internal/flow"
 	"sheriff/internal/metrics"
 	"sheriff/internal/migrate"
+	"sheriff/internal/obs"
 	"sheriff/internal/pool"
 	"sheriff/internal/qcn"
 	"sheriff/internal/timeseries"
@@ -46,6 +47,23 @@ type Options struct {
 	// DisableReroute turns FLOWREROUTE off (hot switches stay hot) — the
 	// ablation baseline.
 	DisableReroute bool
+	// Recorder, when non-nil, receives per-step phase timings, per-rack
+	// alert counts, and per-shim manage timings, and is threaded into
+	// every shim (unless Migrate.Recorder is already set) so migration
+	// protocol events carry the current step number.
+	Recorder *obs.Recorder
+}
+
+// Validate reports whether the options are usable. Negative values are
+// errors; zero values mean "use the default".
+func (o Options) Validate() error {
+	if o.HotThreshold < 0 {
+		return fmt.Errorf("runtime: HotThreshold must be >= 0 (0 = default), got %v", o.HotThreshold)
+	}
+	if o.QueueLimit < 0 {
+		return fmt.Errorf("runtime: QueueLimit must be >= 0 (0 = default), got %v", o.QueueLimit)
+	}
+	return o.Migrate.Validate()
 }
 
 func (o Options) withDefaults() Options {
@@ -58,8 +76,9 @@ func (o Options) withDefaults() Options {
 	if o.QueueLimit == 0 {
 		o.QueueLimit = 1.0
 	}
-	if o.Migrate == (migrate.Params{}) {
-		o.Migrate = migrate.DefaultParams()
+	o.Migrate = o.Migrate.WithDefaults()
+	if o.Migrate.Recorder == nil {
+		o.Migrate.Recorder = o.Recorder
 	}
 	if o.FlowRate == nil {
 		o.FlowRate = func(trf float64) float64 { return 0.05 + 0.4*trf }
@@ -207,10 +226,10 @@ func (r *Runtime) PhaseSummaries() map[string]*metrics.Summary {
 
 // New assembles a runtime over an already populated cluster.
 func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error) {
-	opts = opts.withDefaults()
-	if err := opts.Migrate.Validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	opts = opts.withDefaults()
 	r := &Runtime{
 		Cluster:    cluster,
 		Model:      model,
@@ -263,6 +282,8 @@ func (r *Runtime) History() []StepStats { return r.history }
 func (r *Runtime) Step() (*StepStats, error) {
 	stats := &StepStats{Step: r.step}
 	r.step++
+	rec := r.opts.Recorder
+	rec.SetStep(stats.Step)
 
 	// Phase 1 (parallel): observe, predict, raise alerts per VM. Each
 	// worker touches only the claimed vmState (its generator, predictor,
@@ -298,11 +319,15 @@ func (r *Runtime) Step() (*StepStats, error) {
 		}
 	}
 	stats.Timings.Predict = time.Since(phaseStart)
+	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "predict",
+		Shim: migrate.ShimUnknown, VM: -1, Host: -1, Value: stats.Timings.Predict.Seconds()})
 
 	// Phase 2: rebuild the traffic plane from the dependency graph.
 	phaseStart = time.Now()
 	r.syncFlows()
 	stats.Timings.Flows = time.Since(phaseStart)
+	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "flows",
+		Shim: migrate.ShimUnknown, VM: -1, Host: -1, Value: stats.Timings.Flows.Seconds()})
 
 	// Phase 3: switch-side congestion. Hot outer switches trigger
 	// FLOWREROUTE; ToR uplink monitors raise FromLocalToR alerts.
@@ -335,6 +360,16 @@ func (r *Runtime) Step() (*StepStats, error) {
 		}
 	}
 	stats.Timings.Congestion = time.Since(phaseStart)
+	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "congestion",
+		Shim: migrate.ShimUnknown, VM: -1, Host: -1, Value: stats.Timings.Congestion.Seconds()})
+	if rec.Enabled() {
+		for idx := range alertsByRack {
+			if n := len(alertsByRack[idx]); n > 0 {
+				rec.Record(obs.Event{Kind: obs.KindAlerts, Phase: "manage",
+					Shim: idx, VM: -1, Host: -1, Value: float64(n)})
+			}
+		}
+	}
 
 	// Phase 4 (serialized): management. The cost model's shortest-path
 	// tables are refreshed lazily: only a step that actually manages
@@ -352,14 +387,19 @@ func (r *Runtime) Step() (*StepStats, error) {
 			r.Model.Refresh()
 			r.modelStale = false
 		}
+		shimStart := time.Now()
 		rep, err := shim.ProcessAlerts(alertsByRack[idx])
 		if err != nil {
 			return nil, fmt.Errorf("runtime: shim %d: %w", idx, err)
 		}
+		rec.Record(obs.Event{Kind: obs.KindManage, Phase: "manage",
+			Shim: idx, VM: -1, Host: -1, Value: time.Since(shimStart).Seconds()})
 		stats.Migrations += len(rep.Migrations)
 		stats.MigrationCost += rep.TotalCost
 	}
 	stats.Timings.Manage = time.Since(phaseStart)
+	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "manage",
+		Shim: migrate.ShimUnknown, VM: -1, Host: -1, Value: stats.Timings.Manage.Seconds()})
 
 	stats.WorkloadStdDev = r.Cluster.WorkloadStdDev()
 	for i, d := range []time.Duration{stats.Timings.Predict, stats.Timings.Flows, stats.Timings.Congestion, stats.Timings.Manage} {

@@ -16,6 +16,7 @@ import (
 
 	"sheriff/internal/alert"
 	"sheriff/internal/centralized"
+	"sheriff/internal/comm"
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
 	"sheriff/internal/kmedian"
@@ -81,9 +82,7 @@ func (c Config) withDefaults() Config {
 	if c.AlertFraction <= 0 {
 		c.AlertFraction = 0.05
 	}
-	if c.Migrate == (migrate.Params{}) {
-		c.Migrate = migrate.DefaultParams()
-	}
+	c.Migrate = c.Migrate.WithDefaults()
 	if c.Cost == (cost.Params{}) {
 		c.Cost = cost.PaperParams()
 	}
@@ -307,6 +306,23 @@ func (s *Sim) SeedAlerts() map[int][]*dcn.VM {
 		}
 	}
 	return out
+}
+
+// RunDistributed seeds the paper's 5% alerts and relocates them with the
+// message-passing REQUEST/ACK/REJECT protocol of Alg. 4 over an in-memory
+// bus built from busOpts. Attach the same obs.Recorder to busOpts and
+// opts to get a full wire-plus-decision trace of the run.
+func (s *Sim) RunDistributed(busOpts comm.Options, opts migrate.DistOptions) (*migrate.DistResult, error) {
+	alerts := s.SeedAlerts()
+	vmSets := make([][]*dcn.VM, len(s.Shims))
+	for i, shim := range s.Shims {
+		vmSets[i] = alerts[shim.Rack.Index]
+	}
+	bus, err := comm.NewBus(busOpts)
+	if err != nil {
+		return nil, err
+	}
+	return migrate.DistributedVMMigration(s.Cluster, s.Model, bus, s.Shims, vmSets, opts)
 }
 
 // CompareResult holds one Sheriff-vs-centralized comparison (one data

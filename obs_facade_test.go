@@ -1,0 +1,114 @@
+package sheriff
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sheriff/internal/dcn"
+)
+
+func populateForTest(c *Cluster, seed int64) {
+	c.Populate(dcn.PopulateOptions{VMsPerHost: 3, MinCapacity: 5, MaxCapacity: 20, DependencyProb: 0.3, Seed: seed})
+}
+
+// TestTraceToFacade drives a small runtime through the facade trace
+// helper and checks the JSONL stream parses back into Events in sequence
+// order.
+func TestTraceToFacade(t *testing.T) {
+	var buf bytes.Buffer
+	rec, err := TraceTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, model, _, err := NewFatTreeCluster(4, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateForTest(cluster, 1)
+	rt, err := NewRuntime(cluster, model, RuntimeOptions{Seed: 1, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq() == 0 {
+		t.Fatal("no events recorded")
+	}
+	sc := bufio.NewScanner(&buf)
+	var prev uint64
+	lines := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		if e.Seq <= prev {
+			t.Fatalf("line %d: seq %d after %d", lines+1, e.Seq, prev)
+		}
+		prev = e.Seq
+		lines++
+	}
+	if uint64(lines) != rec.Seq() {
+		t.Fatalf("trace has %d lines, recorder says %d events", lines, rec.Seq())
+	}
+}
+
+// TestSetRequestGateFacade checks the deprecated global gate still blocks
+// migrations for shims built by the facade constructors, including when
+// installed after assembly.
+func TestSetRequestGateFacade(t *testing.T) {
+	cluster, _, shims, err := NewFatTreeCluster(4, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateForTest(cluster, 1)
+	SetRequestGate(func(*VM, *Host) bool { return false })
+	defer SetRequestGate(nil)
+
+	var alerts []Alert
+	rack := shims[0].Rack
+	h := rack.Hosts[0]
+	for _, vm := range h.VMs() {
+		vm.Alert = 0.95
+	}
+	alerts = append(alerts, Alert{HostID: h.ID, RackIndex: rack.Index, Value: 0.95})
+	rep, err := shims[0].ProcessAlerts(alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Migrations) != 0 {
+		t.Fatalf("gate did not block: %d migrations", len(rep.Migrations))
+	}
+	SetRequestGate(nil)
+	rep, err = shims[0].ProcessAlerts(alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Migrations) == 0 {
+		t.Fatal("no migrations after clearing the gate")
+	}
+}
+
+// TestKindNamesStable pins the facade-visible event kind strings — trace
+// consumers parse these.
+func TestKindNamesStable(t *testing.T) {
+	var buf bytes.Buffer
+	rec, err := TraceTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Record(Event{Kind: "request", VM: 1, Host: 2})
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"request"`) {
+		t.Fatalf("unexpected serialization: %s", buf.String())
+	}
+}

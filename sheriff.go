@@ -25,6 +25,8 @@ package sheriff
 
 import (
 	"fmt"
+	"io"
+	"sync"
 
 	"sheriff/internal/alert"
 	"sheriff/internal/arima"
@@ -35,6 +37,7 @@ import (
 	"sheriff/internal/kmedian"
 	"sheriff/internal/migrate"
 	"sheriff/internal/narnet"
+	"sheriff/internal/obs"
 	"sheriff/internal/predictor"
 	"sheriff/internal/runtime"
 	"sheriff/internal/sim"
@@ -119,6 +122,18 @@ type (
 	MigrationTimeline = cost.Timeline
 	// CostTimelineParams tunes the pre-copy timeline model.
 	CostTimelineParams = cost.TimelineParams
+
+	// Recorder collects structured observability events (see internal/obs).
+	// A nil *Recorder is a valid, zero-cost no-op everywhere one is
+	// accepted.
+	Recorder = obs.Recorder
+	// Event is one structured observability event.
+	Event = obs.Event
+	// EventSink receives recorded events (e.g. the JSONL trace writer).
+	EventSink = obs.Sink
+	// RequestPolicy decides whether a destination accepts a REQUEST — the
+	// injectable admission hook on migrate.Params and migrate.DistOptions.
+	RequestPolicy = migrate.RequestPolicy
 )
 
 // Topology kinds for SimConfig.Kind.
@@ -258,8 +273,10 @@ func assemble(g *topology.Graph, hostsPerRack int, hostCapacity float64) (*Clust
 		return nil, nil, nil, err
 	}
 	shims := make([]*Shim, 0, len(cluster.Racks))
+	params := migrate.DefaultParams()
+	params.RequestPolicy = facadePolicy
 	for _, r := range cluster.Racks {
-		s, err := migrate.NewShim(cluster, model, r, migrate.DefaultParams())
+		s, err := migrate.NewShim(cluster, model, r, params)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -290,3 +307,48 @@ func Figures() []string { return experiments.FigureIDs() }
 
 // LocalSearchRatio returns the VMMIGRATION approximation guarantee 3+2/p.
 func LocalSearchRatio(p int) float64 { return kmedian.ApproximationRatio(p) }
+
+// NewRecorder builds an event recorder with the default in-memory ring
+// and the given sinks. Pass the result to RuntimeOptions.Recorder,
+// migrate.Params.Recorder, comm.Options.Recorder, or kmedian
+// Options.Recorder — or leave those nil for a zero-cost no-op.
+func NewRecorder(sinks ...EventSink) (*Recorder, error) {
+	return obs.New(obs.Options{Sinks: sinks})
+}
+
+// TraceTo builds a recorder that streams every event to w as JSON Lines
+// (one Event object per line, in sequence order). Check Recorder.Err
+// after the run for deferred write failures.
+func TraceTo(w io.Writer) (*Recorder, error) {
+	return NewRecorder(obs.NewJSONL(w))
+}
+
+// facadeGate holds the process-wide admission hook installed by the
+// deprecated SetRequestGate; shims built by this package's constructors
+// read it through their RequestPolicy at decision time.
+var (
+	facadeGateMu sync.RWMutex
+	facadeGate   RequestPolicy
+)
+
+// SetRequestGate installs a process-wide REQUEST admission hook applied
+// by shims built with NewFatTreeCluster / NewBCubeCluster. Pass nil to
+// remove it.
+//
+// Deprecated: global state is kept only for source compatibility. Set
+// migrate.Params.RequestPolicy (per shim) or migrate.DistOptions.
+// RequestPolicy (per protocol run) instead.
+func SetRequestGate(fn func(*VM, *Host) bool) {
+	facadeGateMu.Lock()
+	facadeGate = fn
+	facadeGateMu.Unlock()
+}
+
+// facadePolicy consults the deprecated global gate at call time, so gates
+// installed after cluster assembly still take effect.
+func facadePolicy(vm *VM, dst *Host) bool {
+	facadeGateMu.RLock()
+	fn := facadeGate
+	facadeGateMu.RUnlock()
+	return fn == nil || fn(vm, dst)
+}
