@@ -50,7 +50,11 @@ func main() {
 			if err := rec.Err(); err != nil {
 				fail(fmt.Errorf("trace: %w", err))
 			}
-			fmt.Printf("trace: %d events -> %s\n", rec.Seq(), *trace)
+			var kinds []string
+			for _, k := range rec.Kinds() {
+				kinds = append(kinds, fmt.Sprintf("%s=%d", k, rec.Count(k)))
+			}
+			fmt.Printf("trace: %d events -> %s (%s)\n", rec.Seq(), *trace, strings.Join(kinds, " "))
 		}()
 	}
 

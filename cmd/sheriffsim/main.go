@@ -8,10 +8,13 @@
 //	sheriffsim -mode plan -topology fat-tree -size 48 -k 32
 //	sheriffsim -mode plan -size 16 -exact   # adds the branch-and-bound OPT
 //	sheriffsim -mode dist -size 8 -loss 0.05 -trace out.jsonl
+//	sheriffsim -mode chaos -seed 42 -drop 0.2 -dup 0.25 -partition 1:3:0 -trace chaos.jsonl
 //
 // -trace writes a JSONL event stream (see internal/obs); with no explicit
 // -mode it implies -mode dist, the message-level protocol whose
-// REQUEST/ACK/REJECT/retry decisions the trace captures.
+// REQUEST/ACK/REJECT/retry decisions the trace captures. Chaos mode runs
+// the same protocol under a seeded fault plan (internal/faults): drops,
+// duplication, reordering, delay jitter, and named partition windows.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"sheriff/internal/comm"
+	"sheriff/internal/faults"
 	"sheriff/internal/migrate"
 	"sheriff/internal/obs"
 	"sheriff/internal/sim"
@@ -42,6 +46,12 @@ func main() {
 	exact := flag.Bool("exact", false, "also compute the branch-and-bound optimum (mode=plan)")
 	loss := flag.Float64("loss", 0.05, "bus message loss rate (mode=dist)")
 	trace := flag.String("trace", "", "write a JSONL event trace to this file (implies -mode dist unless -mode is set)")
+	drop := flag.Float64("drop", 0.2, "fault plan: per-message drop probability (mode=chaos)")
+	dup := flag.Float64("dup", 0.1, "fault plan: per-message duplication probability (mode=chaos)")
+	reorder := flag.Float64("reorder", 0.2, "fault plan: per-batch delivery reorder probability (mode=chaos)")
+	delay := flag.Int("delay", 0, "fault plan: fixed extra delivery delay in rounds (mode=chaos)")
+	jitter := flag.Int("jitter", 1, "fault plan: uniform extra delay bound in rounds (mode=chaos)")
+	partition := flag.String("partition", "", "fault plan: partition windows as start:rounds:node,node[;...] (mode=chaos)")
 	flag.Parse()
 
 	modeSet := false
@@ -105,9 +115,79 @@ func main() {
 		runPlan(cfg, *k, *p, *exact)
 	case "dist":
 		runDist(cfg, *loss, rec)
+	case "chaos":
+		windows, err := parsePartitions(*partition)
+		if err != nil {
+			fail(err)
+		}
+		plan := faults.Plan{
+			Seed:        *seed,
+			Drop:        *drop,
+			DupRate:     *dup,
+			ReorderRate: *reorder,
+			Delay:       *delay,
+			Jitter:      *jitter,
+			Partitions:  windows,
+		}
+		runChaos(cfg, plan, rec)
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// runChaos is runDist under a seeded fault plan: the injected drops,
+// duplicates, reorderings, and partition cuts exercise the protocol's
+// retry/suppression/fallback ladder, and the summary line reports how far
+// down the ladder the run went. "unplaced 0" is the resilience criterion.
+func runChaos(cfg sim.Config, plan faults.Plan, rec *obs.Recorder) {
+	s, err := sim.Build(cfg)
+	if err != nil {
+		fail(err)
+	}
+	n := s.PopulateHotPods(0.5, 0.85, 0.35)
+	fmt.Printf("%s size %d: %d racks, %d hosts, %d VMs | plan: drop %.2f dup %.2f reorder %.2f delay %d+%d partitions %d\n",
+		cfg.Kind, cfg.Size, len(s.Cluster.Racks), len(s.Cluster.Hosts()), n,
+		plan.Drop, plan.DupRate, plan.ReorderRate, plan.Delay, plan.Jitter, len(plan.Partitions))
+	res, err := s.RunChaos(plan, migrate.DistOptions{Recorder: rec, Seed: plan.Seed})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("chaos: %d migrations cost %.1f | rejected %d retransmits %d suppressed %d fallbacks %d unplaced %d in %d rounds\n",
+		len(res.Migrations), res.TotalCost, res.Rejected, res.Retransmits,
+		res.Suppressed, res.Fallbacks, len(res.Unplaced), res.Rounds)
+}
+
+// parsePartitions decodes the -partition spec: semicolon-separated
+// windows, each start:rounds:node,node,... — e.g. "1:3:0,1;6:2:4".
+func parsePartitions(spec string) ([]faults.Partition, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []faults.Partition
+	for i, win := range strings.Split(spec, ";") {
+		parts := strings.Split(win, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad partition %q (want start:rounds:node,node,...)", win)
+		}
+		start, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("bad partition start %q: %w", parts[0], err)
+		}
+		rounds, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("bad partition rounds %q: %w", parts[1], err)
+		}
+		w := faults.Partition{Name: fmt.Sprintf("partition-%d", i), Start: start, Rounds: rounds}
+		for _, n := range strings.Split(parts[2], ",") {
+			node, err := strconv.Atoi(strings.TrimSpace(n))
+			if err != nil {
+				return nil, fmt.Errorf("bad partition node %q: %w", n, err)
+			}
+			w.Nodes = append(w.Nodes, node)
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }
 
 // runDist drives the Alg. 4 message protocol: pod-level hotspots force

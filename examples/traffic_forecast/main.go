@@ -47,7 +47,7 @@ func main() {
 
 	// Combined dynamic selection (Sec. IV.B): at each step the candidate
 	// with the lowest sliding-window MSE predicts.
-	sel, err := sheriff.NewCombinedPredictor(train, 7)
+	sel, err := sheriff.NewPredictor(train, sheriff.PredictorOptions{Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -61,6 +61,31 @@ type Message struct {
 	Seq      int // correlates requests with replies
 }
 
+// Verdict is an Injector's decision for one message entering the fabric.
+// The zero Verdict passes the message through untouched.
+type Verdict struct {
+	// Drop discards the message; Cause names the fault for trace events.
+	Drop  bool
+	Cause string
+	// ExtraDelay holds the message back this many additional Deliver
+	// rounds on top of the bus's own delay draw.
+	ExtraDelay int
+	// Duplicates enqueues this many extra copies of the message, each one
+	// Deliver round later than the previous (fabric duplication).
+	Duplicates int
+}
+
+// Injector perturbs bus traffic — the fault-injection hook behind
+// internal/faults. Judge is consulted once per Send with the current
+// round; Reorder may permute one round's delivery batch in place and
+// reports whether it did. Implementations must be deterministic functions
+// of their seed and call order. A nil Options.Injector means no faults
+// and costs nothing on the send/deliver path.
+type Injector interface {
+	Judge(round int, m Message) Verdict
+	Reorder(round int, batch []Message) bool
+}
+
 // Options tunes the bus's delivery behaviour.
 type Options struct {
 	// LossRate drops each message independently with this probability.
@@ -70,9 +95,17 @@ type Options struct {
 	MaxDelay int
 	// Seed drives loss and delay draws.
 	Seed int64
+	// InboxLimit caps each node's queued inbox; messages delivered beyond
+	// it are dropped with cause "overflow" (tail drop), bounding memory
+	// under duplication storms. Zero means the default (4096); negative is
+	// an error.
+	InboxLimit int
 	// Recorder, when non-nil, receives a send/deliver/drop event per
 	// message movement; drop causes are seed-deterministic.
 	Recorder *obs.Recorder
+	// Injector, when non-nil, may drop, delay, duplicate, or reorder
+	// traffic per its fault plan (see internal/faults).
+	Injector Injector
 }
 
 // Validate reports whether the options are usable.
@@ -83,13 +116,21 @@ func (o Options) Validate() error {
 	if o.MaxDelay < 0 {
 		return fmt.Errorf("comm: MaxDelay must be >= 0, got %d", o.MaxDelay)
 	}
+	if o.InboxLimit < 0 {
+		return fmt.Errorf("comm: InboxLimit must be >= 0 (0 = default), got %d", o.InboxLimit)
+	}
 	return nil
 }
 
-// withDefaults completes the option-struct convention (Validate +
-// withDefaults). Every zero value is meaningful on the bus — lossless,
-// next-round delivery, seed 0 — so nothing is rewritten.
-func (o Options) withDefaults() Options { return o }
+// WithDefaults returns the options with zero fields replaced by their
+// defaults (the Validate + WithDefaults option convention; zero = default,
+// negative = Validate error).
+func (o Options) WithDefaults() Options {
+	if o.InboxLimit == 0 {
+		o.InboxLimit = 4096
+	}
+	return o
+}
 
 // Bus is a deterministic in-memory message network. It is not safe for
 // concurrent use; protocols drive it round by round.
@@ -102,6 +143,11 @@ type Bus struct {
 	inbox    map[int][]Message
 	dropped  int
 	sent     int
+
+	duplicated int
+	reordered  int
+
+	batch []Message // per-Deliver scratch, reused to keep the hot path allocation-free
 }
 
 type pending struct {
@@ -115,7 +161,7 @@ func NewBus(opts Options) (*Bus, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	return &Bus{
 		opts:  opts,
 		rng:   rand.New(rand.NewSource(opts.Seed)),
@@ -158,31 +204,120 @@ func (b *Bus) Send(m Message) int {
 	if b.opts.MaxDelay > 0 {
 		delay = b.rng.Intn(b.opts.MaxDelay + 1)
 	}
+	if inj := b.opts.Injector; inj != nil {
+		v := inj.Judge(b.round, m)
+		if v.Drop {
+			b.dropped++
+			if rec.Enabled() {
+				e := b.event(obs.KindDrop, m)
+				e.Attrs["cause"] = v.Cause
+				rec.Record(e)
+			}
+			return m.ID
+		}
+		delay += v.ExtraDelay
+		for k := 1; k <= v.Duplicates; k++ {
+			b.duplicated++
+			b.inFlight = append(b.inFlight, pending{msg: m, delay: delay + k})
+			if rec.Enabled() {
+				rec.Record(b.event(obs.KindDup, m))
+			}
+		}
+	}
 	b.inFlight = append(b.inFlight, pending{msg: m, delay: delay})
 	return m.ID
 }
 
 // Deliver advances one round: messages whose delay expired move to their
-// destination inboxes in send order. It returns how many were delivered.
+// destination inboxes in send order (unless the injector reorders the
+// batch). It returns how many were delivered.
 func (b *Bus) Deliver() int {
 	b.round++
 	rec := b.opts.Recorder
-	var still []pending
+	inj := b.opts.Injector
+	still := b.inFlight[:0] // in-place filter: writes trail the read index
 	delivered := 0
+	var batch []Message
+	if inj != nil {
+		// Due messages are staged so the injector can reorder the whole
+		// round; the nil-injector path delivers in one pass instead.
+		batch = b.batch[:0]
+	}
 	for _, p := range b.inFlight {
 		if p.delay > 0 {
 			p.delay--
 			still = append(still, p)
 			continue
 		}
-		b.inbox[p.msg.To] = append(b.inbox[p.msg.To], p.msg)
-		delivered++
-		if rec.Enabled() {
-			rec.Record(b.event(obs.KindDeliver, p.msg))
+		if inj != nil {
+			batch = append(batch, p.msg)
+			continue
 		}
+		delivered += b.deposit(p.msg, rec)
 	}
 	b.inFlight = still
+	if inj != nil {
+		b.batch = batch
+		if len(batch) > 1 && inj.Reorder(b.round, batch) {
+			b.reordered++
+			if rec.Enabled() {
+				rec.Record(obs.Event{Kind: obs.KindReorder, Round: b.round,
+					Shim: ShimlessNode, VM: ShimlessNode, Host: ShimlessNode,
+					Value: float64(len(batch))})
+			}
+		}
+		for _, m := range batch {
+			delivered += b.deposit(m, rec)
+		}
+	}
 	return delivered
+}
+
+// deposit moves one due message into its destination inbox, enforcing the
+// InboxLimit tail drop. It returns 1 when delivered, 0 when dropped.
+func (b *Bus) deposit(m Message, rec *obs.Recorder) int {
+	q := b.inbox[m.To]
+	if len(q) >= b.opts.InboxLimit {
+		b.dropped++
+		if rec.Enabled() {
+			e := b.event(obs.KindDrop, m)
+			e.Attrs["cause"] = "overflow"
+			rec.Record(e)
+		}
+		return 0
+	}
+	b.inbox[m.To] = append(q, m)
+	if rec.Enabled() {
+		rec.Record(b.event(obs.KindDeliver, m))
+	}
+	return 1
+}
+
+// ShimlessNode marks trace identity fields with no protocol entity (the
+// bus-wide reorder event has no single sender, VM, or host).
+const ShimlessNode = -1
+
+// Round returns the number of completed Deliver rounds.
+func (b *Bus) Round() int { return b.round }
+
+// Partitioned reports whether from→to traffic is currently cut by a named
+// partition window of the installed injector. A nil or partition-unaware
+// injector reports false. Protocols use this to avoid burning their retry
+// budget on destinations the fabric cannot reach.
+func (b *Bus) Partitioned(from, to int) (string, bool) {
+	type partitioner interface {
+		Partitioned(round, from, to int) (string, bool)
+	}
+	if p, ok := b.opts.Injector.(partitioner); ok {
+		return p.Partitioned(b.round, from, to)
+	}
+	return "", false
+}
+
+// FaultStats returns (duplicated, reordered) counters: fabric-duplicated
+// copies enqueued and delivery batches shuffled by the injector.
+func (b *Bus) FaultStats() (duplicated, reordered int) {
+	return b.duplicated, b.reordered
 }
 
 // Receive drains and returns the node's inbox in delivery order.

@@ -1,0 +1,17 @@
+// Package faults is the deterministic, seeded network-fault injector
+// behind the chaos path (`sheriffsim -mode chaos`). A declarative Plan —
+// per-link drop probabilities, fixed-plus-jittered delivery delay,
+// duplication, delivery-batch reordering, and named partition windows —
+// compiles into an Injector that plugs into comm.Bus behind the small
+// comm.Injector interface, mirroring the obs.Recorder pattern: a nil
+// injector is a zero-cost no-op on the send/deliver hot path.
+//
+// Every decision the injector makes is a deterministic function of the
+// plan, its seed, and the bus's call order, so one (seed, plan) pair
+// replays bit-identically — the property the golden chaos trace pins.
+// Predictive-management schemes must be validated under injected network
+// faults (Bush & Frost's AVNMP line of work); the plan vocabulary here
+// covers the failure modes the Sec. V.B REQUEST/ACK/REJECT protocol must
+// survive: silent loss, late and duplicated replies, reordered grants,
+// and regions that are temporarily unreachable.
+package faults

@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sheriff/internal/comm"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"zero", Plan{}, true},
+		{"full", Plan{Seed: 3, Drop: 0.2, Delay: 1, Jitter: 2, DupRate: 0.1, ReorderRate: 0.3,
+			Links:      []LinkDrop{{From: 0, To: 1, Drop: 1}},
+			Partitions: []Partition{{Start: 2, Rounds: 3, Nodes: []int{0}}}}, true},
+		{"negative drop", Plan{Drop: -0.1}, false},
+		{"drop one", Plan{Drop: 1}, false},
+		{"negative delay", Plan{Delay: -1}, false},
+		{"negative jitter", Plan{Jitter: -2}, false},
+		{"dup one", Plan{DupRate: 1}, false},
+		{"reorder negative", Plan{ReorderRate: -0.5}, false},
+		{"link drop above one", Plan{Links: []LinkDrop{{Drop: 1.5}}}, false},
+		{"partition negative start", Plan{Partitions: []Partition{{Start: -1, Nodes: []int{0}}}}, false},
+		{"partition no nodes", Plan{Partitions: []Partition{{Start: 0}}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+func TestPlanWithDefaults(t *testing.T) {
+	p := Plan{Partitions: []Partition{
+		{Nodes: []int{1, 2}},
+		{Name: "core-cut", Start: 4, Rounds: 3, Nodes: []int{0}},
+	}}
+	d := p.WithDefaults()
+	if d.Partitions[0].Name != "partition-0" || d.Partitions[0].Rounds != 1 {
+		t.Fatalf("defaults not applied: %+v", d.Partitions[0])
+	}
+	if d.Partitions[1].Name != "core-cut" || d.Partitions[1].Rounds != 3 {
+		t.Fatalf("set fields not preserved: %+v", d.Partitions[1])
+	}
+	// The receiver's partition slice must not be mutated.
+	if p.Partitions[0].Name != "" {
+		t.Fatal("WithDefaults mutated its receiver")
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	inj, err := New(Plan{Partitions: []Partition{{Name: "p", Start: 2, Rounds: 3, Nodes: []int{0, 1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, want := range map[int]bool{0: false, 1: false, 2: true, 4: true, 5: false} {
+		if _, got := inj.Partitioned(round, 0, 7); got != want {
+			t.Errorf("round %d: partitioned = %v, want %v", round, got, want)
+		}
+	}
+	// Both endpoints inside the isolated set still talk to each other.
+	if _, cut := inj.Partitioned(3, 0, 1); cut {
+		t.Error("intra-partition traffic should pass")
+	}
+	if v := inj.Judge(3, comm.Message{From: 0, To: 7}); !v.Drop || !strings.HasPrefix(v.Cause, "partition:") {
+		t.Errorf("cross-cut message not dropped: %+v", v)
+	}
+}
+
+func TestJudgeDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, Drop: 0.3, Delay: 1, Jitter: 2, DupRate: 0.2}
+	a, err := New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		m := comm.Message{From: i % 5, To: (i + 1) % 5, Seq: i}
+		va, vb := a.Judge(0, m), b.Judge(0, m)
+		if !reflect.DeepEqual(va, vb) {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, va, vb)
+		}
+	}
+}
+
+func TestDeadLinkAndReorder(t *testing.T) {
+	inj, err := New(Plan{Seed: 1, Links: []LinkDrop{{From: 2, To: 3, Drop: 1}}, ReorderRate: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := inj.Judge(0, comm.Message{From: 2, To: 3}); !v.Drop || v.Cause != "link-loss" {
+		t.Fatalf("dead link not dropped: %+v", v)
+	}
+	if v := inj.Judge(0, comm.Message{From: 3, To: 2}); v.Drop {
+		t.Fatalf("reverse direction dropped: %+v", v)
+	}
+	batch := []comm.Message{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}}
+	changed := false
+	for i := 0; i < 20 && !changed; i++ {
+		if inj.Reorder(i, batch) {
+			for j, m := range batch {
+				if m.ID != j {
+					changed = true
+				}
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("reorder never permuted the batch")
+	}
+}
+
+// TestBusIntegration drives a real bus under an aggressive plan and
+// checks the fault counters move and traffic still flows.
+func TestBusIntegration(t *testing.T) {
+	inj, err := New(Plan{Seed: 5, Drop: 0.2, DupRate: 0.3, Jitter: 1, ReorderRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus, err := comm.NewBus(comm.Options{Seed: 9, Injector: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	for round := 0; round < 50; round++ {
+		for n := 0; n < 8; n++ {
+			bus.Send(comm.Message{Type: comm.MsgRequest, From: n, To: (n + 1) % 8, Seq: round})
+		}
+		bus.Deliver()
+		for n := 0; n < 8; n++ {
+			received += len(bus.Receive(n))
+		}
+	}
+	for bus.Pending() > 0 {
+		bus.Deliver()
+	}
+	for n := 0; n < 8; n++ {
+		received += len(bus.Receive(n))
+	}
+	sent, dropped := bus.Stats()
+	dup, _ := bus.FaultStats()
+	if dropped == 0 || dup == 0 {
+		t.Fatalf("plan injected nothing: sent=%d dropped=%d dup=%d", sent, dropped, dup)
+	}
+	if received != sent-dropped+dup {
+		t.Fatalf("conservation: received %d, want sent %d - dropped %d + dup %d = %d",
+			received, sent, dropped, dup, sent-dropped+dup)
+	}
+}

@@ -3,6 +3,7 @@ package migrate
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"sheriff/internal/comm"
 	"sheriff/internal/cost"
@@ -20,13 +21,31 @@ type DistOptions struct {
 	// RequestTimeout is how many rounds a request may stay unanswered
 	// before the source assumes it was lost and retries. Default 3.
 	RequestTimeout int
+	// RetryBudget is how many times one VM's request may time out before
+	// the source stops retrying and degrades it to local sequential
+	// placement (see DisableFallback). Default 4.
+	RetryBudget int
+	// BackoffBase is the first backoff after a timeout, in rounds; each
+	// further timeout doubles it (exponential backoff with deterministic
+	// seeded jitter in [0, current backoff]). Default 1.
+	BackoffBase int
+	// BackoffMax caps the exponential backoff, in rounds. Default 8.
+	BackoffMax int
+	// Seed drives the backoff jitter. The jitter is a pure function of
+	// (Seed, VM ID, attempt), so it is deterministic regardless of map
+	// iteration or timeout order.
+	Seed int64
+	// DisableFallback leaves budget-exhausted and unreachable VMs
+	// unplaced instead of degrading them to local sequential placement
+	// (the pre-fault-injection behaviour; also the ablation baseline).
+	DisableFallback bool
 	// RequestPolicy, when non-nil, is consulted by every destination shim
 	// before its capacity check — the protocol-wide admission / failure
 	// injection point. Destination shims additionally apply their own
 	// Params.RequestPolicy.
 	RequestPolicy RequestPolicy
-	// Recorder, when non-nil, receives request/ack/reject/retry/unplaced
-	// events with protocol round numbers.
+	// Recorder, when non-nil, receives request/ack/reject/retry/backoff/
+	// suppress/fallback/unplaced events with protocol round numbers.
 	Recorder *obs.Recorder
 }
 
@@ -39,15 +58,36 @@ func (o DistOptions) Validate() error {
 	if o.RequestTimeout < 0 {
 		return fmt.Errorf("migrate: RequestTimeout must be >= 0 (0 = default), got %d", o.RequestTimeout)
 	}
+	if o.RetryBudget < 0 {
+		return fmt.Errorf("migrate: RetryBudget must be >= 0 (0 = default), got %d", o.RetryBudget)
+	}
+	if o.BackoffBase < 0 {
+		return fmt.Errorf("migrate: BackoffBase must be >= 0 (0 = default), got %d", o.BackoffBase)
+	}
+	if o.BackoffMax < 0 {
+		return fmt.Errorf("migrate: BackoffMax must be >= 0 (0 = default), got %d", o.BackoffMax)
+	}
 	return nil
 }
 
-func (o DistOptions) withDefaults() DistOptions {
+// WithDefaults returns the options with zero fields replaced by their
+// defaults (parity with Params.WithDefaults; zero = default, negative =
+// Validate error).
+func (o DistOptions) WithDefaults() DistOptions {
 	if o.MaxRounds == 0 {
 		o.MaxRounds = 30
 	}
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 3
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 4
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = 1
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = 8
 	}
 	return o
 }
@@ -59,6 +99,8 @@ type DistResult struct {
 	SearchSpace int
 	Rejected    int
 	Retransmits int // requests re-sent after a presumed loss
+	Suppressed  int // duplicate requests/replies discarded by dedup
+	Fallbacks   int // VMs degraded to local sequential placement
 	Rounds      int
 	Unplaced    []*dcn.VM
 }
@@ -71,13 +113,41 @@ type outstanding struct {
 	age  int
 }
 
+// backoffJitter derives the deterministic jitter for one (seed, vm,
+// attempt) retry in [0, span] via a splitmix64-style hash — independent
+// of map iteration and timeout order, so traces replay bit-identically.
+func backoffJitter(seed int64, vmID, attempt, span int) int {
+	if span <= 0 {
+		return 0
+	}
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(vmID)*0xbf58476d1ce4e5b9 + uint64(attempt)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(span+1))
+}
+
+// fallbackVM is one VM degraded out of the distributed protocol, with the
+// cause for its trace event.
+type fallbackVM struct {
+	vm    *dcn.VM
+	cause string
+}
+
 // DistributedVMMigration runs Alg. 3 + Alg. 4 as an actual message
 // protocol over the bus: source shims match their candidate VMs against
 // their regions and send REQUEST envelopes; destination shims grant
 // capacity FCFS in message-arrival order, apply the move themselves, and
-// reply ACK or REJECT. Lost messages (the bus may drop or delay them) are
-// handled by timeout and retry; a lost ACK is detected by observing that
-// the VM already sits at the requested destination.
+// reply ACK or REJECT. The protocol survives an adverse fabric (see
+// internal/faults): lost messages are handled by timeout and exponential
+// backoff with seeded jitter, fabric-duplicated REQUESTs and replies are
+// suppressed by message ID, destinations across an active partition
+// window are not proposed to, and when a VM's retry budget exhausts (or
+// the rounds run out) it degrades to local sequential placement instead
+// of staying unplaced. A lost ACK is detected by observing that the VM
+// already sits at the requested destination.
 //
 // vmSets[i] holds the VMs shims[i] must relocate. Shims are addressed on
 // the bus by rack index.
@@ -88,7 +158,7 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	rec := opts.Recorder
 	res := &DistResult{}
 
@@ -109,25 +179,77 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 	for i := range pending {
 		pending[i] = make(map[int]*outstanding)
 	}
+	// Source-side protocol-hardening state, all keyed per shim:
+	// resolved seqs (for duplicate-reply suppression), per-VM timeout
+	// attempts, and per-VM backoff deadlines (protocol round numbers).
+	resolved := make([]map[int]bool, len(shims))
+	attempts := make([]map[int]int, len(shims))
+	deferUntil := make([]map[int]int, len(shims))
+	fallback := make([][]fallbackVM, len(shims))
+	for i := range shims {
+		resolved[i] = make(map[int]bool)
+		attempts[i] = make(map[int]int)
+		deferUntil[i] = make(map[int]int)
+	}
+	// Destination-side dedup: seq -> reply already sent, so a duplicated
+	// REQUEST is re-answered identically instead of re-applying the move.
+	answered := make(map[int]map[int]comm.Type, len(shims))
+	for _, s := range shims {
+		answered[s.Rack.Index] = make(map[int]comm.Type)
+	}
 	seq := 0
+
+	// degrade moves one VM out of the distributed protocol.
+	degrade := func(i int, vm *dcn.VM, round int, cause string) {
+		fallback[i] = append(fallback[i], fallbackVM{vm: vm, cause: cause})
+		if rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.KindFallback, Round: round,
+				Shim: shims[i].Rack.Index, VM: vm.ID, Host: ShimUnknown,
+				Attrs: map[string]string{"cause": cause}})
+		}
+	}
 
 	for round := 0; round < opts.MaxRounds; round++ {
 		res.Rounds = round + 1
 		// Phase A: sources with free candidates propose via matching.
+		// VMs inside a backoff window sit this round out; destinations
+		// across an active partition are not proposed to.
 		for i, shim := range shims {
 			if len(remaining[i]) == 0 {
 				continue
 			}
-			hosts := shim.regionHosts(true)
-			if len(hosts) == 0 {
+			var ready, waiting []*dcn.VM
+			for _, vm := range remaining[i] {
+				if deferUntil[i][vm.ID] > round {
+					waiting = append(waiting, vm)
+				} else {
+					ready = append(ready, vm)
+				}
+			}
+			if len(ready) == 0 {
+				remaining[i] = waiting
 				continue
 			}
-			costs := make([][]float64, len(remaining[i]))
+			hosts := shim.regionHosts(true)
+			if len(hosts) == 0 {
+				for _, vm := range ready {
+					degrade(i, vm, res.Rounds, "no-destination")
+				}
+				remaining[i] = waiting
+				continue
+			}
+			costs := make([][]float64, len(ready))
 			feasible := false
-			for vi, vm := range remaining[i] {
+			cut := make(map[int]bool) // host index -> across a partition
+			for hi, h := range hosts {
+				if _, p := bus.Partitioned(shim.Rack.Index, h.Rack().Index); p {
+					cut[hi] = true
+				}
+			}
+			for vi, vm := range ready {
 				costs[vi] = make([]float64, len(hosts))
 				for hi, h := range hosts {
-					if excluded[i][vm.ID][h.ID] {
+					if cut[hi] || excluded[i][vm.ID][h.ID] {
 						costs[vi][hi] = matching.Forbidden
 						continue
 					}
@@ -137,18 +259,24 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 					}
 				}
 			}
-			res.SearchSpace += len(remaining[i]) * len(hosts)
+			res.SearchSpace += len(ready) * len(hosts)
 			if !feasible {
-				res.Unplaced = append(res.Unplaced, remaining[i]...)
-				remaining[i] = nil
+				cause := "no-destination"
+				if len(cut) > 0 {
+					cause = "partition"
+				}
+				for _, vm := range ready {
+					degrade(i, vm, res.Rounds, cause)
+				}
+				remaining[i] = waiting
 				continue
 			}
 			sol, err := matching.Solve(costs)
 			if err != nil {
 				return nil, fmt.Errorf("migrate: distributed matching: %w", err)
 			}
-			var keep []*dcn.VM
-			for vi, vm := range remaining[i] {
+			keep := waiting
+			for vi, vm := range ready {
 				hi := sol.Assign[vi]
 				if hi < 0 {
 					keep = append(keep, vm)
@@ -170,6 +298,38 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 		}
 		bus.Deliver()
 
+		// answerRequest runs one destination-side Alg. 4 decision. A
+		// REQUEST seq already answered (a fabric duplicate) is re-answered
+		// with the recorded reply instead of re-applying the move.
+		answerRequest := func(shim *Shim, msg comm.Message) {
+			seen := answered[shim.Rack.Index]
+			reply, dup := seen[msg.Seq]
+			if dup {
+				res.Suppressed++
+				if rec.Enabled() {
+					rec.Record(obs.Event{Kind: obs.KindSuppress, Round: res.Rounds,
+						Shim: shim.Rack.Index, VM: msg.VMID, Host: msg.HostID,
+						Attrs: map[string]string{"msg": comm.MsgRequest.String(), "seq": strconv.Itoa(msg.Seq)}})
+				}
+			} else {
+				vm := c.VM(msg.VMID)
+				dst := c.Host(msg.HostID)
+				reply = comm.MsgReject
+				if vm != nil && dst != nil && dst.Rack() == shim.Rack && allowRequest(opts.RequestPolicy, shim, vm, dst) {
+					if err := c.Move(vm, dst); err == nil {
+						reply = comm.MsgAck
+					}
+				}
+				seen[msg.Seq] = reply
+			}
+			bus.Send(comm.Message{
+				Type: reply,
+				From: shim.Rack.Index,
+				To:   msg.From,
+				VMID: msg.VMID, HostID: msg.HostID, Seq: msg.Seq,
+			})
+		}
+
 		// Phase B: destinations grant FCFS in arrival order and apply the
 		// move themselves (they own the host), then reply.
 		for _, shim := range shims {
@@ -177,33 +337,41 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 				if msg.Type != comm.MsgRequest {
 					continue
 				}
-				vm := c.VM(msg.VMID)
-				dst := c.Host(msg.HostID)
-				reply := comm.MsgReject
-				if vm != nil && dst != nil && dst.Rack() == shim.Rack && allowRequest(opts.RequestPolicy, shim, vm, dst) {
-					if err := c.Move(vm, dst); err == nil {
-						reply = comm.MsgAck
-					}
-				}
-				bus.Send(comm.Message{
-					Type: reply,
-					From: shim.Rack.Index,
-					To:   msg.From,
-					VMID: msg.VMID, HostID: msg.HostID, Seq: msg.Seq,
-				})
+				answerRequest(shim, msg)
 			}
 		}
 		bus.Deliver()
 
 		// Phase C: sources collect replies and age out lost requests.
+		// Delay-faulted REQUESTs landing in this half-round are answered
+		// here rather than discarded (the reply reaches its source next
+		// round).
 		done := true
 		for i := range shims {
 			for _, msg := range bus.Receive(shims[i].Rack.Index) {
+				if msg.Type == comm.MsgRequest {
+					answerRequest(shims[i], msg)
+					continue
+				}
+				if msg.Type != comm.MsgAck && msg.Type != comm.MsgReject {
+					continue
+				}
 				req := pending[i][msg.Seq]
 				if req == nil {
-					continue // stale or duplicate reply
+					// A duplicated or late reply for a seq already settled
+					// (or timed out): suppress, never double-count.
+					if resolved[i][msg.Seq] {
+						res.Suppressed++
+						if rec.Enabled() {
+							rec.Record(obs.Event{Kind: obs.KindSuppress, Round: res.Rounds,
+								Shim: shims[i].Rack.Index, VM: msg.VMID, Host: msg.HostID,
+								Attrs: map[string]string{"msg": msg.Type.String(), "seq": strconv.Itoa(msg.Seq)}})
+						}
+					}
+					continue
 				}
 				delete(pending[i], msg.Seq)
+				resolved[i][msg.Seq] = true
 				switch msg.Type {
 				case comm.MsgAck:
 					res.Migrations = append(res.Migrations, Migration{
@@ -232,6 +400,7 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 			for _, s := range expired {
 				req := pending[i][s]
 				delete(pending[i], s)
+				resolved[i][s] = true
 				if req.vm.Host() == req.dst {
 					// The move happened; only the ACK was lost.
 					res.Migrations = append(res.Migrations, Migration{
@@ -245,12 +414,30 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 					}
 					continue
 				}
+				attempts[i][req.vm.ID]++
+				attempt := attempts[i][req.vm.ID]
+				if attempt > opts.RetryBudget {
+					degrade(i, req.vm, res.Rounds, "budget")
+					continue
+				}
 				res.Retransmits++
+				// Exponential backoff before the VM proposes again:
+				// base·2^(attempt-1) capped at BackoffMax, plus seeded
+				// jitter in [0, backoff].
+				backoff := opts.BackoffBase << (attempt - 1)
+				if backoff > opts.BackoffMax || backoff <= 0 {
+					backoff = opts.BackoffMax
+				}
+				backoff += backoffJitter(opts.Seed, req.vm.ID, attempt, backoff)
+				deferUntil[i][req.vm.ID] = round + backoff
 				remaining[i] = append(remaining[i], req.vm)
 				if rec.Enabled() {
 					rec.Record(obs.Event{Kind: obs.KindRetry, Round: res.Rounds,
 						Shim: shims[i].Rack.Index, VM: req.vm.ID, Host: req.dst.ID,
 						Value: req.cost, Attrs: map[string]string{"cause": "timeout"}})
+					rec.Record(obs.Event{Kind: obs.KindBackoff, Round: res.Rounds,
+						Shim: shims[i].Rack.Index, VM: req.vm.ID, Host: req.dst.ID,
+						Value: float64(backoff), Attrs: map[string]string{"attempt": strconv.Itoa(attempt)}})
 				}
 			}
 			if len(remaining[i]) > 0 || len(pending[i]) > 0 {
@@ -261,10 +448,13 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 			break
 		}
 	}
-	// Whatever is still waiting after MaxRounds is unplaced. Pending maps
+	// Whatever is still waiting after MaxRounds degrades too. Pending maps
 	// drain in seq order so the result (and its trace) is deterministic.
 	for i := range shims {
-		res.Unplaced = append(res.Unplaced, remaining[i]...)
+		for _, vm := range remaining[i] {
+			degrade(i, vm, res.Rounds, "rounds")
+		}
+		remaining[i] = nil
 		var waiting []int
 		for s := range pending[i] {
 			waiting = append(waiting, s)
@@ -272,16 +462,62 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 		sort.Ints(waiting)
 		for _, s := range waiting {
 			if req := pending[i][s]; req.vm.Host() != req.dst {
-				res.Unplaced = append(res.Unplaced, req.vm)
+				degrade(i, req.vm, res.Rounds, "rounds")
 			}
 		}
 	}
-	if rec.Enabled() {
+	// Degradation ladder, last rung: each shim places its degraded VMs
+	// with local sequential VMMIGRATION over its own region — no bus, no
+	// retries — so a hostile fabric costs optimality, not placement.
+	for i, shim := range shims {
+		if len(fallback[i]) == 0 {
+			continue
+		}
+		vms := make([]*dcn.VM, 0, len(fallback[i]))
+		for _, f := range fallback[i] {
+			vms = append(vms, f.vm)
+		}
+		if opts.DisableFallback {
+			res.Unplaced = append(res.Unplaced, vms...)
+			continue
+		}
+		res.Fallbacks += len(vms)
+		hosts := shim.regionHosts(true)
+		if len(hosts) == 0 {
+			res.Unplaced = append(res.Unplaced, vms...)
+			continue
+		}
+		lr, err := VMMigrationWith(c, m, vms, hosts, MigrationOptions{
+			Policy:   composePolicy(opts.RequestPolicy, shim.params.RequestPolicy),
+			Recorder: rec,
+			Shim:     shim.Rack.Index,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("migrate: fallback placement shim %d: %w", shim.Rack.Index, err)
+		}
+		res.Migrations = append(res.Migrations, lr.Migrations...)
+		res.TotalCost += lr.TotalCost
+		res.SearchSpace += lr.SearchSpace
+		res.Rejected += lr.Rejected
+		res.Unplaced = append(res.Unplaced, lr.Unplaced...)
+	}
+	if opts.DisableFallback && rec.Enabled() {
 		for _, vm := range res.Unplaced {
 			rec.Record(obs.Event{Kind: obs.KindUnplaced, Round: res.Rounds, Shim: ShimUnknown, VM: vm.ID, Host: ShimUnknown})
 		}
 	}
 	return res, nil
+}
+
+// composePolicy ANDs two request policies, treating nil as always-allow.
+func composePolicy(a, b RequestPolicy) RequestPolicy {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(vm *dcn.VM, dst *dcn.Host) bool { return a(vm, dst) && b(vm, dst) }
 }
 
 // allowRequest composes the protocol-wide policy, the destination shim's

@@ -138,6 +138,14 @@ func NewShim(c *dcn.Cluster, m *cost.Model, rack *dcn.Rack, p Params) (*Shim, er
 // (excluding its own).
 func (s *Shim) NeighborRacks() []*dcn.Rack { return s.neighborRacks }
 
+// SetRequestPolicy installs (or, when nil, removes) the shim's REQUEST
+// admission hook after construction. It replaces the removed process-wide
+// sheriff.SetRequestGate: the hook is scoped to this shim and consulted
+// on every handshake it decides, including the distributed protocol's
+// destination side. Like the rest of the shim it must not race Process-
+// Alerts or a protocol run.
+func (s *Shim) SetRequestPolicy(p RequestPolicy) { s.params.RequestPolicy = p }
+
 // ProcessAlerts runs Alg. 1 over one collection period's alert set:
 // outer-switch alerts feed FLOWREROUTE; host alerts select VMs with the
 // α-knapsack; ToR alerts are pooled and select with the β-knapsack; the

@@ -55,8 +55,25 @@ const (
 	KindSend Kind = "send"
 	// KindDeliver is a bus delivery into the destination inbox.
 	KindDeliver Kind = "deliver"
-	// KindDrop is a bus loss; attrs carry the seed-deterministic cause.
+	// KindDrop is a bus loss; attrs carry the seed-deterministic cause
+	// ("loss", "overflow", or an injected fault such as "partition:<name>").
 	KindDrop Kind = "drop"
+	// KindDup is a fabric-duplicated copy enqueued by the fault injector.
+	KindDup Kind = "dup"
+	// KindReorder is a delivery batch shuffled by the fault injector;
+	// Value is the batch size.
+	KindReorder Kind = "reorder"
+
+	// KindBackoff is a retried request deferred by exponential backoff;
+	// Value is the deferral in rounds and attrs carry the attempt number.
+	KindBackoff Kind = "backoff"
+	// KindSuppress is a duplicate REQUEST or reply discarded by the
+	// protocol's message-ID dedup; attrs name the suppressed message type.
+	KindSuppress Kind = "suppress"
+	// KindFallback is a VM degraded from the distributed protocol to local
+	// sequential placement; attrs carry the cause (budget/partition/
+	// rounds/no-destination).
+	KindFallback Kind = "fallback"
 
 	// KindCost is a cost-trajectory point (kmedian.LocalSearch start).
 	KindCost Kind = "cost"

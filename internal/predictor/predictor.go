@@ -55,6 +55,86 @@ type Config struct {
 	Window int
 }
 
+// PoolKind selects which candidate family New builds.
+type PoolKind int
+
+const (
+	// PoolDefault is the paper's pool: two ARIMA orders + two NARNETs.
+	PoolDefault PoolKind = iota
+	// PoolExtended adds Holt and (when a season is found or given)
+	// additive Holt–Winters to the default pool.
+	PoolExtended
+)
+
+// Options configures New, the consolidated constructor behind the facade's
+// NewPredictor. The zero value builds the paper's default pool.
+type Options struct {
+	// Pool selects the candidate family. Default PoolDefault.
+	Pool PoolKind
+	// Period is the Holt–Winters season length for PoolExtended; 0
+	// auto-detects it from the training data's ACF.
+	Period int
+	// Window is T_p, the fitness MSE window (Eqn. 14). Zero means the
+	// default (20).
+	Window int
+	// Seed drives NARNET weight initialization.
+	Seed int64
+}
+
+// Validate reports whether the options are usable: negative windows and
+// periods and unknown pool kinds are errors; zero values mean defaults.
+func (o Options) Validate() error {
+	if o.Pool != PoolDefault && o.Pool != PoolExtended {
+		return fmt.Errorf("predictor: unknown pool kind %d", o.Pool)
+	}
+	if o.Period < 0 {
+		return fmt.Errorf("predictor: Period must be >= 0 (0 = auto-detect), got %d", o.Period)
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("predictor: Window must be >= 0 (0 = default), got %d", o.Window)
+	}
+	return nil
+}
+
+// WithDefaults returns the options with zero fields replaced by their
+// defaults. Period stays 0 (auto-detect is the default, resolved against
+// the training data inside New).
+func (o Options) WithDefaults() Options {
+	if o.Window == 0 {
+		o.Window = 20
+	}
+	return o
+}
+
+// New builds a dynamic-selection predictor on the training series: it
+// fits the candidate pool the options select and primes a Selector with
+// the history. It subsumes the former facade pair NewCombinedPredictor /
+// NewExtendedPredictor.
+func New(train *timeseries.Series, opts Options) (*Selector, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.WithDefaults()
+	var (
+		cands []*Candidate
+		err   error
+	)
+	switch opts.Pool {
+	case PoolExtended:
+		period := opts.Period
+		if period == 0 {
+			period = timeseries.DetectPeriod(train, 4, train.Len()/3)
+		}
+		cands, err = ExtendedPool(train, period, opts.Seed)
+	default:
+		cands, err = DefaultPool(train, opts.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return NewSelector(train, Config{Window: opts.Window}, cands...)
+}
+
 // NewSelector builds a Selector over the given candidates, primed with the
 // training history (used as forecasting context for the first step).
 func NewSelector(history *timeseries.Series, cfg Config, candidates ...*Candidate) (*Selector, error) {

@@ -66,7 +66,11 @@ func (o Options) Validate() error {
 	return o.Migrate.Validate()
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns the options with zero fields replaced by their
+// defaults (thresholds 0.9, full queue, Holt-style flow-rate mapping),
+// with the recorder threaded into the migrate params unless one is
+// already set there.
+func (o Options) WithDefaults() Options {
 	if o.Thresholds == (alert.Thresholds{}) {
 		o.Thresholds = alert.DefaultThresholds()
 	}
@@ -229,7 +233,7 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	r := &Runtime{
 		Cluster:    cluster,
 		Model:      model,

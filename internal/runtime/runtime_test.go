@@ -189,7 +189,7 @@ func TestRuntimeHostsNeverOversubscribed(t *testing.T) {
 }
 
 func TestOptionsDefaults(t *testing.T) {
-	o := Options{}.withDefaults()
+	o := Options{}.WithDefaults()
 	if o.Thresholds.CPU != 0.9 || o.HotThreshold != 0.9 || o.QueueLimit != 1.0 {
 		t.Fatalf("defaults wrong: %+v", o)
 	}

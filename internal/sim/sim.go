@@ -19,6 +19,7 @@ import (
 	"sheriff/internal/comm"
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
+	"sheriff/internal/faults"
 	"sheriff/internal/kmedian"
 	"sheriff/internal/migrate"
 	"sheriff/internal/topology"
@@ -306,6 +307,18 @@ func (s *Sim) SeedAlerts() map[int][]*dcn.VM {
 		}
 	}
 	return out
+}
+
+// RunChaos runs the distributed protocol over a bus perturbed by the
+// seeded fault plan — the `sheriffsim -mode chaos` entry point. The bus
+// inherits the sim seed and the DistOptions recorder, so one recorder
+// captures wire faults and protocol decisions interleaved.
+func (s *Sim) RunChaos(plan faults.Plan, opts migrate.DistOptions) (*migrate.DistResult, error) {
+	inj, err := faults.New(plan)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunDistributed(comm.Options{Seed: s.Config.Seed, Recorder: opts.Recorder, Injector: inj}, opts)
 }
 
 // RunDistributed seeds the paper's 5% alerts and relocates them with the

@@ -2,6 +2,9 @@ package sim
 
 import (
 	"testing"
+
+	"sheriff/internal/faults"
+	"sheriff/internal/migrate"
 )
 
 func TestKindString(t *testing.T) {
@@ -255,5 +258,38 @@ func TestComparePlanningDefaultK(t *testing.T) {
 	}
 	if res.LocalCost <= 0 {
 		t.Fatalf("planning cost %v", res.LocalCost)
+	}
+}
+
+// TestRunChaosSmoke is the CI chaos smoke scenario: a small fat-tree with
+// pod hotspots under drop + duplication + a partition window must end with
+// every alerted VM placed (the degradation ladder absorbs the faults).
+func TestRunChaosSmoke(t *testing.T) {
+	s, err := Build(Config{Kind: FatTree, Size: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PopulateHotPods(0.5, 0.85, 0.35)
+	plan := faults.Plan{
+		Seed:        42,
+		Drop:        0.2,
+		DupRate:     0.1,
+		ReorderRate: 0.2,
+		Jitter:      1,
+		Partitions:  []faults.Partition{{Name: "pod-cut", Start: 1, Rounds: 3, Nodes: []int{0, 1}}},
+	}
+	res, err := s.RunChaos(plan, migrate.DistOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unplaced) != 0 {
+		t.Fatalf("%d VMs unplaced under the chaos smoke plan", len(res.Unplaced))
+	}
+	if len(res.Migrations) == 0 {
+		t.Fatal("chaos run migrated nothing")
+	}
+	bad := faults.Plan{Drop: -1}
+	if _, err := s.RunChaos(bad, migrate.DistOptions{}); err == nil {
+		t.Fatal("invalid plan accepted")
 	}
 }

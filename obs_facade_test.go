@@ -60,17 +60,17 @@ func TestTraceToFacade(t *testing.T) {
 	}
 }
 
-// TestSetRequestGateFacade checks the deprecated global gate still blocks
-// migrations for shims built by the facade constructors, including when
-// installed after assembly.
-func TestSetRequestGateFacade(t *testing.T) {
+// TestSetRequestPolicyFacade checks the per-shim admission hook — the
+// replacement for the removed process-wide SetRequestGate — blocks
+// migrations when installed after assembly and stops blocking when
+// cleared, without leaking into other shims.
+func TestSetRequestPolicyFacade(t *testing.T) {
 	cluster, _, shims, err := NewFatTreeCluster(4, 2, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	populateForTest(cluster, 1)
-	SetRequestGate(func(*VM, *Host) bool { return false })
-	defer SetRequestGate(nil)
+	shims[0].SetRequestPolicy(func(*VM, *Host) bool { return false })
 
 	var alerts []Alert
 	rack := shims[0].Rack
@@ -84,15 +84,15 @@ func TestSetRequestGateFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(rep.Migrations) != 0 {
-		t.Fatalf("gate did not block: %d migrations", len(rep.Migrations))
+		t.Fatalf("policy did not block: %d migrations", len(rep.Migrations))
 	}
-	SetRequestGate(nil)
+	shims[0].SetRequestPolicy(nil)
 	rep, err = shims[0].ProcessAlerts(alerts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Migrations) == 0 {
-		t.Fatal("no migrations after clearing the gate")
+		t.Fatal("no migrations after clearing the policy")
 	}
 }
 

@@ -1,0 +1,128 @@
+package sheriff
+
+import (
+	"testing"
+
+	"sheriff/internal/comm"
+	"sheriff/internal/faults"
+	"sheriff/internal/migrate"
+	"sheriff/internal/predictor"
+	"sheriff/internal/runtime"
+)
+
+// TestOptionsContract sweeps the library's option structs through the
+// shared convention: Validate rejects negative values, zero values mean
+// "use the default" (filled in by WithDefaults), and explicitly set
+// fields survive WithDefaults untouched.
+func TestOptionsContract(t *testing.T) {
+	cases := []struct {
+		name string
+		// negative is a struct with a nonsensical field; its Validate
+		// must error.
+		negative func() error
+		// zeroOK: the zero struct must validate.
+		zeroOK func() error
+		// defaulted checks WithDefaults fills a zero field; returns
+		// (got, want) of one representative default.
+		defaulted func() (any, any)
+		// preserved checks WithDefaults keeps a set field; returns
+		// (got, want).
+		preserved func() (any, any)
+	}{
+		{
+			name:     "comm.Options",
+			negative: func() error { return comm.Options{InboxLimit: -1}.Validate() },
+			zeroOK:   func() error { return comm.Options{}.Validate() },
+			defaulted: func() (any, any) {
+				return comm.Options{}.WithDefaults().InboxLimit, 4096
+			},
+			preserved: func() (any, any) {
+				return comm.Options{InboxLimit: 7}.WithDefaults().InboxLimit, 7
+			},
+		},
+		{
+			name:     "migrate.Params",
+			negative: func() error { return migrate.Params{Alpha: -0.5}.Validate() },
+			zeroOK:   func() error { return migrate.Params{}.Validate() },
+			defaulted: func() (any, any) {
+				return migrate.Params{}.WithDefaults().Alpha, migrate.DefaultParams().Alpha
+			},
+			preserved: func() (any, any) {
+				return migrate.Params{Alpha: 0.4}.WithDefaults().Alpha, 0.4
+			},
+		},
+		{
+			name:     "migrate.DistOptions",
+			negative: func() error { return migrate.DistOptions{RetryBudget: -2}.Validate() },
+			zeroOK:   func() error { return migrate.DistOptions{}.Validate() },
+			defaulted: func() (any, any) {
+				return migrate.DistOptions{}.WithDefaults().RetryBudget, 4
+			},
+			preserved: func() (any, any) {
+				return migrate.DistOptions{RetryBudget: 9}.WithDefaults().RetryBudget, 9
+			},
+		},
+		{
+			name:     "runtime.Options",
+			negative: func() error { return runtime.Options{HotThreshold: -1}.Validate() },
+			zeroOK:   func() error { return runtime.Options{}.Validate() },
+			defaulted: func() (any, any) {
+				return runtime.Options{}.WithDefaults().HotThreshold, 0.9
+			},
+			preserved: func() (any, any) {
+				return runtime.Options{HotThreshold: 0.7}.WithDefaults().HotThreshold, 0.7
+			},
+		},
+		{
+			name:     "faults.Plan",
+			negative: func() error { return faults.Plan{Drop: -0.1}.Validate() },
+			zeroOK:   func() error { return faults.Plan{}.Validate() },
+			defaulted: func() (any, any) {
+				p := faults.Plan{Partitions: []faults.Partition{{Nodes: []int{0}}}}
+				return p.WithDefaults().Partitions[0].Rounds, 1
+			},
+			preserved: func() (any, any) {
+				p := faults.Plan{Partitions: []faults.Partition{{Rounds: 5, Nodes: []int{0}}}}
+				return p.WithDefaults().Partitions[0].Rounds, 5
+			},
+		},
+		{
+			name:     "PredictorOptions",
+			negative: func() error { return PredictorOptions{Window: -3}.Validate() },
+			zeroOK:   func() error { return PredictorOptions{}.Validate() },
+			defaulted: func() (any, any) {
+				return PredictorOptions{}.WithDefaults().Window, 20
+			},
+			preserved: func() (any, any) {
+				return PredictorOptions{Window: 11}.WithDefaults().Window, 11
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.negative(); err == nil {
+				t.Error("negative value passed Validate")
+			}
+			if err := tc.zeroOK(); err != nil {
+				t.Errorf("zero value failed Validate: %v", err)
+			}
+			if got, want := tc.defaulted(); got != want {
+				t.Errorf("WithDefaults left zero field at %v, want %v", got, want)
+			}
+			if got, want := tc.preserved(); got != want {
+				t.Errorf("WithDefaults overwrote set field: got %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestPredictorOptionsRejected pins that the consolidated constructor
+// actually routes through Validate.
+func TestPredictorOptionsRejected(t *testing.T) {
+	if _, err := NewPredictor([]float64{1, 2, 3}, PredictorOptions{Period: -1}); err == nil {
+		t.Fatal("NewPredictor accepted a negative period")
+	}
+	if _, err := NewPredictor([]float64{1, 2, 3}, PredictorOptions{Pool: predictor.PoolKind(99)}); err == nil {
+		t.Fatal("NewPredictor accepted an unknown pool kind")
+	}
+}

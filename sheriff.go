@@ -1,38 +1,15 @@
-// Package sheriff is a Go implementation of "Sheriff: A Regional
-// Pre-Alert Management Scheme in Data Center Networks" (Gao, Xu, Wu,
-// Chen — ICPP 2015).
-//
-// Sheriff manages a data center network with per-rack delegation nodes
-// (shims) instead of one centralized controller. Each shim runs two
-// phases:
-//
-//   - Prediction: every VM's workload profile W = [CPU, MEM, IO, TRF] is
-//     forecast one collection period ahead using dynamic selection between
-//     ARIMA (Box–Jenkins) and NARNET (nonlinear autoregressive neural
-//     network) models; a predicted component above THRESHOLD raises an
-//     ALERT before the overload materializes.
-//   - Management: collected alerts drive the PRIORITY knapsack selection
-//     of VMs, minimum-weight matching of VMs to destination slots
-//     (VMMIGRATION with the REQUEST/ACK handshake), and FLOWREROUTE for
-//     outer-switch congestion. The centralized view reduces to k-median,
-//     solved by p-swap local search with a 3+2/p guarantee.
-//
-// This root package is the stable facade: it re-exports the library's
-// main types as aliases and offers one-call helpers for the common
-// workflows (forecasting a series, building a simulated DCN, running the
-// Sheriff-vs-centralized comparison, regenerating the paper's figures).
 package sheriff
 
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"sheriff/internal/alert"
 	"sheriff/internal/arima"
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
 	"sheriff/internal/experiments"
+	"sheriff/internal/faults"
 	"sheriff/internal/flow"
 	"sheriff/internal/kmedian"
 	"sheriff/internal/migrate"
@@ -132,8 +109,25 @@ type (
 	// EventSink receives recorded events (e.g. the JSONL trace writer).
 	EventSink = obs.Sink
 	// RequestPolicy decides whether a destination accepts a REQUEST — the
-	// injectable admission hook on migrate.Params and migrate.DistOptions.
+	// injectable admission hook on migrate.Params and migrate.DistOptions,
+	// installable per shim after construction via Shim.SetRequestPolicy.
 	RequestPolicy = migrate.RequestPolicy
+	// PredictorOptions configures NewPredictor (pool family, season
+	// period, fitness window, seed). The zero value builds the paper's
+	// default ARIMA+NARNET pool.
+	PredictorOptions = predictor.Options
+	// FaultPlan declares one seeded wire-fault scenario for chaos runs
+	// (see internal/faults); compile it with faults.New and hand the
+	// injector to comm.Options.
+	FaultPlan = faults.Plan
+)
+
+// Predictor pool kinds for PredictorOptions.Pool.
+const (
+	// PredictorPoolDefault is the paper's ARIMA+NARNET pool.
+	PredictorPoolDefault = predictor.PoolDefault
+	// PredictorPoolExtended adds Holt and Holt–Winters candidates.
+	PredictorPoolExtended = predictor.PoolExtended
 )
 
 // Topology kinds for SimConfig.Kind.
@@ -195,31 +189,28 @@ func NewCoordinator(cluster *Cluster, model *CostModel, shims []*Shim) *Coordina
 	return migrate.NewCoordinator(cluster, model, shims)
 }
 
-// NewCombinedPredictor builds the paper's dynamic-selection predictor on
-// the training data: two ARIMA orders and two NARNET architectures, with
-// the sliding-window MSE of Eqn. (14) picking the winner each step.
+// NewPredictor builds the paper's dynamic-selection predictor on the
+// training data: the candidate pool the options select, ranked each step
+// by the sliding-window MSE of Eqn. (14). The zero PredictorOptions give
+// the default two-ARIMA + two-NARNET pool.
+func NewPredictor(data []float64, opts PredictorOptions) (*Selector, error) {
+	return predictor.New(timeseries.New(data), opts)
+}
+
+// NewCombinedPredictor builds the default dynamic-selection predictor.
+//
+// Deprecated: use NewPredictor(train, PredictorOptions{Seed: seed}).
 func NewCombinedPredictor(train []float64, seed int64) (*Selector, error) {
-	ts := timeseries.New(train)
-	pool, err := predictor.DefaultPool(ts, seed)
-	if err != nil {
-		return nil, err
-	}
-	return predictor.NewSelector(ts, predictor.Config{}, pool...)
+	return NewPredictor(train, PredictorOptions{Seed: seed})
 }
 
 // NewExtendedPredictor builds the dynamic-selection predictor with the
-// full candidate pool: ARIMA, NARNET, Holt, and (when the detected or
-// supplied period is >= 2) Holt–Winters. Pass period = 0 to auto-detect.
+// extended candidate pool.
+//
+// Deprecated: use NewPredictor(train, PredictorOptions{Pool:
+// PredictorPoolExtended, Period: period, Seed: seed}).
 func NewExtendedPredictor(train []float64, period int, seed int64) (*Selector, error) {
-	ts := timeseries.New(train)
-	if period == 0 {
-		period = timeseries.DetectPeriod(ts, 4, ts.Len()/3)
-	}
-	pool, err := predictor.ExtendedPool(ts, period, seed)
-	if err != nil {
-		return nil, err
-	}
-	return predictor.NewSelector(ts, predictor.Config{}, pool...)
+	return NewPredictor(train, PredictorOptions{Pool: PredictorPoolExtended, Period: period, Seed: seed})
 }
 
 // HoltWintersModel is a fitted exponential-smoothing model.
@@ -274,7 +265,6 @@ func assemble(g *topology.Graph, hostsPerRack int, hostCapacity float64) (*Clust
 	}
 	shims := make([]*Shim, 0, len(cluster.Racks))
 	params := migrate.DefaultParams()
-	params.RequestPolicy = facadePolicy
 	for _, r := range cluster.Racks {
 		s, err := migrate.NewShim(cluster, model, r, params)
 		if err != nil {
@@ -321,34 +311,4 @@ func NewRecorder(sinks ...EventSink) (*Recorder, error) {
 // after the run for deferred write failures.
 func TraceTo(w io.Writer) (*Recorder, error) {
 	return NewRecorder(obs.NewJSONL(w))
-}
-
-// facadeGate holds the process-wide admission hook installed by the
-// deprecated SetRequestGate; shims built by this package's constructors
-// read it through their RequestPolicy at decision time.
-var (
-	facadeGateMu sync.RWMutex
-	facadeGate   RequestPolicy
-)
-
-// SetRequestGate installs a process-wide REQUEST admission hook applied
-// by shims built with NewFatTreeCluster / NewBCubeCluster. Pass nil to
-// remove it.
-//
-// Deprecated: global state is kept only for source compatibility. Set
-// migrate.Params.RequestPolicy (per shim) or migrate.DistOptions.
-// RequestPolicy (per protocol run) instead.
-func SetRequestGate(fn func(*VM, *Host) bool) {
-	facadeGateMu.Lock()
-	facadeGate = fn
-	facadeGateMu.Unlock()
-}
-
-// facadePolicy consults the deprecated global gate at call time, so gates
-// installed after cluster assembly still take effect.
-func facadePolicy(vm *VM, dst *Host) bool {
-	facadeGateMu.RLock()
-	fn := facadeGate
-	facadeGateMu.RUnlock()
-	return fn == nil || fn(vm, dst)
 }
