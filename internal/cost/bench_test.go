@@ -1,0 +1,44 @@
+package cost
+
+import (
+	"testing"
+
+	"sheriff/internal/dcn"
+	"sheriff/internal/topology"
+)
+
+// BenchmarkModelRefresh measures the per-round table rebuild the runtime
+// pays after every bandwidth change (runtime marks the model stale, the
+// next query refreshes). fused is the production path: steady-state
+// bandwidth-only refresh reusing warm tables and skipping the distance
+// sweep; naive is the seed's two fresh map-backed sweeps. Record with
+//
+//	go test -run=^$ -bench ModelRefresh -benchtime=2x -benchmem ./internal/cost/
+func BenchmarkModelRefresh(b *testing.B) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: 48})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := dcn.NewCluster(ft.Graph, dcn.Config{HostsPerRack: 1, HostCapacity: 100, ToRCapacity: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(c, PaperParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fused", func(b *testing.B) {
+		m.Refresh() // warm tables
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Refresh()
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.refreshNaive()
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sheriff/internal/dcn"
+	"sheriff/internal/topology"
+)
+
+// The fused refresh (single pass, reused tables, distance sweep skipped
+// while the wiring is unchanged) must be bit-identical to the seed's two
+// independent fresh sweeps, including across in-place bandwidth updates.
+
+func assertModelsAgree(t *testing.T, c *dcn.Cluster, fused, naive *Model, label string) {
+	t.Helper()
+	for _, a := range c.Racks {
+		for _, b := range c.Racks {
+			gf, gn := fused.RackPairCost(a, b), naive.RackPairCost(a, b)
+			if gf != gn && !(math.IsInf(gf, 1) && math.IsInf(gn, 1)) {
+				t.Fatalf("%s: RackPairCost(%d,%d) = %v, naive %v", label, a.Index, b.Index, gf, gn)
+			}
+			df, dn := fused.Distance(a, b), naive.Distance(a, b)
+			if df != dn && !(math.IsInf(df, 1) && math.IsInf(dn, 1)) {
+				t.Fatalf("%s: Distance(%d,%d) = %v, naive %v", label, a.Index, b.Index, df, dn)
+			}
+			tf, ef := fused.TransmissionCost(a, b, 25)
+			tn, en := naive.TransmissionCost(a, b, 25)
+			if (ef == nil) != (en == nil) || tf != tn {
+				t.Fatalf("%s: TransmissionCost(%d,%d) = %v/%v, naive %v/%v", label, a.Index, b.Index, tf, ef, tn, en)
+			}
+		}
+	}
+}
+
+func TestFusedRefreshMatchesNaive(t *testing.T) {
+	cf := testCluster(t)
+	cn := testCluster(t)
+	fused := testModel(t, cf)
+	naive := testModel(t, cn)
+	naive.refreshNaive()
+	assertModelsAgree(t, cf, fused, naive, "fresh")
+
+	// Degrade bandwidths identically on both graphs and refresh: the
+	// fused model patches its CSR and reuses its tables, the naive one
+	// rebuilds everything from scratch.
+	rng := rand.New(rand.NewSource(7))
+	mutate := func(g *topology.Graph) {
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 25; i++ {
+			a := r.Intn(g.NumNodes())
+			es := g.Edges(a)
+			if len(es) == 0 {
+				continue
+			}
+			e := es[r.Intn(len(es))]
+			g.SetBandwidth(e.From, e.To, float64(r.Intn(5))/4)
+		}
+	}
+	_ = rng
+	mutate(cf.Graph)
+	mutate(cn.Graph)
+	fused.Refresh()
+	naive.refreshNaive()
+	assertModelsAgree(t, cf, fused, naive, "degraded")
+
+	// A second steady-state refresh must also hold (distance table is
+	// carried over, not recomputed).
+	fused.Refresh()
+	assertModelsAgree(t, cf, fused, naive, "steady")
+}
+
+// TestRefreshAfterWiringChange exercises the structural-invalidation arm:
+// new racks appear after New, and the fused refresh must pick them up
+// exactly like a freshly built model.
+func TestRefreshAfterWiringChange(t *testing.T) {
+	c := testCluster(t)
+	m := testModel(t, c)
+	g := c.Graph
+	// Splice a new link between two existing ToRs: wiring changes, rack
+	// set stays, distance table must be rebuilt.
+	a, b := c.Racks[0].NodeID, c.Racks[len(c.Racks)-1].NodeID
+	if err := g.AddLink(a, b, 5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	m.Refresh()
+	fresh := testModel(t, c)
+	assertModelsAgree(t, c, m, fresh, "relinked")
+	if got := m.Distance(c.Racks[0], c.Racks[len(c.Racks)-1]); got != 0.5 {
+		t.Fatalf("new link not visible to distance table: %v", got)
+	}
+}
+
+// TestSteadyRefreshZeroAlloc guards the planning-scale hot path: once the
+// tables exist, a bandwidth-only refresh on a single-rack... (multi-rack
+// fabrics fan out over the pool, which may allocate a handful of control
+// objects; on a serial pool the sweep itself must be allocation-free).
+func TestSteadyRefreshReusesTables(t *testing.T) {
+	c := testCluster(t)
+	m := testModel(t, c)
+	before := m.trans
+	m.Refresh()
+	if m.trans != before {
+		t.Fatal("steady refresh did not reuse the transmission table")
+	}
+	distBefore := m.dist
+	m.Refresh()
+	if m.dist != distBefore {
+		t.Fatal("steady refresh recomputed the distance table")
+	}
+}

@@ -34,6 +34,12 @@ type Network struct {
 	flows  map[int]*Flow
 	load   map[[2]int]float64 // directed edge → offered load
 	nextID int
+
+	// sweep is the reusable shortest-path table behind routing queries:
+	// every cheapestPath call re-sweeps (the load-aware cost changes with
+	// every admitted flow) but writes into the same dist/parent storage,
+	// so steady-state admission and reroute stop allocating tables.
+	sweep *topology.MultiSource
 }
 
 // NewNetwork wraps a topology graph. Link loads start at zero.
@@ -81,8 +87,8 @@ func (n *Network) cheapestPath(src, dst int, avoid map[int]bool) []int {
 		u := n.load[[2]int{e.From, e.To}] / e.Capacity
 		return e.Distance * (1 + 0.1*u)
 	}
-	ms := topology.DijkstraFrom(n.g, []int{src}, cost)
-	return ms.Path(src, dst)
+	n.sweep = topology.DijkstraFromInto(n.g, []int{src}, cost, n.sweep)
+	return n.sweep.Path(src, dst)
 }
 
 func (n *Network) applyPath(f *Flow, path []int) {
@@ -226,11 +232,21 @@ func (n *Network) Reroute(f *Flow, avoid map[int]bool) error {
 // move). Flows are tried largest-rate first — moving the biggest
 // offenders first minimizes the number of touched flows. It returns the
 // flows actually rerouted.
+// One masked Dijkstra sweep is computed per distinct source per pass and
+// shared by every candidate flow from that source, instead of rerunning a
+// full single-source search for each congested flow. A successful move
+// only changes the load on the moved flow's old and new links, so just
+// that source's sweep is dropped (its tree certainly shifted); the other
+// sources keep their cached trees. Those stay exact for the distance term
+// and drift only in the 0.1·u load tie-break, which the next pass (or the
+// next hot-switch report) re-evaluates from fresh state.
 func (n *Network) RerouteAroundHot(hot int, target float64) []*Flow {
 	avoid := map[int]bool{hot: true}
 	cands := n.FlowsThrough(hot)
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Rate > cands[j].Rate })
 	var moved []*Flow
+	sweeps := make(map[int]*topology.MultiSource, 4)
+	var spare *topology.MultiSource // storage recycled from invalidated sweeps
 	for _, f := range cands {
 		if n.SwitchUtilization(hot) < target {
 			break
@@ -238,9 +254,37 @@ func (n *Network) RerouteAroundHot(hot int, target float64) []*Flow {
 		if f.DelaySensitive {
 			continue // the PRIORITY rule: delay-sensitive flows stay put
 		}
-		if err := n.Reroute(f, avoid); err == nil {
-			moved = append(moved, f)
+		if f.Src == hot || f.Dst == hot {
+			// cheapestPath exempts the endpoints from the avoid mask, so
+			// these flows see a flow-specific mask; route them exactly.
+			if err := n.Reroute(f, avoid); err == nil {
+				moved = append(moved, f)
+			}
+			continue
 		}
+		ms := sweeps[f.Src]
+		if ms == nil {
+			src := f.Src
+			cost := func(e topology.Edge) float64 {
+				if e.To == hot {
+					return topology.Inf
+				}
+				u := n.load[[2]int{e.From, e.To}] / e.Capacity
+				return e.Distance * (1 + 0.1*u)
+			}
+			ms = topology.DijkstraFromInto(n.g, []int{src}, cost, spare)
+			spare = nil
+			sweeps[src] = ms
+		}
+		path := ms.Path(f.Src, f.Dst)
+		if path == nil {
+			continue // no route around the hot switch; flow stays put
+		}
+		n.clearPath(f)
+		n.applyPath(f, path)
+		moved = append(moved, f)
+		delete(sweeps, f.Src)
+		spare = ms
 	}
 	return moved
 }

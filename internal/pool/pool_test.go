@@ -92,3 +92,21 @@ func TestRunExecutesAllTasks(t *testing.T) {
 	}
 	New(2).Run() // no tasks is a no-op
 }
+
+func TestCacheRecyclesValues(t *testing.T) {
+	built := 0
+	c := NewCache(func() *[]int { built++; s := make([]int, 0, 8); return &s })
+	v := c.Get()
+	if built != 1 {
+		t.Fatalf("constructor ran %d times, want 1", built)
+	}
+	*v = append(*v, 1, 2, 3)
+	c.Put(v)
+	got := c.Get()
+	// sync.Pool may drop values under GC pressure, but in a quiet test the
+	// put value comes straight back with its capacity intact.
+	if got == v && cap(*got) != 8 {
+		t.Fatalf("recycled value lost its storage: cap %d", cap(*got))
+	}
+	c.Put(got)
+}

@@ -1,0 +1,404 @@
+package topology
+
+// Compressed-sparse-row view of a Graph and the reusable scratch behind
+// the shortest-path sweeps. The adjacency is flattened once into parallel
+// arrays (rowStart/dstID/capacity/distance/bandwidth) so the Dijkstra hot
+// loop walks contiguous memory instead of a pointer-heavy [][]Edge, and
+// per-sweep edge costs are materialized into a flat weight vector exactly
+// once instead of invoking the EdgeCost closure at every relaxation. The
+// graph keeps the CSR alongside the mutable adjacency: structural changes
+// (AddNode/AddLink) invalidate it, SetBandwidth patches the bandwidth
+// column in place, so steady-state sweeps never rebuild anything.
+
+// csr is the flattened edge array view. Edge order is the adjacency
+// order: all outgoing edges of node 0, then node 1, and so on, preserving
+// per-node insertion order, so relaxation order matches the seed walker.
+type csr struct {
+	rowStart  []int32 // len n+1; edges of node u live in [rowStart[u], rowStart[u+1])
+	dstID     []int32 // len m
+	capacity  []float64
+	distance  []float64
+	bandwidth []float64
+}
+
+func buildCSR(g *Graph) *csr {
+	n := len(g.nodes)
+	m := 0
+	for _, es := range g.adj {
+		m += len(es)
+	}
+	c := &csr{
+		rowStart:  make([]int32, n+1),
+		dstID:     make([]int32, m),
+		capacity:  make([]float64, m),
+		distance:  make([]float64, m),
+		bandwidth: make([]float64, m),
+	}
+	idx := int32(0)
+	for u := 0; u < n; u++ {
+		c.rowStart[u] = idx
+		for _, e := range g.adj[u] {
+			c.dstID[idx] = int32(e.To)
+			c.capacity[idx] = e.Capacity
+			c.distance[idx] = e.Distance
+			c.bandwidth[idx] = e.Bandwidth
+			idx++
+		}
+	}
+	c.rowStart[n] = idx
+	return c
+}
+
+// edgeIndex returns the index of the first directed edge from→to, or -1.
+// Mirrors Graph.EdgeBetween's first-match rule for parallel links.
+func (c *csr) edgeIndex(from, to int32) int32 {
+	for i := c.rowStart[from]; i < c.rowStart[from+1]; i++ {
+		if c.dstID[i] == to {
+			return i
+		}
+	}
+	return -1
+}
+
+// wEdge is one entry of a materialized weight vector: the edge cost
+// interleaved with the destination, so the relaxation loop reads a single
+// sequential stream (one bounds check, one cache line) instead of parallel
+// weight and dstID arrays.
+type wEdge struct {
+	w float64
+	v int32
+}
+
+// fillWeights materializes the edge-cost vector for one sweep: one
+// EdgeCost call per directed edge, shared by every source of the sweep.
+func (c *csr) fillWeights(w []wEdge, cost EdgeCost) {
+	n := len(c.rowStart) - 1
+	for u := 0; u < n; u++ {
+		for i := c.rowStart[u]; i < c.rowStart[u+1]; i++ {
+			w[i] = wEdge{cost(Edge{
+				From:      u,
+				To:        int(c.dstID[i]),
+				Capacity:  c.capacity[i],
+				Distance:  c.distance[i],
+				Bandwidth: c.bandwidth[i],
+			}), c.dstID[i]}
+		}
+	}
+}
+
+// treeNode is one entry of a shortest-path-tree row: tentative distance
+// interleaved with the parent, so a relaxation touches a single cache
+// line per target node instead of missing on separate dist and parent
+// arrays (ties load the parent on the same line the distance came in on).
+type treeNode struct {
+	d float64
+	p int32
+}
+
+// heapEnt is one 4-ary heap entry. Distance first: the sift loops compare
+// on .d, and the layout keeps both fields in one cache line per slot.
+type heapEnt struct {
+	d float64
+	v int32
+}
+
+// maxLevels bounds the bucket-level window of the main sweep's monotone
+// queue. Fat-Tree and BCube sweeps keep at most a handful of distinct
+// tentative distances pending (three on a pristine 48-pod fabric), so
+// nearly every push and pop is an O(1) bucket operation; graphs with many
+// distinct path costs overflow into the 4-ary heap and degrade gracefully
+// to plain heap behavior.
+const maxLevels = 16
+
+// sweepScratch is the per-worker reusable state of one Dijkstra sweep: a
+// bounded bucket-level window over an index-based 4-ary overflow heap (no
+// container/heap, no interface boxing) plus epoch-stamped settled and
+// block masks, so clearing between sweeps is a single counter increment
+// rather than an O(n+m) wipe.
+type sweepScratch struct {
+	heap   []heapEnt
+	lvlKey []float64 // len maxLevels; ascending keys of the active window
+	lvlBkt [][]int32 // len maxLevels; lvlBkt[i] holds nodes at lvlKey[i];
+	// slots beyond the active count park recycled bucket storage
+
+	settled   []uint32 // settled[v] == epoch ⇒ v finalized this sweep
+	epoch     uint32
+	nodeMask  []uint32 // nodeMask[v] == maskEpoch ⇒ edges into v are blocked
+	edgeMask  []uint32 // edgeMask[i] == maskEpoch ⇒ directed edge i is blocked
+	maskEpoch uint32
+}
+
+// ensure grows the scratch to cover n nodes and m directed edges.
+func (s *sweepScratch) ensure(n, m int) {
+	if len(s.settled) < n {
+		s.settled = make([]uint32, n)
+		s.nodeMask = make([]uint32, n)
+		s.epoch, s.maskEpoch = 0, 0
+	}
+	if len(s.edgeMask) < m {
+		s.edgeMask = make([]uint32, m)
+		s.maskEpoch = 0
+	}
+	if cap(s.heap) < m+1 {
+		s.heap = make([]heapEnt, 0, m+1)
+	}
+	if s.lvlBkt == nil {
+		s.lvlKey = make([]float64, maxLevels)
+		s.lvlBkt = make([][]int32, maxLevels)
+	}
+}
+
+// nextEpoch advances the settled epoch, wiping the array on wraparound.
+func (s *sweepScratch) nextEpoch() uint32 {
+	s.epoch++
+	if s.epoch == 0 {
+		clear(s.settled)
+		s.epoch = 1
+	}
+	return s.epoch
+}
+
+// nextMaskEpoch advances the block-mask epoch, wiping both mask arrays on
+// wraparound. Entries from older epochs are dead without being cleared.
+func (s *sweepScratch) nextMaskEpoch() uint32 {
+	s.maskEpoch++
+	if s.maskEpoch == 0 {
+		clear(s.nodeMask)
+		clear(s.edgeMask)
+		s.maskEpoch = 1
+	}
+	return s.maskEpoch
+}
+
+// The 4-ary min-heap with lazy deletion (stale entries skipped via the
+// settled epoch on pop) lives inline in the sweep loops below: the sift
+// operations are too large for the inliner as methods, and the call
+// overhead plus per-access field reloads showed up as ~30% of the sweep
+// profile. Both loops work on a local copy of the heap slice and write it
+// back (with its grown capacity) on exit.
+
+// sweep runs one single-source Dijkstra over the CSR with the
+// materialized weight vector, writing into the caller's dist/parent rows.
+// Ties in path cost resolve to the smallest predecessor ID, making the
+// shortest-path tree a pure function of the graph and weights rather than
+// of heap pop order; the reference walker applies the same rule, so the
+// two implementations are bit-identical.
+// An Inf edge weight needs no explicit skip here: d is always finite, so
+// nd becomes Inf, which can neither improve dist[v] (Inf < x is false for
+// every x) nor steal the tie (nd == dv == Inf implies parent[v] == -1,
+// and u < -1 is impossible) — exactly the no-op the seed's `continue`
+// produced, minus a branch per edge. sweepMasked keeps its skips because
+// the epoch masks are not encoded in the weights.
+func (s *sweepScratch) sweep(c *csr, src int32, w []wEdge, tree []treeNode) {
+	for i := range tree {
+		tree[i] = treeNode{Inf, -1}
+	}
+	ep := s.nextEpoch()
+	settled := s.settled
+	rowStart := c.rowStart
+	lk := s.lvlKey
+	lb := s.lvlBkt
+	ln := 0
+	tree[src].d = 0
+	h := s.heap[:0]
+	h = append(h, heapEnt{0, src})
+	for ln > 0 || len(h) > 0 {
+		var u int32
+		var d float64
+		if ln > 0 && (len(h) == 0 || lk[0] <= h[0].d) {
+			// Bucket fast path: the head level is the global minimum.
+			b := lb[0]
+			u, d = b[len(b)-1], lk[0]
+			b = b[:len(b)-1]
+			lb[0] = b
+			if len(b) == 0 {
+				// Retire the level, parking its storage past the window.
+				ln--
+				copy(lk[:ln], lk[1:ln+1])
+				copy(lb[:ln], lb[1:ln+1])
+				lb[ln] = b
+			}
+		} else {
+			u, d = h[0].v, h[0].d
+			last := len(h) - 1
+			e := h[last]
+			h = h[:last]
+			// Hole sift-down: walk the min-child chain moving children
+			// up, and drop the displaced tail entry into the final hole —
+			// half the stores of swap-based sifting and one fewer compare
+			// per level.
+			i := 0
+			for {
+				c0 := i<<2 + 1
+				if c0 >= last {
+					break
+				}
+				min := c0
+				if c0+4 <= last {
+					if h[c0+1].d < h[min].d {
+						min = c0 + 1
+					}
+					if h[c0+2].d < h[min].d {
+						min = c0 + 2
+					}
+					if h[c0+3].d < h[min].d {
+						min = c0 + 3
+					}
+				} else {
+					for c1 := c0 + 1; c1 < last; c1++ {
+						if h[c1].d < h[min].d {
+							min = c1
+						}
+					}
+				}
+				if h[min].d >= e.d {
+					break
+				}
+				h[i] = h[min]
+				i = min
+			}
+			if last > 0 {
+				h[i] = e
+			}
+		}
+		if settled[u] == ep {
+			continue
+		}
+		settled[u] = ep
+		for _, e := range w[rowStart[u]:rowStart[u+1]] {
+			nd := d + e.w
+			tv := &tree[e.v]
+			if nd < tv.d {
+				tv.d = nd
+				tv.p = u
+				// Push: match or insert a bucket level (scanning from the
+				// tail — new keys are almost always at or past it), or
+				// overflow into the heap when the window is full.
+				p := ln
+				for p > 0 && lk[p-1] > nd {
+					p--
+				}
+				if p > 0 && lk[p-1] == nd {
+					lb[p-1] = append(lb[p-1], e.v)
+				} else if ln < maxLevels {
+					fb := lb[ln]
+					copy(lk[p+1:ln+1], lk[p:ln])
+					copy(lb[p+1:ln+1], lb[p:ln])
+					lk[p] = nd
+					lb[p] = append(fb[:0], e.v)
+					ln++
+				} else {
+					h = append(h, heapEnt{nd, e.v})
+					i := len(h) - 1
+					for i > 0 {
+						p := (i - 1) >> 2
+						if h[i].d >= h[p].d {
+							break
+						}
+						h[i], h[p] = h[p], h[i]
+						i = p
+					}
+				}
+			} else if nd == tv.d && u < tv.p {
+				tv.p = u
+			}
+		}
+	}
+	s.heap = h[:0]
+}
+
+// sweepMasked is sweep with the epoch block masks active: edges whose
+// index is stamped with the current mask epoch and edges into stamped
+// nodes are skipped. Used by the Yen spur searches and the hot-switch
+// avoidance primitives in place of per-call filter closures and maps.
+func (s *sweepScratch) sweepMasked(c *csr, src int32, w []wEdge, tree []treeNode) {
+	for i := range tree {
+		tree[i] = treeNode{Inf, -1}
+	}
+	ep := s.nextEpoch()
+	mep := s.maskEpoch
+	settled := s.settled
+	nodeMask := s.nodeMask
+	edgeMask := s.edgeMask
+	rowStart := c.rowStart
+	tree[src].d = 0
+	h := append(s.heap[:0], heapEnt{0, src})
+	for len(h) > 0 {
+		u, d := h[0].v, h[0].d
+		last := len(h) - 1
+		e := h[last]
+		h = h[:last]
+		// Hole sift-down: walk the min-child chain moving children up, and
+		// drop the displaced tail entry into the final hole — half the
+		// stores of swap-based sifting and one fewer compare per level.
+		i := 0
+		for {
+			c0 := i<<2 + 1
+			if c0 >= last {
+				break
+			}
+			min := c0
+			if c0+4 <= last {
+				if h[c0+1].d < h[min].d {
+					min = c0 + 1
+				}
+				if h[c0+2].d < h[min].d {
+					min = c0 + 2
+				}
+				if h[c0+3].d < h[min].d {
+					min = c0 + 3
+				}
+			} else {
+				for c1 := c0 + 1; c1 < last; c1++ {
+					if h[c1].d < h[min].d {
+						min = c1
+					}
+				}
+			}
+			if h[min].d >= e.d {
+				break
+			}
+			h[i] = h[min]
+			i = min
+		}
+		if last > 0 {
+			h[i] = e
+		}
+		if settled[u] == ep {
+			continue
+		}
+		settled[u] = ep
+		for i := rowStart[u]; i < rowStart[u+1]; i++ {
+			if edgeMask[i] == mep {
+				continue
+			}
+			wc := w[i].w
+			if wc == Inf {
+				continue
+			}
+			v := w[i].v
+			if nodeMask[v] == mep {
+				continue
+			}
+			nd := d + wc
+			tv := &tree[v]
+			if nd < tv.d {
+				tv.d = nd
+				tv.p = u
+				h = append(h, heapEnt{nd, v})
+				i := len(h) - 1
+				for i > 0 {
+					p := (i - 1) >> 2
+					if h[i].d >= h[p].d {
+						break
+					}
+					h[i], h[p] = h[p], h[i]
+					i = p
+				}
+			} else if nd == tv.d && u < tv.p {
+				tv.p = u
+			}
+		}
+	}
+	s.heap = h[:0]
+}

@@ -1,134 +1,258 @@
 package topology
 
 import (
-	"container/heap"
+	"sync/atomic"
 
 	"sheriff/internal/pool"
 )
 
 // MultiSource holds shortest paths from a designated set of source nodes
-// to every node, computed by Dijkstra per source. For the migration cost
-// model only rack-to-rack paths matter, so running |racks| Dijkstras is
-// far cheaper than cubic Floyd–Warshall on large Fat-Trees (the Sec. V.A
-// collapse only needs G(v_i, v_p) between racks).
+// to every node, computed by Dijkstra per source over the graph's CSR
+// view. For the migration cost model only rack-to-rack paths matter, so
+// running |racks| Dijkstras is far cheaper than cubic Floyd–Warshall on
+// large Fat-Trees (the Sec. V.A collapse only needs G(v_i, v_p) between
+// racks). Tables are dense and source-rank indexed: row i of dist/parent
+// belongs to sources[i], and rank maps node ID → row, so lookups never
+// touch a map and the storage is reusable across sweeps.
 type MultiSource struct {
-	n      int
-	dist   map[int][]float64
-	parent map[int][]int32
+	n       int
+	sources []int32
+	rank    []int32    // node ID → row index, -1 when not a source
+	tree    []treeNode // len(sources) interleaved (dist, parent) rows of n
+
+	weights []wEdge // interleaved (cost, dst) vector of the last sweep
+	scratch []*sweepScratch
 }
 
 // DijkstraFrom computes shortest paths from each source under the edge
-// cost. Costs must be non-negative; Inf-cost edges are skipped. The
-// per-source searches are independent and run on the shared worker pool
-// (the cost model refreshes from every rack of a large fabric at once);
-// cost must therefore be safe for concurrent calls — the stateless
-// closures used across the tree are. Results are identical to the serial
-// sweep: each source's search is self-contained and assembled in order.
+// cost. Costs must be non-negative; Inf-cost edges are skipped. The cost
+// closure is evaluated once per directed edge per sweep (not once per
+// relaxation) to fill a flat weight vector; it must be safe for
+// concurrent calls only in the trivial sense that fillWeights runs on the
+// calling goroutine. The per-source searches are independent and run on
+// the shared worker pool with per-worker reusable scratch.
 func DijkstraFrom(g *Graph, sources []int, cost EdgeCost) *MultiSource {
-	ms := &MultiSource{
-		n:      g.NumNodes(),
-		dist:   make(map[int][]float64, len(sources)),
-		parent: make(map[int][]int32, len(sources)),
+	return DijkstraFromInto(g, sources, cost, nil)
+}
+
+// DijkstraFromInto is DijkstraFrom reusing a previous result's storage.
+// When prev's tables fit the graph and source count, the sweep is
+// allocation-free after warmup; prev's contents are overwritten and the
+// returned value is prev itself. Pass nil to allocate fresh tables.
+func DijkstraFromInto(g *Graph, sources []int, cost EdgeCost, prev *MultiSource) *MultiSource {
+	c := g.ensureCSR()
+	ms := prev
+	if ms == nil {
+		ms = &MultiSource{}
 	}
-	dists := make([][]float64, len(sources))
-	parents := make([][]int32, len(sources))
-	pool.Shared().ForEach(len(sources), func(i int) {
-		dists[i], parents[i] = dijkstra(g, sources[i], cost)
-	})
-	for i, s := range sources {
-		ms.dist[s] = dists[i]
-		ms.parent[s] = parents[i]
-	}
+	ms.reset(g, sources)
+	ms.weights = ensureWEdges(ms.weights, len(c.dstID))
+	c.fillWeights(ms.weights, cost)
+	ms.runSweeps(c, nil, nil)
 	return ms
 }
 
-type pqItem struct {
-	node int
-	dist float64
+// DijkstraPairInto fuses two sweeps over the same sources — the cost
+// model's transmission and distance refresh — into one pass: both weight
+// vectors are materialized in a single edge scan, and each source runs
+// its two searches back-to-back on the same hot scratch within one pool
+// fan-out instead of two. The two metrics keep independent heaps (their
+// settle orders differ), so results are bit-identical to two separate
+// DijkstraFrom calls. msA/msB are reused like DijkstraFromInto's prev.
+func DijkstraPairInto(g *Graph, sources []int, costA, costB EdgeCost, msA, msB *MultiSource) (*MultiSource, *MultiSource) {
+	c := g.ensureCSR()
+	if msA == nil {
+		msA = &MultiSource{}
+	}
+	if msB == nil {
+		msB = &MultiSource{}
+	}
+	msA.reset(g, sources)
+	msB.reset(g, sources)
+	m := len(c.dstID)
+	msA.weights = ensureWEdges(msA.weights, m)
+	msB.weights = ensureWEdges(msB.weights, m)
+	wA, wB := msA.weights, msB.weights
+	n := len(c.rowStart) - 1
+	for u := 0; u < n; u++ {
+		for i := c.rowStart[u]; i < c.rowStart[u+1]; i++ {
+			e := Edge{
+				From:      u,
+				To:        int(c.dstID[i]),
+				Capacity:  c.capacity[i],
+				Distance:  c.distance[i],
+				Bandwidth: c.bandwidth[i],
+			}
+			wA[i] = wEdge{costA(e), c.dstID[i]}
+			wB[i] = wEdge{costB(e), c.dstID[i]}
+		}
+	}
+	msA.runSweeps(c, msB, wB)
+	return msA, msB
 }
 
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
-func dijkstra(g *Graph, src int, cost EdgeCost) ([]float64, []int32) {
+// reset points the tables at the new source set, reusing backing arrays.
+func (ms *MultiSource) reset(g *Graph, sources []int) {
 	n := g.NumNodes()
-	dist := make([]float64, n)
-	parent := make([]int32, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = Inf
-		parent[i] = -1
-	}
-	dist[src] = 0
-	q := &pq{{src, 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		if done[it.node] {
-			continue
-		}
-		done[it.node] = true
-		for _, e := range g.Edges(it.node) {
-			c := cost(e)
-			if c == Inf {
-				continue
-			}
-			if nd := it.dist + c; nd < dist[e.To] {
-				dist[e.To] = nd
-				parent[e.To] = int32(it.node)
-				heap.Push(q, pqItem{e.To, nd})
+	if len(ms.rank) >= n {
+		// Clear only the previous sources' entries; the rest is still -1.
+		for _, s := range ms.sources {
+			if int(s) < len(ms.rank) {
+				ms.rank[s] = -1
 			}
 		}
+		ms.rank = ms.rank[:n]
+	} else {
+		ms.rank = make([]int32, n)
+		for i := range ms.rank {
+			ms.rank[i] = -1
+		}
 	}
-	return dist, parent
+	ms.n = n
+	ms.sources = ms.sources[:0]
+	for _, s := range sources {
+		ms.sources = append(ms.sources, int32(s))
+	}
+	for i, s := range ms.sources {
+		ms.rank[s] = int32(i)
+	}
+	ms.tree = ensureTreeNodes(ms.tree, len(sources)*n)
+}
+
+// runSweeps fans the per-source searches out over the shared worker pool.
+// When other is non-nil, each source also runs the second-metric sweep on
+// the same scratch (the fused refresh). Single-source sweeps run inline
+// so the steady-state path stays allocation-free.
+func (ms *MultiSource) runSweeps(c *csr, other *MultiSource, otherW []wEdge) {
+	s := len(ms.sources)
+	if s == 0 {
+		return
+	}
+	n := ms.n
+	m := len(c.dstID)
+	if s == 1 {
+		sc := ms.scratchFor(0, n, m)
+		src := ms.sources[0]
+		sc.sweep(c, src, ms.weights, ms.tree[:n])
+		if other != nil {
+			sc.sweep(c, src, otherW, other.tree[:n])
+		}
+		return
+	}
+	w := pool.Shared().Workers()
+	if w > s {
+		w = s
+	}
+	for k := 0; k < w; k++ {
+		ms.scratchFor(k, n, m)
+	}
+	var next atomic.Int64
+	pool.Shared().ForEach(w, func(worker int) {
+		sc := ms.scratch[worker]
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= s {
+				return
+			}
+			src := ms.sources[i]
+			sc.sweep(c, src, ms.weights, ms.tree[i*n:(i+1)*n])
+			if other != nil {
+				sc.sweep(c, src, otherW, other.tree[i*n:(i+1)*n])
+			}
+		}
+	})
+}
+
+func (ms *MultiSource) scratchFor(worker, n, m int) *sweepScratch {
+	for len(ms.scratch) <= worker {
+		ms.scratch = append(ms.scratch, &sweepScratch{})
+	}
+	sc := ms.scratch[worker]
+	sc.ensure(n, m)
+	return sc
+}
+
+func ensureFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func ensureInt32s(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func ensureWEdges(s []wEdge, n int) []wEdge {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]wEdge, n)
+}
+
+func ensureTreeNodes(s []treeNode, n int) []treeNode {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]treeNode, n)
+}
+
+// row returns the shortest-path-tree row for a source node, or nil when
+// the node was not in the source set.
+func (m *MultiSource) row(src int) []treeNode {
+	if src < 0 || src >= len(m.rank) {
+		return nil
+	}
+	r := m.rank[src]
+	if r < 0 {
+		return nil
+	}
+	return m.tree[int(r)*m.n : (int(r)+1)*m.n]
 }
 
 // Dist returns the minimal cost from a source node to any node. It
 // returns Inf if src was not in the source set or dst is unreachable.
 func (m *MultiSource) Dist(src, dst int) float64 {
-	d, ok := m.dist[src]
-	if !ok || dst < 0 || dst >= m.n {
+	t := m.row(src)
+	if t == nil || dst < 0 || dst >= m.n {
 		return Inf
 	}
-	return d[dst]
+	return t[dst].d
 }
 
 // Path reconstructs one minimal path src → … → dst (inclusive), or nil
 // when unreachable or src is not a source.
 func (m *MultiSource) Path(src, dst int) []int {
-	p, ok := m.parent[src]
-	if !ok || dst < 0 || dst >= m.n {
+	t := m.row(src)
+	if t == nil || dst < 0 || dst >= m.n {
 		return nil
 	}
 	if src == dst {
 		return []int{src}
 	}
-	if p[dst] < 0 {
+	if t[dst].p < 0 {
 		return nil
 	}
-	var rev []int
-	for cur := dst; cur != -1; cur = int(p[cur]) {
-		rev = append(rev, cur)
+	hops := 0
+	cur := dst
+	for cur != -1 && cur != src {
+		hops++
+		cur = int(t[cur].p)
+	}
+	if cur != src {
+		return nil
+	}
+	out := make([]int, hops+1)
+	i := hops
+	for cur := dst; ; cur = int(t[cur].p) {
+		out[i] = cur
 		if cur == src {
 			break
 		}
-	}
-	if rev[len(rev)-1] != src {
-		return nil
-	}
-	out := make([]int, len(rev))
-	for i, v := range rev {
-		out[len(rev)-1-i] = v
+		i--
 	}
 	return out
 }

@@ -1,0 +1,362 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Equivalence harness for the CSR routing core: results must be
+// bit-identical to the seed walkers preserved in reference.go (both sides
+// share the smallest-predecessor tie rule, so their shortest-path trees
+// are pure functions of the graph), and distances must agree with the
+// Floyd–Warshall oracle on the paper's small fabrics.
+
+// randomEquivGraph builds a connected random graph with deliberately few
+// distinct distances and capacities, so equal-cost paths (the tie cases)
+// are common rather than rare.
+func randomEquivGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		kind := Rack
+		if i%3 == 1 {
+			kind = Switch
+		}
+		g.AddNode(kind, "", i%4, i%3)
+	}
+	dists := []float64{1, 1, 2, 3}
+	caps := []float64{1, 2, 10}
+	link := func(a, b int) {
+		if err := g.AddLink(a, b, caps[rng.Intn(len(caps))], dists[rng.Intn(len(dists))]); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		link(i, rng.Intn(i)) // spanning tree: keeps the graph connected
+	}
+	for e := 0; e < 2*n; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if _, dup := g.EdgeBetween(a, b); dup {
+			continue
+		}
+		link(a, b)
+	}
+	return g
+}
+
+// bandwidthCost exercises every edge attribute, mirroring the cost
+// model's transmission metric.
+func bandwidthCost(e Edge) float64 {
+	if e.Bandwidth <= 0 {
+		return Inf
+	}
+	return 10/e.Bandwidth + e.Bandwidth/e.Capacity + 0.25*e.Distance
+}
+
+func assertSameMultiSource(t *testing.T, g *Graph, sources []int, ms *MultiSource, ref *refMultiSource, label string) {
+	t.Helper()
+	n := g.NumNodes()
+	for _, s := range sources {
+		for d := 0; d < n; d++ {
+			got, want := ms.Dist(s, d), ref.Dist(s, d)
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("%s: Dist(%d,%d) = %v, reference %v", label, s, d, got, want)
+			}
+			gp, wp := ms.Path(s, d), ref.Path(s, d)
+			if !equalPath(gp, wp) {
+				t.Fatalf("%s: Path(%d,%d) = %v, reference %v", label, s, d, gp, wp)
+			}
+		}
+	}
+}
+
+func TestCSRDijkstraMatchesReferenceOnRandomGraphs(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomEquivGraph(rng, 24+rng.Intn(16))
+		var sources []int
+		for i := 0; i < g.NumNodes(); i++ {
+			sources = append(sources, i)
+		}
+		ms := DijkstraFrom(g, sources, bandwidthCost)
+		ref := referenceDijkstraFrom(g, sources, bandwidthCost)
+		assertSameMultiSource(t, g, sources, ms, ref, "fresh")
+
+		// Patch bandwidths in place (the incremental CSR update) and
+		// re-sweep into the same tables.
+		for i := 0; i < 10; i++ {
+			a := rng.Intn(g.NumNodes())
+			es := g.Edges(a)
+			if len(es) == 0 {
+				continue
+			}
+			e := es[rng.Intn(len(es))]
+			g.SetBandwidth(e.From, e.To, float64(rng.Intn(4))/2)
+		}
+		ms = DijkstraFromInto(g, sources, bandwidthCost, ms)
+		ref = referenceDijkstraFrom(g, sources, bandwidthCost)
+		assertSameMultiSource(t, g, sources, ms, ref, "patched")
+
+		// Structural change invalidates the CSR; the next sweep rebuilds.
+		a, b := 0, g.NumNodes()-1
+		if _, dup := g.EdgeBetween(a, b); !dup {
+			if err := g.AddLink(a, b, 5, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ms = DijkstraFromInto(g, sources, bandwidthCost, ms)
+		ref = referenceDijkstraFrom(g, sources, bandwidthCost)
+		assertSameMultiSource(t, g, sources, ms, ref, "relinked")
+	}
+}
+
+func TestCSRDijkstraMatchesFloydOracleExactly(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := NewBCube(BCubeConfig{SwitchesPerLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{{"fattree", ft.Graph}, {"bcube", bc.Graph}} {
+		fw := FloydWarshall(tc.g, DistanceCost)
+		var all []int
+		for i := 0; i < tc.g.NumNodes(); i++ {
+			all = append(all, i)
+		}
+		ms := DijkstraFrom(tc.g, all, DistanceCost)
+		for _, a := range all {
+			for _, b := range all {
+				// Small integral distances: sums are exact, so the oracle
+				// comparison can demand bitwise equality.
+				if ms.Dist(a, b) != fw.Dist(a, b) {
+					t.Fatalf("%s: Dist(%d,%d) = %v, Floyd %v", tc.name, a, b, ms.Dist(a, b), fw.Dist(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestKShortestMatchesReference(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		g        *Graph
+		src, dst int
+	}{
+		{ft.Graph, ft.RackIDs[0][0], ft.RackIDs[2][1]},
+		{ft.Graph, ft.RackIDs[0][0], ft.RackIDs[0][1]},
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		g := randomEquivGraph(rng, 16+rng.Intn(12))
+		var racks []int
+		for i := 0; i < g.NumNodes(); i++ {
+			if g.Node(i).Kind == Rack {
+				racks = append(racks, i)
+			}
+		}
+		cases = append(cases, struct {
+			g        *Graph
+			src, dst int
+		}{g, racks[0], racks[len(racks)-1]})
+	}
+	for i, tc := range cases {
+		for _, k := range []int{1, 3, 8} {
+			got := KShortestPaths(tc.g, tc.src, tc.dst, k, DistanceCost)
+			want := referenceKShortestPaths(tc.g, tc.src, tc.dst, k, DistanceCost)
+			if len(got) != len(want) {
+				t.Fatalf("case %d k=%d: %d paths, reference %d", i, k, len(got), len(want))
+			}
+			for j := range got {
+				if !equalPath(got[j], want[j]) {
+					t.Fatalf("case %d k=%d path %d: %v, reference %v", i, k, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestShortestPathAvoidingNodesMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		g := randomEquivGraph(rng, 20)
+		for trial := 0; trial < 10; trial++ {
+			src, dst := rng.Intn(g.NumNodes()), rng.Intn(g.NumNodes())
+			avoid := map[int]bool{}
+			for j := 0; j < 3; j++ {
+				avoid[rng.Intn(g.NumNodes())] = true
+			}
+			got := ShortestPathAvoidingNodes(g, src, dst, avoid, bandwidthCost)
+			want := referenceShortestPathAvoidingNodes(g, src, dst, avoid, bandwidthCost)
+			if !equalPath(got, want) {
+				t.Fatalf("seed %d avoid %v: %v, reference %v", seed, avoid, got, want)
+			}
+		}
+	}
+}
+
+// TestKShortestLooplessProperty is the randomized property test of Yen's
+// invariants: loopless paths, nondecreasing costs, no duplicates, correct
+// endpoints.
+func TestKShortestLooplessProperty(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		g := randomEquivGraph(rng, 14+rng.Intn(14))
+		src := rng.Intn(g.NumNodes())
+		dst := rng.Intn(g.NumNodes())
+		if src == dst {
+			continue
+		}
+		paths := KShortestPaths(g, src, dst, 6, DistanceCost)
+		prev := -1.0
+		for pi, p := range paths {
+			if p[0] != src || p[len(p)-1] != dst {
+				t.Fatalf("seed %d: bad endpoints %v", seed, p)
+			}
+			seen := map[int]bool{}
+			for _, n := range p {
+				if seen[n] {
+					t.Fatalf("seed %d: loop in %v", seed, p)
+				}
+				seen[n] = true
+			}
+			c := PathCost(g, p, DistanceCost)
+			if c < prev {
+				t.Fatalf("seed %d: cost %v after %v", seed, c, prev)
+			}
+			prev = c
+			for qi := pi + 1; qi < len(paths); qi++ {
+				if equalPath(p, paths[qi]) {
+					t.Fatalf("seed %d: duplicate path %v", seed, p)
+				}
+			}
+		}
+	}
+}
+
+// TestDijkstraSteadyStateZeroAlloc is the CI allocation gate: after
+// warmup, a single-source sweep reusing its MultiSource must not allocate
+// at all — the CSR, weight vector, heap, and result rows are all reused.
+func TestDijkstraSteadyStateZeroAlloc(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{Pods: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []int{ft.RackIDs[0][0]}
+	var ms *MultiSource
+	ms = DijkstraFromInto(ft.Graph, src, DistanceCost, ms) // warm: builds CSR + tables
+	allocs := testing.AllocsPerRun(20, func() {
+		ms = DijkstraFromInto(ft.Graph, src, DistanceCost, ms)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sweep allocates %v objects/op, want 0", allocs)
+	}
+}
+
+func TestDijkstraPairMatchesSeparateSweeps(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{Pods: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	racks := ft.Racks()
+	a, b := DijkstraPairInto(ft.Graph, racks, bandwidthCost, DistanceCost, nil, nil)
+	sa := DijkstraFrom(ft.Graph, racks, bandwidthCost)
+	sb := DijkstraFrom(ft.Graph, racks, DistanceCost)
+	for _, s := range racks {
+		for d := 0; d < ft.NumNodes(); d++ {
+			if a.Dist(s, d) != sa.Dist(s, d) || b.Dist(s, d) != sb.Dist(s, d) {
+				t.Fatalf("fused sweep diverges at (%d,%d)", s, d)
+			}
+			if !equalPath(a.Path(s, d), sa.Path(s, d)) || !equalPath(b.Path(s, d), sb.Path(s, d)) {
+				t.Fatalf("fused path diverges at (%d,%d)", s, d)
+			}
+		}
+	}
+}
+
+// TestMultiSourceReuseAcrossShapes re-targets one MultiSource across
+// different graphs and source sets, which must behave exactly like fresh
+// tables each time.
+func TestMultiSourceReuseAcrossShapes(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{Pods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := NewBCube(BCubeConfig{SwitchesPerLevel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms *MultiSource
+	for _, tc := range []struct {
+		g       *Graph
+		sources []int
+	}{
+		{ft.Graph, ft.Racks()},
+		{ft.Graph, ft.Racks()[:2]},
+		{bc.Graph, bc.Racks()},
+		{ft.Graph, []int{ft.RackIDs[1][1]}},
+	} {
+		ms = DijkstraFromInto(tc.g, tc.sources, DistanceCost, ms)
+		ref := referenceDijkstraFrom(tc.g, tc.sources, DistanceCost)
+		assertSameMultiSource(t, tc.g, tc.sources, ms, ref, "reuse")
+		// A node dropped from the source set must report Inf again.
+		for i := 0; i < tc.g.NumNodes(); i++ {
+			inSources := false
+			for _, s := range tc.sources {
+				if s == i {
+					inSources = true
+				}
+			}
+			if !inSources && !math.IsInf(ms.Dist(i, 0), 1) {
+				t.Fatalf("stale source %d still answers", i)
+			}
+		}
+	}
+}
+
+// TestConcurrentSweepsShareCSR drives concurrent readers through the lazy
+// CSR build and the scratch cache; run under -race in CI.
+func TestConcurrentSweepsShareCSR(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{Pods: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DijkstraFrom(ft.Graph, ft.Racks()[:1], DistanceCost).Dist(ft.RackIDs[0][0], ft.RackIDs[2][0])
+
+	fresh, err := NewFatTree(FatTreeConfig{Pods: 6}) // CSR not built yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := fresh.RackIDs[w%6][0]
+			ms := DijkstraFrom(fresh.Graph, []int{src}, DistanceCost)
+			if w%2 == 0 {
+				KShortestPaths(fresh.Graph, src, fresh.RackIDs[(w+2)%6][1], 3, DistanceCost)
+			}
+			if got := ms.Dist(src, src); got != 0 {
+				t.Errorf("self distance %v", got)
+			}
+			if w == 0 {
+				if got := ms.Dist(fresh.RackIDs[0][0], fresh.RackIDs[2][0]); got != want {
+					t.Errorf("concurrent sweep dist %v, want %v", got, want)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -10,6 +10,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // NodeKind distinguishes rack delegation nodes from interior switches.
@@ -52,10 +53,18 @@ type Edge struct {
 	Bandwidth float64 // B(e): currently available bandwidth
 }
 
-// Graph is a mutable wired-network graph.
+// Graph is a mutable wired-network graph. Shortest-path sweeps run over a
+// flattened CSR view built lazily from the adjacency: structural changes
+// invalidate it, bandwidth updates patch it in place. Concurrent readers
+// (DijkstraFrom and friends) may trigger the build simultaneously, so it
+// is guarded by a mutex; mutations are not goroutine-safe, as before.
 type Graph struct {
 	nodes []Node
 	adj   [][]Edge
+
+	structVer uint64 // bumped by AddNode/AddLink
+	csrMu     sync.Mutex
+	csrRep    *csr
 }
 
 // NewGraph returns an empty graph.
@@ -66,6 +75,7 @@ func (g *Graph) AddNode(kind NodeKind, name string, pod, level int) int {
 	id := len(g.nodes)
 	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Name: name, Pod: pod, Level: level})
 	g.adj = append(g.adj, nil)
+	g.invalidateCSR()
 	return id
 }
 
@@ -82,7 +92,30 @@ func (g *Graph) AddLink(a, b int, capacity, distance float64) error {
 	}
 	g.adj[a] = append(g.adj[a], Edge{From: a, To: b, Capacity: capacity, Distance: distance, Bandwidth: capacity})
 	g.adj[b] = append(g.adj[b], Edge{From: b, To: a, Capacity: capacity, Distance: distance, Bandwidth: capacity})
+	g.invalidateCSR()
 	return nil
+}
+
+func (g *Graph) invalidateCSR() {
+	g.structVer++
+	g.csrRep = nil
+}
+
+// StructVersion returns a counter bumped by every structural change
+// (AddNode/AddLink). Bandwidth updates do not bump it, so callers caching
+// structure-only derivations (physical-distance tables) can skip
+// recomputation while the wiring is unchanged.
+func (g *Graph) StructVersion() uint64 { return g.structVer }
+
+// ensureCSR returns the flattened edge-array view, building it on first
+// use after a structural change. Safe for concurrent readers.
+func (g *Graph) ensureCSR() *csr {
+	g.csrMu.Lock()
+	defer g.csrMu.Unlock()
+	if g.csrRep == nil {
+		g.csrRep = buildCSR(g)
+	}
+	return g.csrRep
 }
 
 func (g *Graph) check(id int) error {
@@ -130,6 +163,11 @@ func (g *Graph) SetBandwidth(a, b int, bw float64) bool {
 		for i := range g.adj[from] {
 			if g.adj[from][i].To == to {
 				g.adj[from][i].Bandwidth = bw
+				if c := g.csrRep; c != nil {
+					// Patch the CSR in place: the i-th edge of the
+					// adjacency row is the i-th edge of the CSR row.
+					c.bandwidth[int(c.rowStart[from])+i] = bw
+				}
 				found = true
 				break
 			}

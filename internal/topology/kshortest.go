@@ -1,24 +1,104 @@
 package topology
 
 import (
-	"sort"
+	"sheriff/internal/pool"
 )
+
+// kspScratch bundles everything a Yen run (or an avoidance query) needs:
+// one sweep scratch whose epoch masks implement the per-spur edge/node
+// blocks in O(1) per spur instead of rebuilding filter closures and maps,
+// plus reusable dist/parent/weight vectors and path buffers. Instances
+// are recycled through the shared cache, so steady-state reroute planning
+// stops allocating scratch after warmup.
+type kspScratch struct {
+	sweepScratch
+	tree     []treeNode
+	weights  []wEdge
+	pathBuf  []int
+	totalBuf []int
+	cands    []kspCandidate
+}
+
+var kspCache = pool.NewCache(func() *kspScratch { return &kspScratch{} })
+
+func (s *kspScratch) prepare(c *csr, cost EdgeCost) {
+	n := len(c.rowStart) - 1
+	m := len(c.dstID)
+	s.ensure(n, m)
+	s.tree = ensureTreeNodes(s.tree, n)
+	s.weights = ensureWEdges(s.weights, m)
+	c.fillWeights(s.weights, cost)
+	s.cands = s.cands[:0]
+}
+
+// pathInto reconstructs src→dst from the scratch parent row into buf.
+func (s *kspScratch) pathInto(src, dst int, buf []int) []int {
+	if src == dst {
+		return append(buf[:0], src)
+	}
+	if s.tree[dst].p < 0 {
+		return nil
+	}
+	hops := 0
+	cur := dst
+	for cur != -1 && cur != src {
+		hops++
+		cur = int(s.tree[cur].p)
+	}
+	if cur != src {
+		return nil
+	}
+	if cap(buf) < hops+1 {
+		buf = make([]int, hops+1)
+	}
+	buf = buf[:hops+1]
+	i := hops
+	for cur := dst; ; cur = int(s.tree[cur].p) {
+		buf[i] = cur
+		if cur == src {
+			break
+		}
+		i--
+	}
+	return buf
+}
+
+// pathCostW sums the materialized weights along a node path, following
+// the same sequential order as PathCost so values stay bit-identical.
+func pathCostW(c *csr, w []wEdge, path []int) float64 {
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		e := c.edgeIndex(int32(path[i-1]), int32(path[i]))
+		if e < 0 {
+			return Inf
+		}
+		total += w[e].w
+	}
+	return total
+}
 
 // KShortestPaths returns up to k loopless shortest paths from src to dst
 // under the edge cost, in nondecreasing cost order (Yen's algorithm).
 // FLOWREROUTE uses the alternatives to route conflict flows around hot
 // switches (Sec. III.B "reroute portion of flows to their destinations
-// without passing through hot switches").
+// without passing through hot switches"). Spur searches run on a shared
+// scratch with epoch-stamped block masks; the candidate list is reused
+// across rounds and deduplicated before a spur path is ever copied.
 func KShortestPaths(g *Graph, src, dst, k int, cost EdgeCost) [][]int {
 	if k <= 0 || src < 0 || dst < 0 || src >= g.NumNodes() || dst >= g.NumNodes() {
 		return nil
 	}
-	first := shortestPathAvoiding(g, src, dst, cost, nil, nil)
+	c := g.ensureCSR()
+	st := kspCache.Get()
+	defer kspCache.Put(st)
+	st.prepare(c, cost)
+
+	st.sweep(c, int32(src), st.weights, st.tree)
+	first := st.pathInto(src, dst, nil)
 	if first == nil {
 		return nil
 	}
 	paths := [][]int{first}
-	var candidates []kspCandidate
 
 	for len(paths) < k {
 		prev := paths[len(paths)-1]
@@ -27,39 +107,56 @@ func KShortestPaths(g *Graph, src, dst, k int, cost EdgeCost) [][]int {
 			spurNode := prev[i]
 			rootPath := prev[:i+1]
 
+			mep := st.nextMaskEpoch()
 			// Block the edges that would recreate already-found paths
 			// sharing this root.
-			blockedEdges := make(map[[2]int]bool)
 			for _, p := range paths {
 				if len(p) > i && equalPrefix(p, rootPath) {
-					blockedEdges[[2]int{p[i], p[i+1]}] = true
+					if e := c.edgeIndex(int32(p[i]), int32(p[i+1])); e >= 0 {
+						st.edgeMask[e] = mep
+					}
 				}
 			}
-			// Block root-path nodes (except the spur) to keep paths loopless.
-			blockedNodes := make(map[int]bool)
+			// Block root-path nodes (except the spur) to keep paths
+			// loopless. They are interior nodes of a loopless path, so
+			// dst is never among them.
 			for _, n := range rootPath[:len(rootPath)-1] {
-				blockedNodes[n] = true
+				st.nodeMask[n] = mep
 			}
 
-			spurPath := shortestPathAvoiding(g, spurNode, dst, cost, blockedNodes, blockedEdges)
+			st.sweepMasked(c, int32(spurNode), st.weights, st.tree)
+			spurPath := st.pathInto(spurNode, dst, st.pathBuf)
 			if spurPath == nil {
 				continue
 			}
-			total := append(append([]int(nil), rootPath[:len(rootPath)-1]...), spurPath...)
-			if containsPath(paths, total) || containsCandidate(candidates, total) {
+			st.pathBuf = spurPath
+			st.totalBuf = append(st.totalBuf[:0], rootPath[:len(rootPath)-1]...)
+			total := append(st.totalBuf, spurPath...)
+			st.totalBuf = total
+			if containsPath(paths, total) || containsCandidate(st.cands, total) {
 				continue
 			}
-			candidates = append(candidates, kspCandidate{path: total, cost: PathCost(g, total, cost)})
+			st.cands = append(st.cands, kspCandidate{
+				path: append([]int(nil), total...),
+				cost: pathCostW(c, st.weights, total),
+			})
 		}
-		if len(candidates) == 0 {
+		if len(st.cands) == 0 {
 			break
 		}
-		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].cost < candidates[b].cost })
-		paths = append(paths, candidates[0].path)
-		candidates = candidates[1:]
+		// Promote the cheapest candidate; the strict < keeps the earliest
+		// inserted among equal costs, matching the stable-sort promotion
+		// of the reference implementation.
+		best := 0
+		for j := 1; j < len(st.cands); j++ {
+			if st.cands[j].cost < st.cands[best].cost {
+				best = j
+			}
+		}
+		paths = append(paths, st.cands[best].path)
+		st.cands = append(st.cands[:best], st.cands[best+1:]...)
 	}
 	return paths
-
 }
 
 func equalPrefix(p, prefix []int) bool {
@@ -124,32 +221,23 @@ func PathCost(g *Graph, path []int, cost EdgeCost) float64 {
 	return total
 }
 
-// shortestPathAvoiding is Dijkstra with blocked nodes/edges; it returns
-// the node path src…dst or nil.
-func shortestPathAvoiding(g *Graph, src, dst int, cost EdgeCost, blockedNodes map[int]bool, blockedEdges map[[2]int]bool) []int {
-	filtered := func(e Edge) float64 {
-		if blockedNodes[e.To] && e.To != dst {
-			return Inf
-		}
-		if blockedEdges[[2]int{e.From, e.To}] {
-			return Inf
-		}
-		return cost(e)
-	}
-	ms := DijkstraFrom(g, []int{src}, filtered)
-	return ms.Path(src, dst)
-}
-
 // ShortestPathAvoidingNodes returns one shortest path from src to dst that
 // does not pass through any node in avoid (endpoints exempt), or nil.
 // This is the direct "avoid the hot switch" primitive of FLOWREROUTE.
 func ShortestPathAvoidingNodes(g *Graph, src, dst int, avoid map[int]bool, cost EdgeCost) []int {
-	filtered := func(e Edge) float64 {
-		if avoid[e.To] && e.To != dst && e.To != src {
-			return Inf
-		}
-		return cost(e)
+	if src < 0 || dst < 0 || src >= g.NumNodes() || dst >= g.NumNodes() {
+		return nil
 	}
-	ms := DijkstraFrom(g, []int{src}, filtered)
-	return ms.Path(src, dst)
+	c := g.ensureCSR()
+	st := kspCache.Get()
+	defer kspCache.Put(st)
+	st.prepare(c, cost)
+	mep := st.nextMaskEpoch()
+	for n, on := range avoid {
+		if on && n != src && n != dst && n >= 0 && n < g.NumNodes() {
+			st.nodeMask[n] = mep
+		}
+	}
+	st.sweepMasked(c, int32(src), st.weights, st.tree)
+	return st.pathInto(src, dst, nil)
 }
