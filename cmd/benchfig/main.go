@@ -10,28 +10,41 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sheriff/internal/experiments"
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate (3..14); empty = all")
-	ablation := flag.String("ablation", "", "ablation to run (swap-size, model-selection, priority, region-size)")
-	seed := flag.Int64("seed", 20150707, "deterministic seed")
-	summary := flag.Bool("summary", false, "print only headers and notes, not data rows")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchfig", flag.ContinueOnError)
+	fig := fs.String("fig", "", "figure to regenerate (3..14); empty = all")
+	ablation := fs.String("ablation", "", "ablation to run (swap-size, model-selection, priority, region-size)")
+	seed := fs.Int64("seed", 20150707, "deterministic seed")
+	summary := fs.Bool("summary", false, "print only headers and notes, not data rows")
+	if perr := fs.Parse(args); perr != nil {
+		if errors.Is(perr, flag.ErrHelp) {
+			return nil
+		}
+		return perr
+	}
 
 	if *ablation != "" {
 		gen, ok := experiments.Ablations[*ablation]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchfig: unknown ablation %q\n", *ablation)
-			os.Exit(2)
+			return fmt.Errorf("unknown ablation %q", *ablation)
 		}
-		emit(gen, *seed, *summary)
-		return
+		return emit(out, gen, *seed, *summary)
 	}
 	ids := experiments.FigureIDs()
 	if *fig != "" {
@@ -40,29 +53,30 @@ func main() {
 	for _, id := range ids {
 		gen, ok := experiments.Registry[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", id)
-			os.Exit(2)
+			return fmt.Errorf("unknown figure %q", id)
 		}
-		emit(gen, *seed, *summary)
+		if err := emit(out, gen, *seed, *summary); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func emit(gen func(int64) (*experiments.Table, error), seed int64, summary bool) {
+func emit(out io.Writer, gen func(int64) (*experiments.Table, error), seed int64, summary bool) error {
 	tab, err := gen(seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	if summary {
-		fmt.Printf("%s — %s (%d rows)\n", tab.Name, tab.Title, len(tab.Rows))
+		fmt.Fprintf(out, "%s — %s (%d rows)\n", tab.Name, tab.Title, len(tab.Rows))
 		for _, n := range tab.Notes {
-			fmt.Printf("  # %s\n", n)
+			fmt.Fprintf(out, "  # %s\n", n)
 		}
-		return
+		return nil
 	}
-	if _, err := tab.WriteTo(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "benchfig: write: %v\n", err)
-		os.Exit(1)
+	if _, err := tab.WriteTo(out); err != nil {
+		return fmt.Errorf("write: %w", err)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
+	return nil
 }

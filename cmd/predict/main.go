@@ -14,8 +14,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,80 +30,89 @@ import (
 )
 
 func main() {
-	trace := flag.String("trace", "traffic", "synthetic trace: traffic, cpu, io")
-	file := flag.String("file", "", "read the series from a file instead (one float per line)")
-	split := flag.Float64("split", 0.7, "train fraction")
-	seed := flag.Int64("seed", 1, "generator / trainer seed")
-	horizon := flag.Int("horizon", 5, "closing k-step-ahead forecast horizon")
-	flag.Parse()
-
-	series, err := loadSeries(*file, *trace, *seed)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "predict: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Println(traces.Describe("series", series))
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	trace := fs.String("trace", "traffic", "synthetic trace: traffic, cpu, io")
+	file := fs.String("file", "", "read the series from a file instead (one float per line)")
+	split := fs.Float64("split", 0.7, "train fraction")
+	seed := fs.Int64("seed", 1, "generator / trainer seed")
+	horizon := fs.Int("horizon", 5, "closing k-step-ahead forecast horizon")
+	if perr := fs.Parse(args); perr != nil {
+		if errors.Is(perr, flag.ErrHelp) {
+			return nil
+		}
+		return perr
+	}
+
+	series, err := loadSeries(*file, *trace, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, traces.Describe("series", series))
 
 	train, test := series.Split(*split)
 	if test.Len() == 0 {
-		fmt.Fprintln(os.Stderr, "predict: empty test split")
-		os.Exit(1)
+		return errors.New("empty test split")
 	}
 
 	// Detect a dominant season and hand it to the extended pool, which
 	// adds Holt and Holt–Winters beside the ARIMA/NARNET candidates.
 	period := timeseries.DetectPeriod(train, 4, train.Len()/3)
 	if period > 0 {
-		fmt.Printf("detected season length: %d samples\n", period)
+		fmt.Fprintf(out, "detected season length: %d samples\n", period)
 	}
 	pool, err := predictor.ExtendedPool(train, period, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "predict: building pool: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("building pool: %w", err)
 	}
-	fmt.Printf("candidates: ")
+	fmt.Fprintf(out, "candidates: ")
 	for i, c := range pool {
 		if i > 0 {
-			fmt.Print(", ")
+			fmt.Fprint(out, ", ")
 		}
-		fmt.Print(c.Name)
+		fmt.Fprint(out, c.Name)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
 	// Individual rolling forecasts.
 	for _, c := range pool {
 		pred := rolling(c.F, train, test)
 		if pred == nil {
-			fmt.Printf("%-16s rolling forecast failed\n", c.Name)
+			fmt.Fprintf(out, "%-16s rolling forecast failed\n", c.Name)
 			continue
 		}
 		mse, _ := timeseries.MSE(test.Raw(), pred)
 		mae, _ := timeseries.MAE(test.Raw(), pred)
-		fmt.Printf("%-16s test MSE %10.4f  MAE %8.4f\n", c.Name, mse, mae)
+		fmt.Fprintf(out, "%-16s test MSE %10.4f  MAE %8.4f\n", c.Name, mse, mae)
 	}
 
 	// Combined dynamic selection.
 	sel, err := predictor.NewSelector(train, predictor.Config{Window: 15}, pool...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "predict: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	combined, shares, err := sel.Run(test)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "predict: selector: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("selector: %w", err)
 	}
 	mse, _ := timeseries.MSE(test.Raw(), combined)
-	fmt.Printf("%-16s test MSE %10.4f  selection shares %v\n", "combined", mse, shares)
+	fmt.Fprintf(out, "%-16s test MSE %10.4f  selection shares %v\n", "combined", mse, shares)
 
 	// Closing k-step-ahead forecast from the full series.
 	best, err := arima.AutoFit(series, arima.DefaultSearchSpace)
 	if err == nil {
 		fc, ferr := best.Forecast(*horizon)
 		if ferr == nil {
-			fmt.Printf("%s %d-step-ahead: %v\n", best.Order, *horizon, round2(fc))
+			fmt.Fprintf(out, "%s %d-step-ahead: %v\n", best.Order, *horizon, round2(fc))
 		}
 	}
+	return nil
 }
 
 func rolling(f predictor.Forecaster, train, test *timeseries.Series) []float64 {

@@ -1,139 +1,307 @@
-// Command sheriffd runs the assembled Sheriff system in simulated time:
-// per period it collects workload profiles, forecasts, raises pre-alerts,
-// reroutes flows around hot switches, and migrates VMs — printing one
-// status line per step.
+// Command sheriffd runs the assembled Sheriff system as an ingest/serving
+// daemon in simulated time: per collection period it ingests every VM's
+// workload profile through the rack-sharded ingest front end (triage
+// pre-alerts, tail-drop backpressure), drives the full runtime pipeline
+// from those same profiles, and prints one status line per step.
+//
+// With -snapshot the daemon is crash-safe: the file is restored at
+// startup if present (forecasting resumes incrementally — warm per-VM
+// histories, fitted deep pools, exact flow state — instead of
+// cold-fitting), rewritten atomically every -snapshot-every steps, and
+// flushed on SIGINT/SIGTERM or normal exit. With -listen it serves the
+// live JSONL event stream to TCP subscribers, who attach and detach
+// without disturbing the run. -trace writes the same stream to a file;
+// the trace is closed and parseable even when the run fails mid-way.
 //
 // Usage:
 //
 //	sheriffd -topology fat-tree -size 8 -steps 50
-//	sheriffd -topology bcube -size 6 -steps 30 -hosts 2 -vms 3
-//	sheriffd -size 8 -steps 20 -trace run.jsonl
+//	sheriffd -size 8 -steps 20 -trace run.jsonl -snapshot run.snap
+//	sheriffd -size 8 -steps 30 -deep -listen 127.0.0.1:7070
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
 
-	"sheriff/internal/cost"
-	"sheriff/internal/dcn"
-	"sheriff/internal/metrics"
+	"sheriff/internal/ingest"
 	"sheriff/internal/obs"
 	"sheriff/internal/runtime"
-	"sheriff/internal/topology"
+	"sheriff/internal/sim"
+	"sheriff/internal/traces"
 )
 
 func main() {
-	topo := flag.String("topology", "fat-tree", "fat-tree or bcube")
-	size := flag.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
-	steps := flag.Int("steps", 50, "collection periods to simulate")
-	hostsPerRack := flag.Int("hosts", 2, "hosts per rack")
-	vmsPerHost := flag.Int("vms", 3, "VMs per host")
-	depProb := flag.Float64("deps", 0.5, "dependency probability between VM pairs")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	trace := flag.String("trace", "", "write a JSONL event trace of every step to this file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sheriffd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// daemonState is the on-disk snapshot: the build configuration (so a
+// restore with different flags fails loudly instead of diverging
+// silently) plus the runtime and ingest states.
+type daemonState struct {
+	Config  sim.RuntimeConfig `json:"config"`
+	Deep    bool              `json:"deep"`
+	Runtime *runtime.Snapshot `json:"runtime"`
+	Ingest  *ingest.Snapshot  `json:"ingest"`
+}
+
+// run is the whole daemon behind a returned error so deferred cleanup —
+// closing the trace, flushing counters — always fires; main's only job
+// is the exit code. A -fail-step failure therefore still leaves a
+// closed, parseable trace.
+func run(args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("sheriffd", flag.ContinueOnError)
+	topo := fs.String("topology", "fat-tree", "fat-tree or bcube")
+	size := fs.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
+	steps := fs.Int("steps", 50, "collection periods to run in this invocation")
+	hostsPerRack := fs.Int("hosts", 2, "hosts per rack")
+	vmsPerHost := fs.Int("vms", 3, "VMs per host")
+	depProb := fs.Float64("deps", 0.5, "dependency probability between VM pairs")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	trace := fs.String("trace", "", "write a JSONL event trace of every step to this file")
+	snapshot := fs.String("snapshot", "", "snapshot file: restored at startup if present, rewritten periodically and on shutdown")
+	snapEvery := fs.Int("snapshot-every", 10, "steps between periodic snapshots (with -snapshot)")
+	listen := fs.String("listen", "", "serve the live JSONL event stream to TCP subscribers on this address")
+	deep := fs.Bool("deep", false, "enable per-rack deep forecasting pools (ARIMA/NARNET dynamic selection)")
+	failStep := fs.Int("fail-step", 0, "inject a failure after this step (testing the crash-safe trace path)")
+	if perr := fs.Parse(args); perr != nil {
+		if errors.Is(perr, flag.ErrHelp) {
+			return nil
+		}
+		return perr
+	}
+	kind, err := sim.ParseKind(*topo)
+	if err != nil {
+		return err
+	}
+	cfg := sim.RuntimeConfig{
+		Kind:           kind,
+		Size:           *size,
+		HostsPerRack:   *hostsPerRack,
+		VMsPerHost:     *vmsPerHost,
+		DependencyProb: *depProb,
+		Seed:           *seed,
+	}
 
 	var rec *obs.Recorder
-	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			fail(err)
+	if *trace != "" || *listen != "" {
+		var sinks []obs.Sink
+		if *trace != "" {
+			f, cerr := os.Create(*trace)
+			if cerr != nil {
+				return cerr
+			}
+			defer func() {
+				if cerr := f.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}()
+			sinks = append(sinks, obs.NewJSONL(f))
 		}
-		defer f.Close()
-		rec, err = obs.New(obs.Options{Sinks: []obs.Sink{obs.NewJSONL(f)}})
-		if err != nil {
-			fail(err)
+		if rec, err = obs.New(obs.Options{Sinks: sinks}); err != nil {
+			return err
 		}
 		defer func() {
-			if err := rec.Err(); err != nil {
-				fail(fmt.Errorf("trace: %w", err))
+			if terr := rec.Err(); terr != nil && err == nil {
+				err = fmt.Errorf("trace: %w", terr)
+				return
 			}
-			var kinds []string
-			for _, k := range rec.Kinds() {
-				kinds = append(kinds, fmt.Sprintf("%s=%d", k, rec.Count(k)))
+			if *trace != "" {
+				var kinds []string
+				for _, k := range rec.Kinds() {
+					kinds = append(kinds, fmt.Sprintf("%s=%d", k, rec.Count(k)))
+				}
+				fmt.Fprintf(out, "trace: %d events -> %s (%s)\n", rec.Seq(), *trace, strings.Join(kinds, " "))
 			}
-			fmt.Printf("trace: %d events -> %s (%s)\n", rec.Seq(), *trace, strings.Join(kinds, " "))
 		}()
 	}
 
-	var g *topology.Graph
-	switch strings.ToLower(*topo) {
-	case "fat-tree", "fattree", "ft":
-		ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: *size})
-		if err != nil {
-			fail(err)
+	rtOpts := runtime.Options{Seed: cfg.Seed, Recorder: rec, DeepPredict: *deep}
+	inOpts := ingest.Options{Recorder: rec}
+
+	// Restore from the snapshot file when it exists; build fresh otherwise.
+	var rt *runtime.Runtime
+	var svc *ingest.Service
+	startStep := 0
+	if *snapshot != "" {
+		blob, rerr := os.ReadFile(*snapshot)
+		switch {
+		case rerr == nil:
+			var st daemonState
+			if uerr := json.Unmarshal(blob, &st); uerr != nil {
+				return fmt.Errorf("snapshot %s: %w", *snapshot, uerr)
+			}
+			if st.Config != cfg || st.Deep != *deep {
+				return fmt.Errorf("snapshot %s was taken with a different configuration; refusing to resume", *snapshot)
+			}
+			cluster, model, berr := sim.BuildCluster(cfg)
+			if berr != nil {
+				return berr
+			}
+			if cerr := cluster.Restore(st.Runtime.Cluster); cerr != nil {
+				return fmt.Errorf("snapshot %s: %w", *snapshot, cerr)
+			}
+			if rt, err = runtime.Restore(cluster, model, rtOpts, st.Runtime); err != nil {
+				return fmt.Errorf("snapshot %s: %w", *snapshot, err)
+			}
+			if svc, err = ingest.FromSnapshot(st.Ingest, inOpts); err != nil {
+				return fmt.Errorf("snapshot %s: %w", *snapshot, err)
+			}
+			startStep = st.Runtime.Step
+			fmt.Fprintf(out, "sheriffd: resumed from %s at step %d (no cold fit)\n", *snapshot, startStep)
+		case errors.Is(rerr, os.ErrNotExist):
+			// fresh start below
+		default:
+			return rerr
 		}
-		g = ft.Graph
-	case "bcube", "bc":
-		b, err := topology.NewBCube(topology.BCubeConfig{SwitchesPerLevel: *size})
-		if err != nil {
-			fail(err)
+	}
+	if rt == nil {
+		if rt, err = sim.BuildRuntime(cfg, rtOpts); err != nil {
+			return err
 		}
-		g = b.Graph
-	default:
-		fail(fmt.Errorf("unknown topology %q", *topo))
+		if svc, err = ingest.FromCluster(rt.Cluster, inOpts); err != nil {
+			return err
+		}
 	}
 
-	cluster, err := dcn.NewCluster(g, dcn.Config{
-		HostsPerRack: *hostsPerRack,
-		HostCapacity: 100,
-		ToRCapacity:  100 * float64(*hostsPerRack),
-	})
-	if err != nil {
-		fail(err)
+	// The metric reporters: one deterministic generator per VM, replayed
+	// to the resume point so a restored daemon sees the same tail of
+	// profiles the uninterrupted one would have.
+	vms := rt.Cluster.VMs()
+	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
+	gens := make([]*traces.WorkloadGen, len(vms))
+	for i, vm := range vms {
+		gens[i] = traces.NewWorkloadGen(24, cfg.Seed+int64(vm.ID))
+		gens[i].Skip(startStep)
 	}
-	n := cluster.Populate(dcn.PopulateOptions{
-		VMsPerHost:              *vmsPerHost,
-		MinCapacity:             5,
-		MaxCapacity:             20,
-		DependencyProb:          *depProb,
-		CrossRackDependencyProb: *depProb,
-		Seed:                    *seed,
-	})
-	model, err := cost.New(cluster, cost.PaperParams())
-	if err != nil {
-		fail(err)
-	}
-	rt, err := runtime.New(cluster, model, runtime.Options{Seed: *seed, Recorder: rec})
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("sheriffd: %s size %d — %d racks, %d hosts, %d VMs, %d dependency edges\n",
-		*topo, *size, len(cluster.Racks), len(cluster.Hosts()), n, cluster.Deps.NumEdges())
-	fmt.Println("step  srv-alerts tor-alerts sw-alerts  migr     cost  reroutes  hot  stddev  maxuplink")
 
-	var totalMigr, totalReroutes int
+	if *listen != "" {
+		ln, lerr := net.Listen("tcp", *listen)
+		if lerr != nil {
+			return lerr
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "sheriffd: streaming events on %s\n", ln.Addr())
+		go serveSubscribers(ln, svc)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	writeSnap := func() error {
+		rs, serr := rt.Snapshot()
+		if serr != nil {
+			return serr
+		}
+		is, serr := svc.Snapshot()
+		if serr != nil {
+			return serr
+		}
+		blob, serr := json.Marshal(daemonState{Config: cfg, Deep: *deep, Runtime: rs, Ingest: is})
+		if serr != nil {
+			return serr
+		}
+		tmp := *snapshot + ".tmp"
+		if werr := os.WriteFile(tmp, blob, 0o644); werr != nil {
+			return werr
+		}
+		return os.Rename(tmp, *snapshot)
+	}
+
+	fmt.Fprintf(out, "sheriffd: %s size %d — %d racks, %d hosts, %d VMs, %d dependency edges\n",
+		*topo, *size, len(rt.Cluster.Racks), len(rt.Cluster.Hosts()), len(vms), rt.Cluster.Deps.NumEdges())
+	fmt.Fprintln(out, "step  pre-alerts srv-alerts tor-alerts sw-alerts  migr     cost  reroutes  hot  stddev  maxuplink")
+
+	var totalMigr, totalReroutes, totalPre int
 	var totalCost float64
-	var sdSummary, uplinkSummary metrics.Summary
-	uplinkP95, err := metrics.NewQuantile(0.95)
-	if err != nil {
-		fail(err)
-	}
+	updates := make([]ingest.Update, 0, len(vms))
+	ext := make([]runtime.ExternalUpdate, 0, len(vms))
+loop:
 	for i := 0; i < *steps; i++ {
-		s, err := rt.Step()
-		if err != nil {
-			fail(err)
+		select {
+		case <-sig:
+			fmt.Fprintln(out, "sheriffd: signal received, flushing and shutting down")
+			break loop
+		default:
+		}
+		updates = updates[:0]
+		ext = ext[:0]
+		for j, vm := range vms {
+			p := gens[j].Next()
+			updates = append(updates, ingest.Update{VM: vm.ID, Profile: p})
+			ext = append(ext, runtime.ExternalUpdate{VM: vm.ID, Profile: p})
+		}
+		if _, err = svc.OfferBatch(updates); err != nil {
+			return err
+		}
+		svc.ProcessPending()
+		pre := svc.Poll()
+		totalPre += len(pre)
+		s, serr := rt.StepExternal(ext)
+		if serr != nil {
+			return serr
 		}
 		totalMigr += s.Migrations
 		totalReroutes += s.Reroutes
 		totalCost += s.MigrationCost
-		sdSummary.Observe(s.WorkloadStdDev)
-		uplinkSummary.Observe(s.MaxUplinkUtil)
-		uplinkP95.Observe(s.MaxUplinkUtil)
-		fmt.Printf("%4d  %10d %10d %9d %5d %8.1f %9d %4d %7.2f %10.2f\n",
-			s.Step, s.ServerAlerts, s.ToRAlerts, s.SwitchAlerts,
+		fmt.Fprintf(out, "%4d  %10d %10d %10d %9d %5d %8.1f %9d %4d %7.2f %10.2f\n",
+			s.Step, len(pre), s.ServerAlerts, s.ToRAlerts, s.SwitchAlerts,
 			s.Migrations, s.MigrationCost, s.Reroutes, s.HotSwitches,
 			s.WorkloadStdDev, s.MaxUplinkUtil)
+		if *snapshot != "" && *snapEvery > 0 && (i+1)%*snapEvery == 0 {
+			if werr := writeSnap(); werr != nil {
+				return werr
+			}
+		}
+		if *failStep > 0 && s.Step >= *failStep {
+			return fmt.Errorf("injected failure after step %d (testing)", s.Step)
+		}
 	}
-	fmt.Printf("totals: %d migrations (cost %.1f), %d flow reroutes over %d steps\n",
-		totalMigr, totalCost, totalReroutes, *steps)
-	fmt.Printf("workload stddev: %s\n", sdSummary.String())
-	fmt.Printf("max uplink util: %s p95=%.3f\n", uplinkSummary.String(), uplinkP95.Value())
+	if *snapshot != "" {
+		if werr := writeSnap(); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "snapshot: %s\n", *snapshot)
+	}
+	st := svc.Stats()
+	fmt.Fprintf(out, "totals: %d migrations (cost %.1f), %d flow reroutes, %d pre-alerts\n",
+		totalMigr, totalCost, totalReroutes, totalPre)
+	fmt.Fprintf(out, "ingest: %d offered %d accepted %d dropped %d processed | latency mean %.1fµs p99 %.1fµs\n",
+		st.Offered, st.Accepted, st.Dropped, st.Processed, st.Latency.Mean()*1e6, st.LatencyP99*1e6)
+	return nil
 }
 
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "sheriffd: %v\n", err)
-	os.Exit(1)
+// serveSubscribers attaches each TCP client to the live event stream.
+// A client that hangs up (or whose writes fail) is detached without
+// disturbing the recorder or other subscribers.
+func serveSubscribers(ln net.Listener, svc *ingest.Service) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sub, err := svc.Subscribe(obs.NewJSONL(conn))
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		go func() {
+			io.Copy(io.Discard, conn) // block until the client hangs up
+			svc.Unsubscribe(sub)
+			conn.Close()
+		}()
+	}
 }

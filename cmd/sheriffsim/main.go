@@ -15,11 +15,15 @@
 // REQUEST/ACK/REJECT/retry decisions the trace captures. Chaos mode runs
 // the same protocol under a seeded fault plan (internal/faults): drops,
 // duplication, reordering, delay jitter, and named partition windows.
+// The trace file is closed (and therefore parseable) even when a run
+// fails mid-way.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,29 +37,45 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "balance", "balance, compare, sweep, plan, or dist")
-	topo := flag.String("topology", "fat-tree", "fat-tree or bcube")
-	size := flag.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
-	sizes := flag.String("sizes", "", "comma-separated size sweep (mode=sweep)")
-	rounds := flag.Int("rounds", 24, "balancing rounds (mode=balance)")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	hostsPerRack := flag.Int("hosts", 4, "hosts per rack")
-	vmsPerHost := flag.Int("vms", 4, "VMs per host")
-	k := flag.Int("k", 0, "destination ToRs to plan (mode=plan; 0 = clients/4)")
-	p := flag.Int("p", 1, "Alg. 5 swap size (mode=plan)")
-	exact := flag.Bool("exact", false, "also compute the branch-and-bound optimum (mode=plan)")
-	loss := flag.Float64("loss", 0.05, "bus message loss rate (mode=dist)")
-	trace := flag.String("trace", "", "write a JSONL event trace to this file (implies -mode dist unless -mode is set)")
-	drop := flag.Float64("drop", 0.2, "fault plan: per-message drop probability (mode=chaos)")
-	dup := flag.Float64("dup", 0.1, "fault plan: per-message duplication probability (mode=chaos)")
-	reorder := flag.Float64("reorder", 0.2, "fault plan: per-batch delivery reorder probability (mode=chaos)")
-	delay := flag.Int("delay", 0, "fault plan: fixed extra delivery delay in rounds (mode=chaos)")
-	jitter := flag.Int("jitter", 1, "fault plan: uniform extra delay bound in rounds (mode=chaos)")
-	partition := flag.String("partition", "", "fault plan: partition windows as start:rounds:node,node[;...] (mode=chaos)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sheriffsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole command behind a returned error so the deferred
+// trace close always fires — a failed simulation still leaves a closed,
+// parseable JSONL trace.
+func run(args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("sheriffsim", flag.ContinueOnError)
+	mode := fs.String("mode", "balance", "balance, compare, sweep, plan, dist, or chaos")
+	topo := fs.String("topology", "fat-tree", "fat-tree or bcube")
+	size := fs.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
+	sizes := fs.String("sizes", "", "comma-separated size sweep (mode=sweep)")
+	rounds := fs.Int("rounds", 24, "balancing rounds (mode=balance)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	hostsPerRack := fs.Int("hosts", 4, "hosts per rack")
+	vmsPerHost := fs.Int("vms", 4, "VMs per host")
+	k := fs.Int("k", 0, "destination ToRs to plan (mode=plan; 0 = clients/4)")
+	p := fs.Int("p", 1, "Alg. 5 swap size (mode=plan)")
+	exact := fs.Bool("exact", false, "also compute the branch-and-bound optimum (mode=plan)")
+	loss := fs.Float64("loss", 0.05, "bus message loss rate (mode=dist)")
+	trace := fs.String("trace", "", "write a JSONL event trace to this file (implies -mode dist unless -mode is set)")
+	drop := fs.Float64("drop", 0.2, "fault plan: per-message drop probability (mode=chaos)")
+	dup := fs.Float64("dup", 0.1, "fault plan: per-message duplication probability (mode=chaos)")
+	reorder := fs.Float64("reorder", 0.2, "fault plan: per-batch delivery reorder probability (mode=chaos)")
+	delay := fs.Int("delay", 0, "fault plan: fixed extra delivery delay in rounds (mode=chaos)")
+	jitter := fs.Int("jitter", 1, "fault plan: uniform extra delay bound in rounds (mode=chaos)")
+	partition := fs.String("partition", "", "fault plan: partition windows as start:rounds:node,node[;...] (mode=chaos)")
+	if perr := fs.Parse(args); perr != nil {
+		if errors.Is(perr, flag.ErrHelp) {
+			return nil
+		}
+		return perr
+	}
 
 	modeSet := false
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "mode" {
 			modeSet = true
 		}
@@ -66,26 +86,30 @@ func main() {
 
 	var rec *obs.Recorder
 	if *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		rec, err = obs.New(obs.Options{Sinks: []obs.Sink{obs.NewJSONL(f)}})
-		if err != nil {
-			fail(err)
+		f, cerr := os.Create(*trace)
+		if cerr != nil {
+			return cerr
 		}
 		defer func() {
-			if err := rec.Err(); err != nil {
-				fail(fmt.Errorf("trace: %w", err))
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
 			}
-			fmt.Printf("trace: %d events -> %s\n", rec.Seq(), *trace)
+		}()
+		if rec, err = obs.New(obs.Options{Sinks: []obs.Sink{obs.NewJSONL(f)}}); err != nil {
+			return err
+		}
+		defer func() {
+			if terr := rec.Err(); terr != nil && err == nil {
+				err = fmt.Errorf("trace: %w", terr)
+				return
+			}
+			fmt.Fprintf(out, "trace: %d events -> %s\n", rec.Seq(), *trace)
 		}()
 	}
 
-	kind, err := parseKind(*topo)
+	kind, err := sim.ParseKind(*topo)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	cfg := sim.Config{
 		Kind:         kind,
@@ -98,27 +122,30 @@ func main() {
 
 	switch *mode {
 	case "balance":
-		runBalance(cfg, *rounds)
+		return runBalance(out, cfg, *rounds)
 	case "compare":
-		runCompare(cfg)
+		return runCompare(out, cfg)
 	case "sweep":
 		list, err := parseSizes(*sizes, *size)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		for _, sz := range list {
 			c := cfg
 			c.Size = sz
-			runCompare(c)
+			if err := runCompare(out, c); err != nil {
+				return err
+			}
 		}
+		return nil
 	case "plan":
-		runPlan(cfg, *k, *p, *exact)
+		return runPlan(out, cfg, *k, *p, *exact)
 	case "dist":
-		runDist(cfg, *loss, rec)
+		return runDist(out, cfg, *loss, rec)
 	case "chaos":
 		windows, err := parsePartitions(*partition)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		plan := faults.Plan{
 			Seed:        *seed,
@@ -129,9 +156,9 @@ func main() {
 			Jitter:      *jitter,
 			Partitions:  windows,
 		}
-		runChaos(cfg, plan, rec)
+		return runChaos(out, cfg, plan, rec)
 	default:
-		fail(fmt.Errorf("unknown mode %q", *mode))
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
 }
 
@@ -139,22 +166,23 @@ func main() {
 // duplicates, reorderings, and partition cuts exercise the protocol's
 // retry/suppression/fallback ladder, and the summary line reports how far
 // down the ladder the run went. "unplaced 0" is the resilience criterion.
-func runChaos(cfg sim.Config, plan faults.Plan, rec *obs.Recorder) {
+func runChaos(out io.Writer, cfg sim.Config, plan faults.Plan, rec *obs.Recorder) error {
 	s, err := sim.Build(cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	n := s.PopulateHotPods(0.5, 0.85, 0.35)
-	fmt.Printf("%s size %d: %d racks, %d hosts, %d VMs | plan: drop %.2f dup %.2f reorder %.2f delay %d+%d partitions %d\n",
+	fmt.Fprintf(out, "%s size %d: %d racks, %d hosts, %d VMs | plan: drop %.2f dup %.2f reorder %.2f delay %d+%d partitions %d\n",
 		cfg.Kind, cfg.Size, len(s.Cluster.Racks), len(s.Cluster.Hosts()), n,
 		plan.Drop, plan.DupRate, plan.ReorderRate, plan.Delay, plan.Jitter, len(plan.Partitions))
 	res, err := s.RunChaos(plan, migrate.DistOptions{Recorder: rec, Seed: plan.Seed})
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("chaos: %d migrations cost %.1f | rejected %d retransmits %d suppressed %d fallbacks %d unplaced %d in %d rounds\n",
+	fmt.Fprintf(out, "chaos: %d migrations cost %.1f | rejected %d retransmits %d suppressed %d fallbacks %d unplaced %d in %d rounds\n",
 		len(res.Migrations), res.TotalCost, res.Rejected, res.Retransmits,
 		res.Suppressed, res.Fallbacks, len(res.Unplaced), res.Rounds)
+	return nil
 }
 
 // parsePartitions decodes the -partition spec: semicolon-separated
@@ -193,78 +221,71 @@ func parsePartitions(spec string) ([]faults.Partition, error) {
 // runDist drives the Alg. 4 message protocol: pod-level hotspots force
 // cross-rack placement, the lossy bus forces retries, and every REQUEST,
 // ACK, REJECT, and timeout retry lands in the trace with its round number.
-func runDist(cfg sim.Config, loss float64, rec *obs.Recorder) {
+func runDist(out io.Writer, cfg sim.Config, loss float64, rec *obs.Recorder) error {
 	s, err := sim.Build(cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	n := s.PopulateHotPods(0.5, 0.85, 0.35)
-	fmt.Printf("%s size %d: %d racks, %d hosts, %d VMs, loss %.3f\n",
+	fmt.Fprintf(out, "%s size %d: %d racks, %d hosts, %d VMs, loss %.3f\n",
 		cfg.Kind, cfg.Size, len(s.Cluster.Racks), len(s.Cluster.Hosts()), n, loss)
 	res, err := s.RunDistributed(
 		comm.Options{LossRate: loss, Seed: cfg.Seed, Recorder: rec},
 		migrate.DistOptions{Recorder: rec},
 	)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("dist: %d migrations cost %.1f | rejected %d retransmits %d unplaced %d in %d rounds (space %d)\n",
+	fmt.Fprintf(out, "dist: %d migrations cost %.1f | rejected %d retransmits %d unplaced %d in %d rounds (space %d)\n",
 		len(res.Migrations), res.TotalCost, res.Rejected, res.Retransmits, len(res.Unplaced), res.Rounds, res.SearchSpace)
+	return nil
 }
 
-func runBalance(cfg sim.Config, rounds int) {
+func runBalance(out io.Writer, cfg sim.Config, rounds int) error {
 	s, err := sim.Build(cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	n := s.PopulateSkewed(0.5)
-	fmt.Printf("%s size %d: %d racks, %d hosts, %d VMs\n",
+	fmt.Fprintf(out, "%s size %d: %d racks, %d hosts, %d VMs\n",
 		cfg.Kind, cfg.Size, len(s.Cluster.Racks), len(s.Cluster.Hosts()), n)
 	series, err := s.RunBalancing(rounds, 0.05)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Println("round  workload-stddev(%)")
+	fmt.Fprintln(out, "round  workload-stddev(%)")
 	for i, sd := range series {
-		fmt.Printf("%5d  %8.3f\n", i, sd)
+		fmt.Fprintf(out, "%5d  %8.3f\n", i, sd)
 	}
-	fmt.Printf("reduction: %.1f%% -> %.1f%% over %d rounds\n",
+	fmt.Fprintf(out, "reduction: %.1f%% -> %.1f%% over %d rounds\n",
 		series[0], series[len(series)-1], rounds)
+	return nil
 }
 
-func runCompare(cfg sim.Config) {
+func runCompare(out io.Writer, cfg sim.Config) error {
 	res, err := sim.Compare(cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("%s size %-3d racks %-5d VMs %-6d alerted %-4d | sheriff cost %10.1f space %8d | central cost %10.1f space %8d\n",
+	fmt.Fprintf(out, "%s size %-3d racks %-5d VMs %-6d alerted %-4d | sheriff cost %10.1f space %8d | central cost %10.1f space %8d\n",
 		cfg.Kind, cfg.Size, res.Racks, res.VMs, res.Alerted,
 		res.SheriffCost, res.SheriffSpace, res.CentralCost, res.CentralSpace)
+	return nil
 }
 
-func runPlan(cfg sim.Config, k, p int, exact bool) {
+func runPlan(out io.Writer, cfg sim.Config, k, p int, exact bool) error {
 	res, err := sim.ComparePlanning(cfg, k, p, exact)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("%s size %-3d racks %-5d clients %-4d k %-4d | local-search cost %10.1f swaps %4d in %v",
+	fmt.Fprintf(out, "%s size %-3d racks %-5d clients %-4d k %-4d | local-search cost %10.1f swaps %4d in %v",
 		cfg.Kind, cfg.Size, res.Racks, res.Clients, res.K, res.LocalCost, res.LocalSwaps, res.LocalTime.Round(time.Microsecond))
 	if res.HasExact {
-		fmt.Printf(" | optimal cost %10.1f in %v (ratio %.4f)",
+		fmt.Fprintf(out, " | optimal cost %10.1f in %v (ratio %.4f)",
 			res.ExactCost, res.ExactTime.Round(time.Microsecond), res.Ratio())
 	}
-	fmt.Println()
-}
-
-func parseKind(s string) (sim.Kind, error) {
-	switch strings.ToLower(s) {
-	case "fat-tree", "fattree", "ft":
-		return sim.FatTree, nil
-	case "bcube", "bc":
-		return sim.BCube, nil
-	default:
-		return 0, fmt.Errorf("unknown topology %q (want fat-tree or bcube)", s)
-	}
+	fmt.Fprintln(out)
+	return nil
 }
 
 func parseSizes(csv string, fallback int) ([]int, error) {
@@ -281,9 +302,4 @@ func parseSizes(csv string, fallback int) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "sheriffsim: %v\n", err)
-	os.Exit(1)
 }

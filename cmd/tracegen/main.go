@@ -10,31 +10,48 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sheriff/internal/traces"
 )
 
 func main() {
-	trace := flag.String("trace", "traffic", "traffic, cpu, io, or profile")
-	days := flag.Int("days", 7, "trace length in days (traffic)")
-	hours := flag.Int("hours", 24, "trace length in hours (cpu, io, profile)")
-	perDay := flag.Int("per-day", 64, "samples per day (traffic)")
-	seed := flag.Int64("seed", 1, "generator seed")
-	out := flag.String("o", "-", "output file; - for stdout")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-	w := os.Stdout
+// run carries the whole command behind a returned error so the output
+// file's deferred close always fires, even on a generation failure.
+func run(args []string, stdout io.Writer) (err error) {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	trace := fs.String("trace", "traffic", "traffic, cpu, io, or profile")
+	days := fs.Int("days", 7, "trace length in days (traffic)")
+	hours := fs.Int("hours", 24, "trace length in hours (cpu, io, profile)")
+	perDay := fs.Int("per-day", 64, "samples per day (traffic)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("o", "-", "output file; - for stdout")
+	if perr := fs.Parse(args); perr != nil {
+		if errors.Is(perr, flag.ErrHelp) {
+			return nil
+		}
+		return perr
+	}
+
+	w := stdout
 	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fail(err)
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			return cerr
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
-				fail(err)
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
 			}
 		}()
 		w = f
@@ -43,35 +60,21 @@ func main() {
 	switch *trace {
 	case "traffic":
 		s := traces.WeeklyTraffic(traces.TrafficConfig{Days: *days, PerDay: *perDay, Seed: *seed})
-		if err := traces.WriteCSV(w, "traffic_mb", s); err != nil {
-			fail(err)
-		}
+		return traces.WriteCSV(w, "traffic_mb", s)
 	case "cpu":
 		s := traces.CPU(traces.CPUConfig{Hours: *hours, Seed: *seed})
-		if err := traces.WriteCSV(w, "cpu_pct", s); err != nil {
-			fail(err)
-		}
+		return traces.WriteCSV(w, "cpu_pct", s)
 	case "io":
 		s := traces.DiskIO(traces.DiskIOConfig{Hours: *hours, Seed: *seed})
-		if err := traces.WriteCSV(w, "io_mbps", s); err != nil {
-			fail(err)
-		}
+		return traces.WriteCSV(w, "io_mbps", s)
 	case "profile":
 		g := traces.NewWorkloadGen(*hours, *seed)
-		n := g.Len()
-		profiles := make([]traces.Profile, n)
+		profiles := make([]traces.Profile, g.Len())
 		for i := range profiles {
 			profiles[i] = g.Next()
 		}
-		if err := traces.WriteProfileCSV(w, profiles); err != nil {
-			fail(err)
-		}
+		return traces.WriteProfileCSV(w, profiles)
 	default:
-		fail(fmt.Errorf("unknown trace %q (want traffic, cpu, io, profile)", *trace))
+		return fmt.Errorf("unknown trace %q (want traffic, cpu, io, profile)", *trace)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-	os.Exit(1)
 }

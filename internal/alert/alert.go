@@ -149,6 +149,29 @@ func (pp *ProfilePredictor) Predict() (traces.Profile, error) {
 	return p, nil
 }
 
+// Histories returns copies of the four component histories in profile
+// order [CPU, MEM, IO, TRF] — the state a snapshot must carry to resume
+// prediction without refeeding the whole run.
+func (pp *ProfilePredictor) Histories() [4][]float64 {
+	return [4][]float64{pp.hCPU.Values(), pp.hMem.Values(), pp.hIO.Values(), pp.hTRF.Values()}
+}
+
+// RestoreHistories replaces the component histories, in the same order
+// Histories returns them. All four must have equal length.
+func (pp *ProfilePredictor) RestoreHistories(h [4][]float64) error {
+	n := len(h[0])
+	for _, c := range h[1:] {
+		if len(c) != n {
+			return fmt.Errorf("alert: restore: component history lengths differ (%d vs %d)", len(c), n)
+		}
+	}
+	pp.hCPU = timeseries.New(h[0])
+	pp.hMem = timeseries.New(h[1])
+	pp.hIO = timeseries.New(h[2])
+	pp.hTRF = timeseries.New(h[3])
+	return nil
+}
+
 // Check predicts one step ahead and applies the ALERT rule, returning the
 // alert (zero Value when not fired).
 func (pp *ProfilePredictor) Check(th Thresholds) (Alert, bool, error) {
@@ -190,6 +213,12 @@ func NewQueueMonitor(f ComponentForecaster, limit, threshold float64) (*QueueMon
 
 // Observe appends one queue-length sample.
 func (q *QueueMonitor) Observe(length float64) { q.history.Append(length) }
+
+// History returns a copy of the observed queue-length samples.
+func (q *QueueMonitor) History() []float64 { return q.history.Values() }
+
+// RestoreHistory replaces the observed queue-length samples.
+func (q *QueueMonitor) RestoreHistory(h []float64) { q.history = timeseries.New(h) }
 
 // Check predicts the next queue length and fires when it exceeds
 // threshold×limit. The alert Value is predicted occupancy in [0,1].

@@ -46,6 +46,8 @@ func (m *Model) UnmarshalJSON(b []byte) error {
 		return fmt.Errorf("arima: unmarshal: coefficient counts (%d,%d) do not match %s",
 			len(dto.Phi), len(dto.Theta), dto.Order)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.Order = dto.Order
 	m.Phi = dto.Phi
 	m.Theta = dto.Theta
@@ -53,6 +55,10 @@ func (m *Model) UnmarshalJSON(b []byte) error {
 	m.Sigma2 = dto.Sigma2
 	m.N = dto.N
 	m.history = timeseries.New(dto.History)
+	// Drop the incremental forecast context: it caches innovations
+	// computed under the previous coefficients, and a source series
+	// pointer from before the unmarshal could otherwise revalidate it.
+	m.fc = nil
 	return nil
 }
 

@@ -1,0 +1,138 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FlowSnap is the serialized form of one flow, path included: routes are
+// load-sensitive at admission time and persist across reroutes, so they
+// cannot be recomputed on restore without diverging from the live
+// network.
+type FlowSnap struct {
+	ID             int     `json:"id"`
+	Src            int     `json:"src"`
+	Dst            int     `json:"dst"`
+	Rate           float64 `json:"rate"`
+	DelaySensitive bool    `json:"delay_sensitive,omitempty"`
+	Path           []int   `json:"path,omitempty"`
+}
+
+// LinkLoad is one directed link's exact offered load. Loads are in
+// principle derivable from the flow paths, but the live network updates
+// them incrementally (SetRate adds and subtracts rates in place), so the
+// accumulated floating-point state differs from a fresh recompute by
+// ulps. Carrying the exact values keeps a restored network bit-identical
+// to the one that never stopped.
+type LinkLoad struct {
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+	Load float64 `json:"load"`
+}
+
+// Snapshot captures the network's flow table and exact link loads.
+type Snapshot struct {
+	Flows  []FlowSnap `json:"flows"`
+	Loads  []LinkLoad `json:"loads,omitempty"`
+	NextID int        `json:"next_id"`
+}
+
+// Snapshot returns a deep copy of the flow table, ordered by flow ID.
+func (n *Network) Snapshot() *Snapshot {
+	snap := &Snapshot{Flows: make([]FlowSnap, 0, len(n.flows)), NextID: n.nextID}
+	for _, f := range n.flows {
+		snap.Flows = append(snap.Flows, FlowSnap{
+			ID:             f.ID,
+			Src:            f.Src,
+			Dst:            f.Dst,
+			Rate:           f.Rate,
+			DelaySensitive: f.DelaySensitive,
+			Path:           append([]int(nil), f.path...),
+		})
+	}
+	sort.Slice(snap.Flows, func(i, j int) bool { return snap.Flows[i].ID < snap.Flows[j].ID })
+	for key, load := range n.load {
+		snap.Loads = append(snap.Loads, LinkLoad{A: key[0], B: key[1], Load: load})
+	}
+	sort.Slice(snap.Loads, func(i, j int) bool {
+		if snap.Loads[i].A != snap.Loads[j].A {
+			return snap.Loads[i].A < snap.Loads[j].A
+		}
+		return snap.Loads[i].B < snap.Loads[j].B
+	})
+	return snap
+}
+
+// Restore rebuilds the flow table from a snapshot. The network must be
+// empty (freshly constructed over the same topology graph); every path
+// must be a walk over existing links with the flow's endpoints at its
+// ends. When the snapshot carries link loads they are installed verbatim
+// (preserving the live network's accumulated floating-point state);
+// otherwise loads are recomputed from the restored paths.
+func (n *Network) Restore(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("flow: restore from nil snapshot")
+	}
+	if len(n.flows) != 0 {
+		return fmt.Errorf("flow: restore into non-empty network (%d flows)", len(n.flows))
+	}
+	seen := make(map[int]bool, len(snap.Flows))
+	for _, fs := range snap.Flows {
+		if seen[fs.ID] {
+			return fmt.Errorf("flow: snapshot has duplicate flow id %d", fs.ID)
+		}
+		seen[fs.ID] = true
+		if fs.ID >= snap.NextID {
+			return fmt.Errorf("flow: snapshot flow id %d not below next_id %d", fs.ID, snap.NextID)
+		}
+		if err := n.validatePath(fs); err != nil {
+			return err
+		}
+	}
+	for _, fs := range snap.Flows {
+		f := &Flow{ID: fs.ID, Src: fs.Src, Dst: fs.Dst, Rate: fs.Rate, DelaySensitive: fs.DelaySensitive}
+		if len(fs.Path) > 0 {
+			n.applyPath(f, append([]int(nil), fs.Path...))
+		}
+		n.flows[f.ID] = f
+	}
+	if len(snap.Loads) > 0 {
+		load := make(map[[2]int]float64, len(snap.Loads))
+		for _, ll := range snap.Loads {
+			key := [2]int{ll.A, ll.B}
+			if _, dup := load[key]; dup {
+				return fmt.Errorf("flow: snapshot has duplicate load entry for link %d→%d", ll.A, ll.B)
+			}
+			if _, recomputed := n.load[key]; !recomputed {
+				return fmt.Errorf("flow: snapshot load entry %d→%d not covered by any flow path", ll.A, ll.B)
+			}
+			load[key] = ll.Load
+		}
+		if len(load) != len(n.load) {
+			return fmt.Errorf("flow: snapshot carries %d load entries, flow paths cover %d links", len(load), len(n.load))
+		}
+		n.load = load
+	}
+	n.nextID = snap.NextID
+	return nil
+}
+
+func (n *Network) validatePath(fs FlowSnap) error {
+	if len(fs.Path) == 0 {
+		return nil
+	}
+	if fs.Path[0] != fs.Src || fs.Path[len(fs.Path)-1] != fs.Dst {
+		return fmt.Errorf("flow: snapshot flow %d path endpoints %d→%d do not match flow %d→%d",
+			fs.ID, fs.Path[0], fs.Path[len(fs.Path)-1], fs.Src, fs.Dst)
+	}
+	for i := 1; i < len(fs.Path); i++ {
+		a, b := fs.Path[i-1], fs.Path[i]
+		if a < 0 || a >= n.g.NumNodes() || b < 0 || b >= n.g.NumNodes() {
+			return fmt.Errorf("flow: snapshot flow %d path node out of range (%d→%d)", fs.ID, a, b)
+		}
+		if _, ok := n.g.EdgeBetween(a, b); !ok {
+			return fmt.Errorf("flow: snapshot flow %d path uses missing link %d→%d", fs.ID, a, b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+
+	"sheriff/internal/traces"
+)
+
+// benchService builds a racks×vmsPerRack service.
+func benchService(b *testing.B, racks, vmsPerRack, queueLimit int) (*Service, []Update) {
+	b.Helper()
+	vmsByRack := make([][]int, racks)
+	id := 0
+	for r := range vmsByRack {
+		for v := 0; v < vmsPerRack; v++ {
+			vmsByRack[r] = append(vmsByRack[r], id)
+			id++
+		}
+	}
+	s, err := New(vmsByRack, Options{QueueLimit: queueLimit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One realistic update per VM, varied profiles so triage does real work.
+	gen := traces.NewWorkloadGen(24, 1)
+	updates := make([]Update, id)
+	for i := range updates {
+		updates[i] = Update{VM: i, Profile: gen.Next()}
+	}
+	return s, updates
+}
+
+// BenchmarkOfferProcess is the sustained-ingest benchmark behind
+// BENCH_ingest.json: one op offers every VM's update and drains all
+// shards, so updates/s is the end-to-end ingest-to-triage throughput.
+func BenchmarkOfferProcess(b *testing.B) {
+	for _, cfg := range []struct{ racks, vms int }{{8, 16}, {32, 32}} {
+		b.Run(fmt.Sprintf("racks=%d/vms=%d", cfg.racks, cfg.vms), func(b *testing.B) {
+			s, updates := benchService(b, cfg.racks, cfg.vms, cfg.racks*cfg.vms)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.OfferBatch(updates); err != nil {
+					b.Fatal(err)
+				}
+				s.ProcessPending()
+			}
+			b.StopTimer()
+			st := s.Stats()
+			b.ReportMetric(float64(st.Processed)/b.Elapsed().Seconds(), "updates/s")
+			b.ReportMetric(st.LatencyP99*1e6, "p99-µs")
+		})
+	}
+}
+
+// BenchmarkOfferOnly isolates the producer-side accept path.
+func BenchmarkOfferOnly(b *testing.B) {
+	s, upd := benchService(b, 8, 16, 1<<20)
+	u := upd[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Offer(u); err != nil {
+			b.Fatal(err)
+		}
+		if i%4096 == 4095 {
+			b.StopTimer()
+			s.ProcessPending()
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,557 @@
+// Package ingest is the daemon's metric front end: a batched,
+// rack-sharded intake for externally reported VM workload profiles with
+// explicit backpressure, a constant-work triage forecaster per VM, and a
+// streaming subscription API for the resulting alert/trace events.
+//
+// The design borrows three disciplines already proven elsewhere in the
+// tree. Sharding and drain fan-out reuse the internal/pool worker model
+// (one shard per rack, indices claimed dynamically, the caller
+// participates). Backpressure is comm.Bus's InboxLimit tail drop: each
+// shard's pending queue has a hard cap, an offer beyond it is counted
+// and dropped — never blocking the producer and never evicting an
+// already accepted update. The accept/drain hot path is allocation-free
+// in steady state, CSR-style: queues, scratch buffers, and per-VM triage
+// slots are laid out once at construction and reused every cycle, so a
+// daemon ingesting millions of updates does not touch the allocator.
+//
+// Triage is a per-VM Holt (double-exponential) smoother over the
+// profile's dominant component, the same α=0.5/β=0.3 filter the runtime
+// uses for cheap trend forecasts. A VM whose one-step-ahead prediction
+// crosses HotThreshold raises an edge-triggered pre-alert (cleared when
+// the prediction recedes), which is exactly the signal the Sheriff shims
+// consume — the daemon forwards polled alerts into the migration plane.
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sheriff/internal/dcn"
+	"sheriff/internal/metrics"
+	"sheriff/internal/obs"
+	"sheriff/internal/pool"
+	"sheriff/internal/traces"
+)
+
+// Update is one externally reported observation: the VM's workload
+// profile for the current collection period.
+type Update struct {
+	VM      int
+	Profile traces.Profile
+}
+
+// Alert is one triage pre-alert: the VM's predicted next-period stress
+// crossed the hot threshold.
+type Alert struct {
+	Rack  int
+	VM    int
+	Value float64 // predicted next-period dominant-component stress
+}
+
+// Options configures a Service. Zero values take the defaults.
+type Options struct {
+	// QueueLimit caps each rack shard's pending-update queue; offers
+	// beyond it are dropped (tail drop, the comm.InboxLimit discipline).
+	// Zero means the default (4096); negative is an error.
+	QueueLimit int
+	// HotThreshold is the predicted stress above which a VM raises a
+	// pre-alert. Zero means the default (0.9); negative is an error.
+	HotThreshold float64
+	// Alpha and Beta are the Holt triage smoothing factors. Zero means
+	// the defaults (0.5 and 0.3); out of (0,1] is an error.
+	Alpha, Beta float64
+	// Recorder receives KindIngest events (drains, drops, alerts) and is
+	// the hub Subscribe attaches sinks to. Nil disables both.
+	Recorder *obs.Recorder
+	// Pool bounds the drain fan-out; nil means pool.Shared().
+	Pool *pool.Pool
+	// Clock stamps offered updates for ingest-to-alert latency; nil
+	// means time.Now. Tests inject a fixed clock.
+	Clock func() time.Time
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.QueueLimit < 0 {
+		return fmt.Errorf("ingest: QueueLimit must be >= 0 (0 = default), got %d", o.QueueLimit)
+	}
+	if o.HotThreshold < 0 {
+		return fmt.Errorf("ingest: HotThreshold must be >= 0 (0 = default), got %v", o.HotThreshold)
+	}
+	check := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("ingest: %s must be in (0,1] (0 = default), got %v", name, v)
+		}
+		return nil
+	}
+	if err := check("Alpha", o.Alpha); err != nil {
+		return err
+	}
+	return check("Beta", o.Beta)
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueLimit == 0 {
+		o.QueueLimit = 4096
+	}
+	if o.HotThreshold == 0 {
+		o.HotThreshold = 0.9
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.5
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.3
+	}
+	if o.Pool == nil {
+		o.Pool = pool.Shared()
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the service's counters.
+type Stats struct {
+	Offered   uint64 // updates handed to Offer/OfferBatch
+	Accepted  uint64 // updates enqueued (Offered - Dropped)
+	Dropped   uint64 // updates tail-dropped at a full shard queue
+	Processed uint64 // updates drained through triage
+	Alerts    uint64 // pre-alerts raised
+	Pending   int    // updates currently queued across shards
+	// Latency summarizes ingest-to-triage latency in seconds; P99 is the
+	// P² estimate of its 99th percentile.
+	Latency    metrics.Summary
+	LatencyP99 float64
+}
+
+// queued is one accepted update awaiting triage.
+type queued struct {
+	slot int
+	v    float64
+	at   time.Time
+}
+
+// slot is one VM's triage state: a Holt smoother over the dominant
+// profile component plus the edge-trigger latch.
+type slot struct {
+	vm           int
+	level, trend float64
+	seen         int
+	alerted      bool
+}
+
+// shard is one rack's intake lane. All fields past the lock are guarded
+// by it; the queue and scratch buffers are allocated once at capacity.
+type shard struct {
+	rack int
+
+	mu     sync.Mutex
+	queue  []queued
+	slots  []slot
+	alerts []Alert   // raised, not yet polled
+	lat    []float64 // drain scratch: latencies in seconds
+	drains int       // drain cycles with at least one update
+}
+
+// loc addresses one VM's triage slot.
+type loc struct {
+	shard, slot int
+}
+
+// Service is the sharded ingest front end. All methods are safe for
+// concurrent use.
+type Service struct {
+	opts  Options
+	rec   *obs.Recorder
+	shard []*shard
+	vmLoc map[int]loc
+
+	offered   atomic.Uint64
+	accepted  atomic.Uint64
+	dropped   atomic.Uint64
+	processed atomic.Uint64
+	alerts    atomic.Uint64
+
+	statsMu sync.Mutex
+	latSum  metrics.Summary
+	latP99  *metrics.Quantile
+
+	subMu sync.Mutex
+	subs  []*Subscription
+
+	loopMu   sync.Mutex
+	stopLoop chan struct{}
+	loopDone chan struct{}
+}
+
+// New builds a service over an explicit rack partition: vmsByRack[i]
+// lists the VM IDs ingested through shard i. VM IDs must be unique and
+// non-negative; empty racks are fine.
+func New(vmsByRack [][]int, opts Options) (*Service, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	p99, err := metrics.NewQuantile(0.99)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		opts:   opts,
+		rec:    opts.Recorder,
+		vmLoc:  make(map[int]loc),
+		latP99: p99,
+	}
+	for i, vms := range vmsByRack {
+		sh := &shard{
+			rack:  i,
+			queue: make([]queued, 0, opts.QueueLimit),
+			slots: make([]slot, 0, len(vms)),
+			lat:   make([]float64, 0, opts.QueueLimit),
+		}
+		for _, vm := range vms {
+			if vm < 0 {
+				return nil, fmt.Errorf("ingest: negative VM id %d in rack %d", vm, i)
+			}
+			if _, dup := s.vmLoc[vm]; dup {
+				return nil, fmt.Errorf("ingest: VM %d assigned to more than one rack", vm)
+			}
+			s.vmLoc[vm] = loc{shard: i, slot: len(sh.slots)}
+			sh.slots = append(sh.slots, slot{vm: vm})
+		}
+		s.shard = append(s.shard, sh)
+	}
+	if len(s.vmLoc) == 0 {
+		return nil, fmt.Errorf("ingest: no VMs to ingest for")
+	}
+	return s, nil
+}
+
+// FromCluster builds a service sharded by the cluster's current rack
+// placement (VMs sorted by ID within each rack). The partition is fixed
+// at construction: a VM that later migrates keeps its admission shard,
+// since triage state is per-VM and shard choice only affects queueing.
+func FromCluster(c *dcn.Cluster, opts Options) (*Service, error) {
+	vmsByRack := make([][]int, len(c.Racks))
+	for i, r := range c.Racks {
+		vms := r.VMs()
+		ids := make([]int, 0, len(vms))
+		for _, vm := range vms {
+			ids = append(ids, vm.ID)
+		}
+		sort.Ints(ids)
+		vmsByRack[i] = ids
+	}
+	return New(vmsByRack, opts)
+}
+
+// Shards returns the number of rack shards.
+func (s *Service) Shards() int { return len(s.shard) }
+
+// Offer enqueues one update on its VM's rack shard. It returns false
+// without error when the shard queue is full (the update is tail-dropped
+// and counted), and an error for a VM the service was not built for.
+// The accept path performs no allocation.
+func (s *Service) Offer(u Update) (bool, error) {
+	l, ok := s.vmLoc[u.VM]
+	if !ok {
+		return false, fmt.Errorf("ingest: unknown VM %d", u.VM)
+	}
+	s.offered.Add(1)
+	sh := s.shard[l.shard]
+	sh.mu.Lock()
+	if len(sh.queue) >= s.opts.QueueLimit {
+		sh.mu.Unlock()
+		s.dropped.Add(1)
+		s.rec.Record(obs.Event{Kind: obs.KindIngest, Phase: "drop", Shim: sh.rack, VM: u.VM, Host: -1, Value: 1})
+		return false, nil
+	}
+	sh.queue = append(sh.queue, queued{slot: l.slot, v: u.Profile.Max(), at: s.opts.Clock()})
+	sh.mu.Unlock()
+	s.accepted.Add(1)
+	return true, nil
+}
+
+// OfferBatch offers each update in order and returns how many were
+// accepted. Overflow drops are not errors; an unknown VM is, and stops
+// the batch.
+func (s *Service) OfferBatch(updates []Update) (int, error) {
+	accepted := 0
+	for _, u := range updates {
+		ok, err := s.Offer(u)
+		if err != nil {
+			return accepted, err
+		}
+		if ok {
+			accepted++
+		}
+	}
+	return accepted, nil
+}
+
+// ProcessPending drains every shard queue through triage, fanning the
+// shards out over the worker pool, and returns the number of updates
+// processed. Newly raised alerts accumulate for Poll. Dead
+// subscriptions (sinks that returned an error) are detached.
+func (s *Service) ProcessPending() int {
+	now := s.opts.Clock()
+	var total atomic.Int64
+	s.opts.Pool.ForEach(len(s.shard), func(i int) {
+		if n := s.drainShard(s.shard[i], now); n > 0 {
+			total.Add(int64(n))
+		}
+	})
+	s.sweepSubscriptions()
+	return int(total.Load())
+}
+
+// drainShard runs triage over one shard's queue. The shard lock is held
+// for the whole drain, so offers to this shard wait — that is the
+// backpressure contract: accepted updates are processed exactly once, in
+// order, before anything newer.
+func (s *Service) drainShard(sh *shard, now time.Time) int {
+	sh.mu.Lock()
+	n := len(sh.queue)
+	if n == 0 {
+		sh.mu.Unlock()
+		return 0
+	}
+	sh.lat = sh.lat[:0]
+	for i := range sh.queue {
+		q := &sh.queue[i]
+		sl := &sh.slots[q.slot]
+		pred := sl.observe(q.v, s.opts.Alpha, s.opts.Beta)
+		sh.lat = append(sh.lat, now.Sub(q.at).Seconds())
+		if pred > s.opts.HotThreshold {
+			if !sl.alerted {
+				sl.alerted = true
+				sh.alerts = append(sh.alerts, Alert{Rack: sh.rack, VM: sl.vm, Value: pred})
+				s.alerts.Add(1)
+				s.rec.Record(obs.Event{Kind: obs.KindIngest, Phase: "alert", Shim: sh.rack, VM: sl.vm, Host: -1, Value: pred})
+			}
+		} else {
+			sl.alerted = false
+		}
+	}
+	sh.queue = sh.queue[:0]
+	sh.drains++
+	sh.mu.Unlock()
+
+	s.processed.Add(uint64(n))
+	s.statsMu.Lock()
+	for _, l := range sh.lat {
+		s.latSum.Observe(l)
+		s.latP99.Observe(l)
+	}
+	s.statsMu.Unlock()
+	s.rec.Record(obs.Event{Kind: obs.KindIngest, Phase: "drain", Shim: sh.rack, VM: -1, Host: -1, Value: float64(n)})
+	return n
+}
+
+// observe folds one observation into the Holt state and returns the
+// one-step-ahead prediction.
+func (sl *slot) observe(v, alpha, beta float64) float64 {
+	switch sl.seen {
+	case 0:
+		sl.level, sl.trend = v, 0
+	default:
+		prev := sl.level
+		sl.level = alpha*v + (1-alpha)*(sl.level+sl.trend)
+		sl.trend = beta*(sl.level-prev) + (1-beta)*sl.trend
+	}
+	sl.seen++
+	return sl.level + sl.trend
+}
+
+// Poll returns the alerts raised since the previous Poll, sorted by
+// (rack, VM), and clears them.
+func (s *Service) Poll() []Alert {
+	var out []Alert
+	for _, sh := range s.shard {
+		sh.mu.Lock()
+		out = append(out, sh.alerts...)
+		sh.alerts = sh.alerts[:0]
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rack != out[j].Rack {
+			return out[i].Rack < out[j].Rack
+		}
+		return out[i].VM < out[j].VM
+	})
+	return out
+}
+
+// Stats returns the current counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Offered:   s.offered.Load(),
+		Accepted:  s.accepted.Load(),
+		Dropped:   s.dropped.Load(),
+		Processed: s.processed.Load(),
+		Alerts:    s.alerts.Load(),
+	}
+	for _, sh := range s.shard {
+		sh.mu.Lock()
+		st.Pending += len(sh.queue)
+		sh.mu.Unlock()
+	}
+	s.statsMu.Lock()
+	st.Latency = s.latSum
+	if s.latSum.Count() > 0 {
+		st.LatencyP99 = s.latP99.Value()
+	}
+	s.statsMu.Unlock()
+	return st
+}
+
+// Start launches a background drain loop that calls ProcessPending
+// every interval. It errors if the loop is already running.
+func (s *Service) Start(interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("ingest: drain interval must be > 0, got %v", interval)
+	}
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	if s.stopLoop != nil {
+		return fmt.Errorf("ingest: drain loop already running")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stopLoop, s.loopDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.ProcessPending()
+			}
+		}
+	}()
+	return nil
+}
+
+// Stop halts the drain loop and runs one final synchronous drain so no
+// accepted update is left unprocessed. It is a no-op when not running.
+func (s *Service) Stop() {
+	s.loopMu.Lock()
+	stop, done := s.stopLoop, s.loopDone
+	s.stopLoop, s.loopDone = nil, nil
+	s.loopMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	s.ProcessPending()
+}
+
+// Subscription is a live event stream handle returned by Subscribe. The
+// wrapped sink receives every recorder event until it returns an error
+// (auto-detach) or Unsubscribe is called.
+type Subscription struct {
+	sink obs.Sink
+	dead atomic.Bool
+
+	errMu sync.Mutex
+	err   error
+}
+
+// Emit implements obs.Sink. A sink error marks the subscription dead —
+// later events are skipped and the next drain detaches it — and is kept
+// for Err. The error is not propagated: a subscriber hanging up is that
+// subscriber's problem, not a recorder-level trace failure.
+func (sub *Subscription) Emit(e obs.Event) error {
+	if sub.dead.Load() {
+		return nil
+	}
+	if err := sub.sink.Emit(e); err != nil {
+		sub.dead.Store(true)
+		sub.errMu.Lock()
+		if sub.err == nil {
+			sub.err = err
+		}
+		sub.errMu.Unlock()
+	}
+	return nil
+}
+
+// Err returns the sink error that killed the subscription, if any.
+func (sub *Subscription) Err() error {
+	sub.errMu.Lock()
+	defer sub.errMu.Unlock()
+	return sub.err
+}
+
+// Subscribe attaches a sink to the service's recorder as a live event
+// stream. The sink starts receiving every subsequent event (ingest
+// events and anything else recorded, e.g. runtime phases sharing the
+// recorder). A sink error detaches the subscription automatically on
+// the next drain instead of wedging the recorder.
+func (s *Service) Subscribe(sink obs.Sink) (*Subscription, error) {
+	if s.rec == nil {
+		return nil, fmt.Errorf("ingest: no recorder configured; nothing to subscribe to")
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("ingest: nil sink")
+	}
+	sub := &Subscription{sink: sink}
+	s.subMu.Lock()
+	s.subs = append(s.subs, sub)
+	s.subMu.Unlock()
+	s.rec.AddSink(sub)
+	return sub, nil
+}
+
+// Unsubscribe detaches a subscription immediately and reports whether
+// it was still attached.
+func (s *Service) Unsubscribe(sub *Subscription) bool {
+	if sub == nil {
+		return false
+	}
+	sub.dead.Store(true)
+	s.subMu.Lock()
+	found := false
+	for i, have := range s.subs {
+		if have == sub {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			found = true
+			break
+		}
+	}
+	s.subMu.Unlock()
+	if found {
+		s.rec.RemoveSink(sub)
+	}
+	return found
+}
+
+// sweepSubscriptions detaches subscriptions whose sinks have errored.
+// Removal happens here, outside the recorder's emit path, because
+// RemoveSink takes the recorder lock that Emit runs under.
+func (s *Service) sweepSubscriptions() {
+	s.subMu.Lock()
+	var dead []*Subscription
+	live := s.subs[:0]
+	for _, sub := range s.subs {
+		if sub.dead.Load() {
+			dead = append(dead, sub)
+		} else {
+			live = append(live, sub)
+		}
+	}
+	s.subs = live
+	s.subMu.Unlock()
+	for _, sub := range dead {
+		s.rec.RemoveSink(sub)
+	}
+}

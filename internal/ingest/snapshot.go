@@ -1,0 +1,145 @@
+package ingest
+
+import "fmt"
+
+// SnapshotVersion is the ingest snapshot format version.
+const SnapshotVersion = 1
+
+// SlotSnap is one VM's serialized triage state.
+type SlotSnap struct {
+	VM      int     `json:"vm"`
+	Level   float64 `json:"level"`
+	Trend   float64 `json:"trend"`
+	Seen    int     `json:"seen"`
+	Alerted bool    `json:"alerted"`
+}
+
+// ShardSnap is one rack shard's serialized triage state.
+type ShardSnap struct {
+	Rack  int        `json:"rack"`
+	Slots []SlotSnap `json:"slots"`
+}
+
+// Snapshot is the service's serializable state: every VM's Holt triage
+// smoother and alert latch, plus the lifetime counters. Pending queue
+// contents and latency statistics are transient and not carried —
+// callers drain (ProcessPending) before snapshotting.
+type Snapshot struct {
+	Version   int         `json:"version"`
+	Shards    []ShardSnap `json:"shards"`
+	Offered   uint64      `json:"offered"`
+	Accepted  uint64      `json:"accepted"`
+	Dropped   uint64      `json:"dropped"`
+	Processed uint64      `json:"processed"`
+	Alerts    uint64      `json:"alerts"`
+}
+
+// Snapshot captures the triage state. It errors while updates are still
+// pending (drain first: a snapshot must not silently forget accepted
+// updates) or alerts are unpolled.
+func (s *Service) Snapshot() (*Snapshot, error) {
+	snap := &Snapshot{
+		Version:   SnapshotVersion,
+		Offered:   s.offered.Load(),
+		Accepted:  s.accepted.Load(),
+		Dropped:   s.dropped.Load(),
+		Processed: s.processed.Load(),
+		Alerts:    s.alerts.Load(),
+	}
+	for _, sh := range s.shard {
+		sh.mu.Lock()
+		if n := len(sh.queue); n != 0 {
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("ingest: snapshot with %d pending updates on shard %d (ProcessPending first)", n, sh.rack)
+		}
+		if n := len(sh.alerts); n != 0 {
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("ingest: snapshot with %d unpolled alerts on shard %d (Poll first)", n, sh.rack)
+		}
+		ss := ShardSnap{Rack: sh.rack, Slots: make([]SlotSnap, 0, len(sh.slots))}
+		for _, sl := range sh.slots {
+			ss.Slots = append(ss.Slots, SlotSnap{VM: sl.vm, Level: sl.level, Trend: sl.trend, Seen: sl.seen, Alerted: sl.alerted})
+		}
+		sh.mu.Unlock()
+		snap.Shards = append(snap.Shards, ss)
+	}
+	return snap, nil
+}
+
+// FromSnapshot builds a service over the snapshot's own rack partition
+// and restores it. This is the daemon restart path: VMs may have
+// migrated since the service was built, so the live cluster's current
+// placement is the wrong partition — the snapshot's admission partition
+// is authoritative.
+func FromSnapshot(snap *Snapshot, opts Options) (*Service, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("ingest: restore from nil snapshot")
+	}
+	vmsByRack := make([][]int, len(snap.Shards))
+	for i, ss := range snap.Shards {
+		if ss.Rack != i {
+			return nil, fmt.Errorf("ingest: snapshot shard %d claims rack %d", i, ss.Rack)
+		}
+		for _, sl := range ss.Slots {
+			vmsByRack[i] = append(vmsByRack[i], sl.VM)
+		}
+	}
+	s, err := New(vmsByRack, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Restore(snap); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Restore installs a snapshot into a freshly built service with the
+// same rack partition: per-VM triage continues bit-exactly (same Holt
+// state, same alert latches, so no spurious re-alerts after a restart)
+// and counters resume from their saved values.
+func (s *Service) Restore(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("ingest: restore from nil snapshot")
+	}
+	if snap.Version != SnapshotVersion {
+		return fmt.Errorf("ingest: snapshot version %d not supported (want %d)", snap.Version, SnapshotVersion)
+	}
+	if s.offered.Load() != 0 || s.processed.Load() != 0 {
+		return fmt.Errorf("ingest: restore into a service that has already ingested")
+	}
+	if len(snap.Shards) != len(s.shard) {
+		return fmt.Errorf("ingest: snapshot covers %d shards, service has %d", len(snap.Shards), len(s.shard))
+	}
+	for i, ss := range snap.Shards {
+		sh := s.shard[i]
+		if ss.Rack != sh.rack {
+			return fmt.Errorf("ingest: snapshot shard %d is rack %d, service shard is rack %d", i, ss.Rack, sh.rack)
+		}
+		if len(ss.Slots) != len(sh.slots) {
+			return fmt.Errorf("ingest: snapshot rack %d covers %d VMs, service has %d", ss.Rack, len(ss.Slots), len(sh.slots))
+		}
+		for j, sl := range ss.Slots {
+			if sl.VM != sh.slots[j].vm {
+				return fmt.Errorf("ingest: snapshot rack %d slot %d is VM %d, service has VM %d", ss.Rack, j, sl.VM, sh.slots[j].vm)
+			}
+			if sl.Seen < 0 {
+				return fmt.Errorf("ingest: snapshot VM %d has negative observation count", sl.VM)
+			}
+		}
+	}
+	for i, ss := range snap.Shards {
+		sh := s.shard[i]
+		sh.mu.Lock()
+		for j, sl := range ss.Slots {
+			sh.slots[j] = slot{vm: sl.VM, level: sl.Level, trend: sl.Trend, seen: sl.Seen, alerted: sl.Alerted}
+		}
+		sh.mu.Unlock()
+	}
+	s.offered.Store(snap.Offered)
+	s.accepted.Store(snap.Accepted)
+	s.dropped.Store(snap.Dropped)
+	s.processed.Store(snap.Processed)
+	s.alerts.Store(snap.Alerts)
+	return nil
+}

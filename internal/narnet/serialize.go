@@ -56,5 +56,9 @@ func (n *Network) UnmarshalJSON(b []byte) error {
 	n.scale = timeseries.Scale{Offset: dto.Offset, Factor: dto.Factor}
 	n.history = timeseries.New(dto.History)
 	n.trainedMSE = dto.TrainedMSE
+	// Drop the cached delay line: it holds values normalized under the
+	// previous scale, and a source series pointer from before the
+	// unmarshal could otherwise revalidate it.
+	n.fc = nil
 	return nil
 }

@@ -18,6 +18,7 @@ package obs
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 
@@ -82,6 +83,12 @@ const (
 	// KindScan is one swap-candidate scan; Value is the number of
 	// candidate ranks examined before acceptance (or the full space).
 	KindScan Kind = "scan"
+	// KindForecast is one deep-pool rack forecast; Shim is the rack
+	// index and Value the predicted next-period rack stress.
+	KindForecast Kind = "forecast"
+	// KindIngest is an ingest-plane event (accepted batch, drop, alert
+	// resolution); Value depends on the Phase label.
+	KindIngest Kind = "ingest"
 )
 
 // Event is one recorded observation. Identity fields (Shim, VM, Host) use
@@ -236,6 +243,31 @@ func (r *Recorder) AddSink(s Sink) {
 	r.mu.Lock()
 	r.sinks = append(r.sinks, s)
 	r.mu.Unlock()
+}
+
+// RemoveSink detaches a previously attached sink, comparing by interface
+// identity, and reports whether it was found. Events recorded after
+// RemoveSink returns are not emitted to the sink; an emission already in
+// flight on another goroutine completes first (both run under the
+// recorder's lock). Sinks of non-comparable dynamic type (e.g. Func)
+// cannot be removed — wrap them in a pointer type to detach later.
+func (r *Recorder) RemoveSink(s Sink) bool {
+	if r == nil || s == nil {
+		return false
+	}
+	t := reflect.TypeOf(s)
+	if !t.Comparable() {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, have := range r.sinks {
+		if reflect.TypeOf(have) == t && have == s {
+			r.sinks = append(r.sinks[:i], r.sinks[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Err returns the first sink error, if any.

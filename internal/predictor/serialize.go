@@ -1,0 +1,150 @@
+package predictor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"sheriff/internal/arima"
+	"sheriff/internal/narnet"
+	"sheriff/internal/timeseries"
+)
+
+// Forecaster kind tags used in the serialized form. Exponential-smoothing
+// candidates have no serializer and make MarshalJSON fail with a clear
+// error rather than silently dropping a pool member.
+const (
+	kindARIMA   = "arima"
+	kindSARIMA  = "sarima"
+	kindNARNET  = "narnet"
+	kindUnknown = ""
+)
+
+// candidateJSON is one serialized pool member: the kind tag picks the
+// concrete forecaster type on restore, and the rolling MSE ring travels
+// whole so fitness ranking resumes exactly where it stopped.
+type candidateJSON struct {
+	Name  string                 `json:"name"`
+	Kind  string                 `json:"kind"`
+	Model json.RawMessage        `json:"model"`
+	MSE   *timeseries.RollingMSE `json:"mse"`
+}
+
+// selectorJSON is the serialized form of a Selector. LastPred uses NaN
+// for candidates that failed to forecast; since JSON has no NaN, the
+// cached predictions are only carried when valid (HavePred), encoded as
+// pointers with nil standing in for NaN.
+type selectorJSON struct {
+	Candidates   []candidateJSON `json:"candidates"`
+	History      []float64       `json:"history"`
+	LastPred     []*float64      `json:"last_pred,omitempty"`
+	HavePred     bool            `json:"have_pred"`
+	Selection    int             `json:"selection"`
+	HasSelection bool            `json:"has_selection"`
+}
+
+func forecasterKind(f Forecaster) string {
+	switch f.(type) {
+	case *arima.Model:
+		return kindARIMA
+	case *arima.SeasonalModel:
+		return kindSARIMA
+	case *narnet.Network:
+		return kindNARNET
+	default:
+		return kindUnknown
+	}
+}
+
+// MarshalJSON serializes the selector: every candidate's model and
+// rolling fitness window, the shared history, and the selection state, so
+// a restored selector predicts and ranks bit-identically to one that
+// never stopped. Candidates whose forecaster type has no serializer
+// (the smoothing family) are an error.
+func (s *Selector) MarshalJSON() ([]byte, error) {
+	dto := selectorJSON{
+		Candidates:   make([]candidateJSON, len(s.candidates)),
+		History:      s.history.Values(),
+		HavePred:     s.havePred,
+		Selection:    s.selection,
+		HasSelection: s.hasSelection,
+	}
+	for i, c := range s.candidates {
+		kind := forecasterKind(c.F)
+		if kind == kindUnknown {
+			return nil, fmt.Errorf("predictor: candidate %q: forecaster type %T has no serializer", c.Name, c.F)
+		}
+		blob, err := json.Marshal(c.F)
+		if err != nil {
+			return nil, fmt.Errorf("predictor: candidate %q: %w", c.Name, err)
+		}
+		dto.Candidates[i] = candidateJSON{Name: c.Name, Kind: kind, Model: blob, MSE: c.mse}
+	}
+	if s.havePred {
+		dto.LastPred = make([]*float64, len(s.lastPred))
+		for i, p := range s.lastPred {
+			if !math.IsNaN(p) {
+				v := p
+				dto.LastPred[i] = &v
+			}
+		}
+	}
+	return json.Marshal(dto)
+}
+
+// UnmarshalJSON restores a selector serialized by MarshalJSON.
+func (s *Selector) UnmarshalJSON(b []byte) error {
+	var dto selectorJSON
+	if err := json.Unmarshal(b, &dto); err != nil {
+		return fmt.Errorf("predictor: unmarshal: %w", err)
+	}
+	if len(dto.Candidates) == 0 {
+		return fmt.Errorf("predictor: unmarshal: empty candidate pool")
+	}
+	cands := make([]*Candidate, len(dto.Candidates))
+	for i, cj := range dto.Candidates {
+		var f Forecaster
+		switch cj.Kind {
+		case kindARIMA:
+			f = new(arima.Model)
+		case kindSARIMA:
+			f = new(arima.SeasonalModel)
+		case kindNARNET:
+			f = new(narnet.Network)
+		default:
+			return fmt.Errorf("predictor: unmarshal: candidate %q has unknown kind %q", cj.Name, cj.Kind)
+		}
+		if err := json.Unmarshal(cj.Model, f); err != nil {
+			return fmt.Errorf("predictor: unmarshal candidate %q: %w", cj.Name, err)
+		}
+		if cj.MSE == nil {
+			return fmt.Errorf("predictor: unmarshal: candidate %q missing mse state", cj.Name)
+		}
+		cands[i] = &Candidate{Name: cj.Name, F: f, mse: cj.MSE}
+	}
+	if dto.Selection < 0 || dto.Selection >= len(cands) {
+		return fmt.Errorf("predictor: unmarshal: selection %d out of range", dto.Selection)
+	}
+	lastPred := make([]float64, len(cands))
+	havePred := dto.HavePred
+	if havePred {
+		if len(dto.LastPred) != len(cands) {
+			return fmt.Errorf("predictor: unmarshal: %d cached predictions for %d candidates",
+				len(dto.LastPred), len(cands))
+		}
+		for i, p := range dto.LastPred {
+			if p == nil {
+				lastPred[i] = math.NaN()
+			} else {
+				lastPred[i] = *p
+			}
+		}
+	}
+	s.candidates = cands
+	s.history = timeseries.New(dto.History)
+	s.lastPred = lastPred
+	s.havePred = havePred
+	s.selection = dto.Selection
+	s.hasSelection = dto.HasSelection
+	return nil
+}

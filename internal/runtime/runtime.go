@@ -25,6 +25,7 @@ import (
 	"sheriff/internal/migrate"
 	"sheriff/internal/obs"
 	"sheriff/internal/pool"
+	"sheriff/internal/predictor"
 	"sheriff/internal/qcn"
 	"sheriff/internal/timeseries"
 	"sheriff/internal/traces"
@@ -52,6 +53,16 @@ type Options struct {
 	// every shim (unless Migrate.Recorder is already set) so migration
 	// protocol events carry the current step number.
 	Recorder *obs.Recorder
+	// DeepPredict enables the per-rack deep forecasting pool: once a
+	// rack has DeepFitAfter observations of aggregate stress, a dynamic
+	// model-selection pool (2 ARIMA + 2 NARNET) is fitted over it and
+	// supplies next-period early warnings alongside the cheap per-VM
+	// triage. Fitted pools are carried by Snapshot so a restart resumes
+	// without refitting.
+	DeepPredict bool
+	// DeepFitAfter is the rack-history length that triggers the deep
+	// fit (default 48, minimum large enough for the NARNET delay lines).
+	DeepFitAfter int
 }
 
 // Validate reports whether the options are usable. Negative values are
@@ -62,6 +73,9 @@ func (o Options) Validate() error {
 	}
 	if o.QueueLimit < 0 {
 		return fmt.Errorf("runtime: QueueLimit must be >= 0 (0 = default), got %v", o.QueueLimit)
+	}
+	if o.DeepFitAfter < 0 {
+		return fmt.Errorf("runtime: DeepFitAfter must be >= 0 (0 = default), got %v", o.DeepFitAfter)
 	}
 	return o.Migrate.Validate()
 }
@@ -86,6 +100,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.FlowRate == nil {
 		o.FlowRate = func(trf float64) float64 { return 0.05 + 0.4*trf }
+	}
+	if o.DeepFitAfter == 0 {
+		o.DeepFitAfter = 48
 	}
 	return o
 }
@@ -191,6 +208,7 @@ type StepStats struct {
 	WorkloadStdDev float64
 	MaxUplinkUtil  float64
 	QCNFeedbacks   int // congestion messages sampled (UseQCN only)
+	DeepWarnings   int // racks whose deep pool predicted stress above threshold
 	Timings        PhaseTimings
 }
 
@@ -212,6 +230,11 @@ type Runtime struct {
 	step       int
 	history    []StepStats
 	modelStale bool // link bandwidth changed since the last Model.Refresh
+
+	// Deep forecasting pools (DeepPredict): per-rack aggregate stress
+	// history and, once fitted, the dynamic-selection pool over it.
+	deepHist []*timeseries.Series
+	deep     []*predictor.Selector
 
 	phaseSummaries [4]metrics.Summary // per-phase duration stats, seconds
 }
@@ -244,6 +267,13 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 		flowByPair: make(map[[2]int]int),
 		byRack:     make([][]*vmState, len(cluster.Racks)),
 		workers:    pool.Shared(),
+	}
+	if opts.DeepPredict {
+		r.deepHist = make([]*timeseries.Series, len(cluster.Racks))
+		r.deep = make([]*predictor.Selector, len(cluster.Racks))
+		for i := range r.deepHist {
+			r.deepHist[i] = timeseries.New(nil)
+		}
 	}
 	for _, rack := range cluster.Racks {
 		shim, err := migrate.NewShim(cluster, model, rack, opts.Migrate)
@@ -283,7 +313,38 @@ func (r *Runtime) History() []StepStats { return r.history }
 // individual VM states over the shared worker pool (dynamic index
 // claiming, so skewed rack sizes balance across cores instead of
 // serializing behind the largest rack); management is serialized.
-func (r *Runtime) Step() (*StepStats, error) {
+func (r *Runtime) Step() (*StepStats, error) { return r.advance(nil) }
+
+// ExternalUpdate is one VM's measured workload profile for the current
+// collection period, delivered by an external ingest plane instead of the
+// built-in synthetic generators.
+type ExternalUpdate struct {
+	VM      int
+	Profile traces.Profile
+}
+
+// StepExternal advances one collection period using externally supplied
+// profiles: VMs present in updates take their measured profile, VMs
+// absent this period repeat their last observed profile (the shim's
+// collect loop treats silence as "unchanged"). Unknown VM IDs are an
+// error. The synthetic generators do not advance, so a daemon fed real
+// measurements never consumes generator state.
+func (r *Runtime) StepExternal(updates []ExternalUpdate) (*StepStats, error) {
+	external := make(map[int]traces.Profile, len(updates))
+	for _, u := range updates {
+		if r.Cluster.VM(u.VM) == nil {
+			return nil, fmt.Errorf("runtime: external update for unknown VM %d", u.VM)
+		}
+		external[u.VM] = u.Profile
+	}
+	return r.advance(external)
+}
+
+// advance is the shared step body. A nil external map means "pull from
+// the synthetic generators" (Step); non-nil means profiles come from the
+// ingest plane (StepExternal) and the map is read-only under the
+// parallel phase.
+func (r *Runtime) advance(external map[int]traces.Profile) (*StepStats, error) {
 	stats := &StepStats{Step: r.step}
 	r.step++
 	rec := r.opts.Recorder
@@ -297,7 +358,11 @@ func (r *Runtime) Step() (*StepStats, error) {
 	r.workers.ForEach(len(r.vms), func(i int) {
 		st := r.vms[i]
 		st.fired = false
-		st.current = st.gen.Next()
+		if external == nil {
+			st.current = st.gen.Next()
+		} else if p, ok := external[st.vm.ID]; ok {
+			st.current = p
+		}
 		st.pred.Observe(st.current)
 		if st.pred.HistoryLen() < 3 {
 			return // not enough history to extrapolate
@@ -321,6 +386,9 @@ func (r *Runtime) Step() (*StepStats, error) {
 			alertsByRack[st.rack] = append(alertsByRack[st.rack], st.alert)
 			stats.ServerAlerts++
 		}
+	}
+	if r.opts.DeepPredict {
+		r.deepStep(stats, rec)
 	}
 	stats.Timings.Predict = time.Since(phaseStart)
 	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "predict",
@@ -411,6 +479,61 @@ func (r *Runtime) Step() (*StepStats, error) {
 	}
 	r.history = append(r.history, *stats)
 	return stats, nil
+}
+
+// deepStep advances the per-rack deep forecasting pools: each rack's
+// aggregate stress (mean of its VMs' current profile maxima) either
+// extends the pre-fit history, triggers the one-time pool fit, or feeds
+// the fitted selector, whose next-period prediction is recorded and
+// counted as a deep warning when it crosses the hot threshold. Fits and
+// predictions are deterministic (seeded NARNETs, fixed pool order), so
+// deep state snapshots and restores bit-exactly.
+func (r *Runtime) deepStep(stats *StepStats, rec *obs.Recorder) {
+	for idx := range r.byRack {
+		if len(r.byRack[idx]) == 0 {
+			continue
+		}
+		agg := 0.0
+		for _, st := range r.byRack[idx] {
+			agg += st.current.Max()
+		}
+		agg /= float64(len(r.byRack[idx]))
+
+		sel := r.deep[idx]
+		if sel == nil {
+			h := r.deepHist[idx]
+			h.Append(agg)
+			if h.Len() < r.opts.DeepFitAfter {
+				continue
+			}
+			fitted, err := predictor.New(h, predictor.Options{Seed: r.opts.Seed + int64(idx)})
+			if err != nil {
+				// Not enough signal yet (e.g. constant history); keep
+				// collecting and retry next step.
+				continue
+			}
+			r.deep[idx] = fitted
+			r.deepHist[idx] = timeseries.New(nil) // history lives in the selector now
+			sel = fitted
+		} else {
+			sel.Observe(agg)
+		}
+		p, err := sel.Predict()
+		if err != nil {
+			continue
+		}
+		rec.Record(obs.Event{Kind: obs.KindForecast, Phase: "predict",
+			Shim: idx, VM: -1, Host: -1, Value: p})
+		if p > r.opts.HotThreshold {
+			stats.DeepWarnings++
+		}
+	}
+}
+
+// DeepReady reports whether the rack's deep forecasting pool has been
+// fitted — after a Restore this is true immediately, without refitting.
+func (r *Runtime) DeepReady(rack int) bool {
+	return r.deep != nil && rack >= 0 && rack < len(r.deep) && r.deep[rack] != nil
 }
 
 // Run advances n steps and returns the collected statistics.

@@ -1,0 +1,200 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/flow"
+	"sheriff/internal/predictor"
+	"sheriff/internal/traces"
+)
+
+// SnapshotVersion is the current snapshot format version. Restore rejects
+// other versions rather than guessing at field semantics.
+const SnapshotVersion = 1
+
+// VMSnap is one VM's forecasting state: the generator replay position,
+// the last observed profile, and the four component histories. The cheap
+// Holt trend states are NOT serialized — their continuation is bit-exact
+// with a cold re-smoothing of the restored history, so restore recomputes
+// them on first forecast instead of carrying redundant state.
+type VMSnap struct {
+	ID        int            `json:"id"`
+	GenPos    int            `json:"gen_pos"`
+	Current   traces.Profile `json:"current"`
+	Histories [4][]float64   `json:"histories"`
+}
+
+// Snapshot is the serializable state of a Runtime: everything needed so
+// that a restored runtime's subsequent StepStats are bit-identical
+// (timings aside) to the original continuing. Step history is reporting
+// state, not simulation state, and is not carried.
+type Snapshot struct {
+	Version    int               `json:"version"`
+	Step       int               `json:"step"`
+	Seed       int64             `json:"seed"`
+	CostParams cost.Params       `json:"cost_params"`
+	Cluster    *dcn.Snapshot     `json:"cluster"`
+	Flows      *flow.Snapshot    `json:"flows"`
+	FlowPairs  [][3]int          `json:"flow_pairs,omitempty"` // [vmA, vmB, flowID]
+	VMs        []VMSnap          `json:"vms"`
+	Queues     [][]float64       `json:"queues"`
+	ModelStale bool              `json:"model_stale"`
+	Deep       []json.RawMessage `json:"deep,omitempty"`      // per-rack fitted selector (null = unfit)
+	DeepHist   [][]float64       `json:"deep_hist,omitempty"` // per-rack pre-fit history
+}
+
+// Snapshot captures the runtime's full resumable state. It fails under
+// UseQCN (congestion-point dynamics are not serialized in version 1) and
+// when a fitted deep pool contains an unserializable candidate.
+func (r *Runtime) Snapshot() (*Snapshot, error) {
+	if r.opts.UseQCN {
+		return nil, fmt.Errorf("runtime: snapshot under UseQCN is not supported (congestion-point state is not serialized)")
+	}
+	snap := &Snapshot{
+		Version:    SnapshotVersion,
+		Step:       r.step,
+		Seed:       r.opts.Seed,
+		CostParams: r.Model.Params(),
+		Cluster:    r.Cluster.Snapshot(),
+		Flows:      r.Flows.Snapshot(),
+		ModelStale: r.modelStale,
+	}
+	for _, st := range r.vms {
+		snap.VMs = append(snap.VMs, VMSnap{
+			ID:        st.vm.ID,
+			GenPos:    st.gen.Pos(),
+			Current:   st.current,
+			Histories: st.pred.Histories(),
+		})
+	}
+	for _, qm := range r.queueMon {
+		snap.Queues = append(snap.Queues, qm.History())
+	}
+	for pair, id := range r.flowByPair {
+		snap.FlowPairs = append(snap.FlowPairs, [3]int{pair[0], pair[1], id})
+	}
+	sortPairs(snap.FlowPairs)
+	if r.opts.DeepPredict {
+		snap.Deep = make([]json.RawMessage, len(r.deep))
+		snap.DeepHist = make([][]float64, len(r.deepHist))
+		for i, sel := range r.deep {
+			if sel == nil {
+				snap.Deep[i] = json.RawMessage("null")
+				continue
+			}
+			blob, err := json.Marshal(sel)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: snapshot deep pool %d: %w", i, err)
+			}
+			snap.Deep[i] = blob
+		}
+		for i, h := range r.deepHist {
+			snap.DeepHist[i] = h.Values()
+		}
+	}
+	return snap, nil
+}
+
+func sortPairs(p [][3]int) {
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && less3(p[j], p[j-1]); j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+}
+
+func less3(a, b [3]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// Restore rebuilds a runtime from a snapshot over a cluster that has
+// already been restored from snap.Cluster (same topology construction,
+// then dcn.Cluster.Restore) and a cost model built over that cluster.
+// opts must describe the same regime as the original run — in particular
+// Seed is taken from the snapshot (the generators replay from it) and
+// UseQCN must be off. A restored runtime resumes forecasting
+// incrementally: per-VM histories, queue monitors, flow routes, and any
+// fitted deep pools continue bit-exactly without cold-fitting.
+func Restore(cluster *dcn.Cluster, model *cost.Model, opts Options, snap *Snapshot) (*Runtime, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("runtime: restore from nil snapshot")
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("runtime: snapshot version %d not supported (want %d)", snap.Version, SnapshotVersion)
+	}
+	if opts.UseQCN {
+		return nil, fmt.Errorf("runtime: restore under UseQCN is not supported")
+	}
+	opts.Seed = snap.Seed
+	r, err := New(cluster, model, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.step = snap.Step
+	r.modelStale = snap.ModelStale
+
+	byID := make(map[int]*vmState, len(r.vms))
+	for _, st := range r.vms {
+		byID[st.vm.ID] = st
+	}
+	if len(snap.VMs) != len(r.vms) {
+		return nil, fmt.Errorf("runtime: snapshot has %d VMs, cluster has %d", len(snap.VMs), len(r.vms))
+	}
+	for _, vs := range snap.VMs {
+		st := byID[vs.ID]
+		if st == nil {
+			return nil, fmt.Errorf("runtime: snapshot VM %d not present in cluster", vs.ID)
+		}
+		if vs.GenPos < 0 {
+			return nil, fmt.Errorf("runtime: snapshot VM %d has negative generator position", vs.ID)
+		}
+		st.gen.Skip(vs.GenPos)
+		st.current = vs.Current
+		if err := st.pred.RestoreHistories(vs.Histories); err != nil {
+			return nil, fmt.Errorf("runtime: snapshot VM %d: %w", vs.ID, err)
+		}
+	}
+
+	if len(snap.Queues) != len(r.queueMon) {
+		return nil, fmt.Errorf("runtime: snapshot has %d queue monitors, cluster has %d racks", len(snap.Queues), len(r.queueMon))
+	}
+	for i, h := range snap.Queues {
+		r.queueMon[i].RestoreHistory(h)
+	}
+
+	if err := r.Flows.Restore(snap.Flows); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	for _, p := range snap.FlowPairs {
+		if r.Flows.Flow(p[2]) == nil {
+			return nil, fmt.Errorf("runtime: snapshot pair (%d,%d) references missing flow %d", p[0], p[1], p[2])
+		}
+		r.flowByPair[[2]int{p[0], p[1]}] = p[2]
+	}
+
+	if opts.DeepPredict && snap.Deep != nil {
+		if len(snap.Deep) != len(r.deep) || len(snap.DeepHist) != len(r.deepHist) {
+			return nil, fmt.Errorf("runtime: snapshot deep state covers %d racks, cluster has %d", len(snap.Deep), len(r.deep))
+		}
+		for i, blob := range snap.Deep {
+			if string(blob) == "null" {
+				continue
+			}
+			sel := new(predictor.Selector)
+			if err := json.Unmarshal(blob, sel); err != nil {
+				return nil, fmt.Errorf("runtime: restore deep pool %d: %w", i, err)
+			}
+			r.deep[i] = sel
+		}
+		for i, h := range snap.DeepHist {
+			r.deepHist[i].Append(h...)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,216 @@
+package runtime
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/topology"
+	"sheriff/internal/traces"
+)
+
+// buildParts constructs the cluster/model pair buildRuntime uses, exposed
+// separately so restore tests can rebuild an identical empty cluster.
+func buildParts(t *testing.T, pods int) (*dcn.Cluster, *cost.Model) {
+	t.Helper()
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: pods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := dcn.NewCluster(ft.Graph, dcn.Config{HostsPerRack: 2, HostCapacity: 100, ToRCapacity: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := cost.New(cluster, cost.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, model
+}
+
+func sameStats(t *testing.T, tag string, a, b StepStats) {
+	t.Helper()
+	// Timings are wall-clock artifacts; blank them before comparing.
+	a.Timings, b.Timings = PhaseTimings{}, PhaseTimings{}
+	if a != b {
+		t.Fatalf("%s: stats diverged:\n original: %+v\n restored: %+v", tag, a, b)
+	}
+}
+
+// TestSnapshotRestoreContinuesBitExact is the core warm-restart contract:
+// run K steps, snapshot through a JSON roundtrip, restore into a freshly
+// built cluster, and require the restored runtime's next M steps to be
+// bit-identical to the original continuing uninterrupted.
+func TestSnapshotRestoreContinuesBitExact(t *testing.T) {
+	const pods, seed, before, after = 4, 7, 6, 5
+	cluster, model := buildParts(t, pods)
+	cluster.Populate(dcn.PopulateOptions{VMsPerHost: 3, MinCapacity: 5, MaxCapacity: 20, DependencyProb: 0.5, CrossRackDependencyProb: 0.4, Seed: seed})
+	orig, err := New(cluster, model, Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := orig.Run(before); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Snapshot
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	freshCluster, freshModel := buildParts(t, pods)
+	if err := freshCluster.Restore(loaded.Cluster); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(freshCluster, freshModel, Options{Seed: seed}, &loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < after; i++ {
+		so, err := orig.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := restored.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameStats(t, "step", *so, *sr)
+	}
+}
+
+// TestSnapshotRestoreDeepPoolNoRefit checks the anti-cold-fit guarantee:
+// a runtime whose deep pools have fitted snapshots them, and the restored
+// runtime is deep-ready immediately and keeps predicting bit-identically.
+func TestSnapshotRestoreDeepPoolNoRefit(t *testing.T) {
+	const pods, seed, fitAfter = 4, 3, 30
+	opts := Options{Seed: seed, DeepPredict: true, DeepFitAfter: fitAfter}
+	cluster, model := buildParts(t, pods)
+	cluster.Populate(dcn.PopulateOptions{VMsPerHost: 3, MinCapacity: 5, MaxCapacity: 20, DependencyProb: 0.5, CrossRackDependencyProb: 0.4, Seed: seed})
+	orig, err := New(cluster, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run past the fit point so at least one rack has a fitted pool.
+	if _, err := orig.Run(fitAfter + 4); err != nil {
+		t.Fatal(err)
+	}
+	ready := 0
+	for i := range cluster.Racks {
+		if orig.DeepReady(i) {
+			ready++
+		}
+	}
+	if ready == 0 {
+		t.Fatal("no deep pool fitted after running past DeepFitAfter")
+	}
+
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Snapshot
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	freshCluster, freshModel := buildParts(t, pods)
+	if err := freshCluster.Restore(loaded.Cluster); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(freshCluster, freshModel, opts, &loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range freshCluster.Racks {
+		if orig.DeepReady(i) != restored.DeepReady(i) {
+			t.Fatalf("rack %d: deep readiness not restored (orig %v, restored %v) — restore cold-fits",
+				i, orig.DeepReady(i), restored.DeepReady(i))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		so, err := orig.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := restored.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameStats(t, "deep step", *so, *sr)
+	}
+}
+
+// TestStepExternalFeedsProfiles drives the runtime with externally
+// supplied profiles and checks the alert path fires from them.
+func TestStepExternalFeedsProfiles(t *testing.T) {
+	cluster, model := buildParts(t, 4)
+	cluster.Populate(dcn.PopulateOptions{VMsPerHost: 2, MinCapacity: 5, MaxCapacity: 20, DependencyProb: 0.3, Seed: 11})
+	r, err := New(cluster, model, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms := cluster.VMs()
+	hot := traces.Profile{CPU: 0.99, Mem: 0.95, IO: 0.5, TRF: 0.5}
+	var updates []ExternalUpdate
+	for _, vm := range vms {
+		updates = append(updates, ExternalUpdate{VM: vm.ID, Profile: hot})
+	}
+	var alerts int
+	for i := 0; i < 5; i++ {
+		stats, err := r.StepExternal(updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alerts += stats.ServerAlerts
+	}
+	if alerts == 0 {
+		t.Fatal("saturated external profiles never raised a server alert")
+	}
+	// Generators must not have advanced in external mode.
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vs := range snap.VMs {
+		if vs.GenPos != 0 {
+			t.Fatalf("VM %d generator advanced to %d under StepExternal", vs.ID, vs.GenPos)
+		}
+	}
+	if _, err := r.StepExternal([]ExternalUpdate{{VM: 99999}}); err == nil {
+		t.Fatal("unknown VM accepted by StepExternal")
+	}
+}
+
+// TestSnapshotRejectsQCN pins the v1 limitation.
+func TestSnapshotRejectsQCN(t *testing.T) {
+	cluster, model := buildParts(t, 4)
+	cluster.Populate(dcn.PopulateOptions{VMsPerHost: 2, MinCapacity: 5, MaxCapacity: 20, Seed: 1})
+	r, err := New(cluster, model, Options{Seed: 1, UseQCN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Snapshot(); err == nil {
+		t.Fatal("snapshot under UseQCN accepted")
+	}
+	if _, err := Restore(cluster, model, Options{UseQCN: true}, &Snapshot{Version: SnapshotVersion}); err == nil {
+		t.Fatal("restore under UseQCN accepted")
+	}
+	if _, err := Restore(cluster, model, Options{}, &Snapshot{Version: 99}); err == nil {
+		t.Fatal("unknown snapshot version accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"sheriff/internal/cost"
+	"sheriff/internal/dcn"
+	"sheriff/internal/runtime"
+	"sheriff/internal/topology"
+)
+
+// ParseKind decodes a topology name ("fat-tree"/"ft" or "bcube"/"bc").
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "fat-tree", "fattree", "ft":
+		return FatTree, nil
+	case "bcube", "bc":
+		return BCube, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown topology %q (want fat-tree or bcube)", s)
+	}
+}
+
+// RuntimeConfig sizes the assembled-system build shared by sheriffd and
+// its tests: topology, cluster shape, and the deterministic seed. Zero
+// fields take the daemon's defaults.
+type RuntimeConfig struct {
+	Kind           Kind    `json:"kind"`
+	Size           int     `json:"size"`
+	HostsPerRack   int     `json:"hosts_per_rack"`  // default 2
+	VMsPerHost     int     `json:"vms_per_host"`    // default 3
+	DependencyProb float64 `json:"dependency_prob"` // default 0.5
+	Seed           int64   `json:"seed"`
+}
+
+func (c RuntimeConfig) withDefaults() RuntimeConfig {
+	if c.HostsPerRack <= 0 {
+		c.HostsPerRack = 2
+	}
+	if c.VMsPerHost <= 0 {
+		c.VMsPerHost = 3
+	}
+	if c.DependencyProb == 0 {
+		c.DependencyProb = 0.5
+	}
+	return c
+}
+
+// BuildCluster constructs the topology, an empty cluster over it, and a
+// paper-parameter cost model — the pieces runtime.Restore needs before
+// overlaying a snapshot.
+func BuildCluster(cfg RuntimeConfig) (*dcn.Cluster, *cost.Model, error) {
+	cfg = cfg.withDefaults()
+	var g *topology.Graph
+	switch cfg.Kind {
+	case FatTree:
+		ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: cfg.Size})
+		if err != nil {
+			return nil, nil, err
+		}
+		g = ft.Graph
+	case BCube:
+		b, err := topology.NewBCube(topology.BCubeConfig{SwitchesPerLevel: cfg.Size})
+		if err != nil {
+			return nil, nil, err
+		}
+		g = b.Graph
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown topology kind %d", cfg.Kind)
+	}
+	cluster, err := dcn.NewCluster(g, dcn.Config{
+		HostsPerRack: cfg.HostsPerRack,
+		HostCapacity: 100,
+		ToRCapacity:  100 * float64(cfg.HostsPerRack),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := cost.New(cluster, cost.PaperParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	return cluster, model, nil
+}
+
+// BuildRuntime populates a fresh cluster from cfg and assembles the
+// runtime around it. Use BuildCluster + runtime.Restore instead when
+// resuming from a snapshot.
+func BuildRuntime(cfg RuntimeConfig, opts runtime.Options) (*runtime.Runtime, error) {
+	cfg = cfg.withDefaults()
+	cluster, model, err := BuildCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cluster.Populate(dcn.PopulateOptions{
+		VMsPerHost:              cfg.VMsPerHost,
+		MinCapacity:             5,
+		MaxCapacity:             20,
+		DependencyProb:          cfg.DependencyProb,
+		CrossRackDependencyProb: cfg.DependencyProb,
+		Seed:                    cfg.Seed,
+	})
+	if opts.Seed == 0 {
+		opts.Seed = cfg.Seed
+	}
+	return runtime.New(cluster, model, opts)
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"sheriff/internal/runtime"
+)
+
+func TestParseKind(t *testing.T) {
+	for in, want := range map[string]Kind{"fat-tree": FatTree, "FT": FatTree, "bcube": BCube, "BC": BCube} {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseKind("torus"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestBuildRuntimeMatchesBuildCluster(t *testing.T) {
+	cfg := RuntimeConfig{Kind: FatTree, Size: 4, Seed: 5}
+	rt, err := BuildRuntime(cfg, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Cluster.VMs()) == 0 {
+		t.Fatal("BuildRuntime left the cluster empty")
+	}
+	if _, err := rt.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// BuildCluster gives the same shape, unpopulated — the restore path.
+	cluster, model, err := BuildCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil || len(cluster.VMs()) != 0 {
+		t.Fatalf("BuildCluster should be empty, has %d VMs", len(cluster.VMs()))
+	}
+	if got, want := len(cluster.Racks), len(rt.Cluster.Racks); got != want {
+		t.Fatalf("rack counts differ: %d vs %d", got, want)
+	}
+	if _, _, err := BuildCluster(RuntimeConfig{Kind: Kind(99), Size: 4}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

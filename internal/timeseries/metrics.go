@@ -1,7 +1,9 @@
 package timeseries
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -123,4 +125,40 @@ func (r *RollingMSE) Reset() {
 		r.window[i] = 0
 	}
 	r.next, r.filled, r.sum = 0, 0, 0
+}
+
+// rollingJSON is the serialized form of RollingMSE. The running sum is
+// carried explicitly rather than recomputed so a roundtrip reproduces
+// Value() bit-identically, including any accumulated floating-point
+// drift of the subtract-and-add ring update.
+type rollingJSON struct {
+	Window []float64 `json:"window"`
+	Next   int       `json:"next"`
+	Filled int       `json:"filled"`
+	Sum    float64   `json:"sum"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *RollingMSE) MarshalJSON() ([]byte, error) {
+	return json.Marshal(rollingJSON{Window: r.window, Next: r.next, Filled: r.filled, Sum: r.sum})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *RollingMSE) UnmarshalJSON(data []byte) error {
+	var js rollingJSON
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	if len(js.Window) == 0 {
+		return errors.New("timeseries: RollingMSE with empty window")
+	}
+	if js.Next < 0 || js.Next >= len(js.Window) || js.Filled < 0 || js.Filled > len(js.Window) {
+		return fmt.Errorf("timeseries: RollingMSE state out of range (next=%d filled=%d size=%d)",
+			js.Next, js.Filled, len(js.Window))
+	}
+	r.window = js.Window
+	r.next = js.Next
+	r.filled = js.Filled
+	r.sum = js.Sum
+	return nil
 }

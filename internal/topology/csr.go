@@ -129,15 +129,20 @@ type sweepScratch struct {
 }
 
 // ensure grows the scratch to cover n nodes and m directed edges.
+// Resetting maskEpoch to 0 restarts the epoch counter, so any mask array
+// retained across the reset must be wiped: its old stamps would otherwise
+// collide with the reissued low epochs and spuriously block nodes/edges.
 func (s *sweepScratch) ensure(n, m int) {
 	if len(s.settled) < n {
 		s.settled = make([]uint32, n)
 		s.nodeMask = make([]uint32, n)
 		s.epoch, s.maskEpoch = 0, 0
+		clear(s.edgeMask)
 	}
 	if len(s.edgeMask) < m {
 		s.edgeMask = make([]uint32, m)
 		s.maskEpoch = 0
+		clear(s.nodeMask)
 	}
 	if cap(s.heap) < m+1 {
 		s.heap = make([]heapEnt, 0, m+1)
@@ -299,7 +304,14 @@ func (s *sweepScratch) sweep(c *csr, src int32, w []wEdge, tree []treeNode) {
 						i = p
 					}
 				}
-			} else if nd == tv.d && u < tv.p {
+			} else if nd == tv.d && u < tv.p && settled[e.v] != ep {
+				// Tie updates stop once v settles: with a zero-weight
+				// edge between two equal-distance nodes, a post-settle
+				// steal lets each adopt the other as parent — a cycle
+				// that hangs Path reconstruction. Positive weights are
+				// unaffected (every equal-cost predecessor pops strictly
+				// before v settles). The reference walker applies the
+				// identical guard.
 				tv.p = u
 			}
 		}
@@ -395,7 +407,9 @@ func (s *sweepScratch) sweepMasked(c *csr, src int32, w []wEdge, tree []treeNode
 					h[i], h[p] = h[p], h[i]
 					i = p
 				}
-			} else if nd == tv.d && u < tv.p {
+			} else if nd == tv.d && u < tv.p && settled[v] != ep {
+				// Same settled guard as sweep: no parent steals after v
+				// settles, preventing zero-weight-edge parent cycles.
 				tv.p = u
 			}
 		}

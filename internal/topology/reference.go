@@ -90,7 +90,11 @@ func referenceDijkstra(g *Graph, src int, cost EdgeCost) ([]float64, []int32) {
 				dist[e.To] = nd
 				parent[e.To] = int32(it.node)
 				heap.Push(q, refPQItem{e.To, nd})
-			} else if nd == dist[e.To] && int32(it.node) < parent[e.To] {
+			} else if nd == dist[e.To] && int32(it.node) < parent[e.To] && !done[e.To] {
+				// No parent steals after a node is done: a zero-weight
+				// edge between equal-distance nodes would otherwise let
+				// the pair adopt each other as parents (a cycle). The
+				// CSR sweeps apply the identical guard.
 				parent[e.To] = int32(it.node)
 			}
 		}

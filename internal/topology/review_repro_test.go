@@ -27,7 +27,7 @@ func TestReviewMaskEpochStaleAfterGrow(t *testing.T) {
 func TestReviewKSPStaleMaskEndToEnd(t *testing.T) {
 	g := NewGraph()
 	for i := 0; i < 6; i++ {
-		g.AddNode(KindSwitch, "s", 0, 0)
+		g.AddNode(Switch, "s", 0, 0)
 	}
 	g.AddLink(0, 1, 10, 1)
 	g.AddLink(1, 2, 10, 1)
@@ -65,9 +65,9 @@ func TestReviewKSPStaleMaskEndToEnd(t *testing.T) {
 // parent cycle, hanging Path reconstruction.
 func TestReviewZeroCostParentCycle(t *testing.T) {
 	g := NewGraph()
-	g.AddNode(KindSwitch, "a", 0, 0) // 0
-	g.AddNode(KindSwitch, "b", 0, 0) // 1
-	g.AddNode(KindSwitch, "s", 0, 0) // 2 = source
+	g.AddNode(Switch, "a", 0, 0) // 0
+	g.AddNode(Switch, "b", 0, 0) // 1
+	g.AddNode(Switch, "s", 0, 0) // 2 = source
 	g.AddLink(2, 0, 10, 5)
 	g.AddLink(2, 1, 10, 5)
 	g.AddLink(0, 1, 10, 0) // zero-distance link

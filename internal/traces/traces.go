@@ -277,6 +277,20 @@ func (g *WorkloadGen) Next() Profile {
 // Len reports the number of distinct samples before the generator wraps.
 func (g *WorkloadGen) Len() int { return g.cpu.Len() }
 
+// Pos reports how many profiles Next has produced. Together with the
+// constructor arguments it fully determines the generator's state: a
+// fresh generator with the same hours and seed advanced by Skip(Pos())
+// continues bit-identically.
+func (g *WorkloadGen) Pos() int { return g.t }
+
+// Skip advances the generator by n profiles, discarding them. Used to
+// replay a deterministic generator to a snapshotted position.
+func (g *WorkloadGen) Skip(n int) {
+	for i := 0; i < n; i++ {
+		g.Next()
+	}
+}
+
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {
 		return lo
