@@ -76,6 +76,8 @@ func run(args []string, out io.Writer) (err error) {
 	listen := fs.String("listen", "", "serve the live JSONL event stream to TCP subscribers on this address")
 	deep := fs.Bool("deep", false, "enable per-rack deep forecasting pools (ARIMA/NARNET dynamic selection)")
 	failStep := fs.Int("fail-step", 0, "inject a failure after this step (testing the crash-safe trace path)")
+	shards := fs.Int("shards", 0, "step-engine shard workers (0 = number of CPUs)")
+	historyLimit := fs.Int("history-limit", 0, "retain only the last N steps of in-memory stats (0 = unbounded)")
 	if perr := fs.Parse(args); perr != nil {
 		if errors.Is(perr, flag.ErrHelp) {
 			return nil
@@ -128,7 +130,8 @@ func run(args []string, out io.Writer) (err error) {
 		}()
 	}
 
-	rtOpts := runtime.Options{Seed: cfg.Seed, Recorder: rec, DeepPredict: *deep}
+	rtOpts := runtime.Options{Seed: cfg.Seed, Recorder: rec, DeepPredict: *deep,
+		Shards: *shards, HistoryLimit: *historyLimit}
 	inOpts := ingest.Options{Recorder: rec}
 
 	// Restore from the snapshot file when it exists; build fresh otherwise.
@@ -175,6 +178,7 @@ func run(args []string, out io.Writer) (err error) {
 			return err
 		}
 	}
+	defer rt.Close()
 
 	// The metric reporters: one deterministic generator per VM, replayed
 	// to the resume point so a restored daemon sees the same tail of

@@ -9,6 +9,8 @@
 //	sheriffsim -mode plan -size 16 -exact   # adds the branch-and-bound OPT
 //	sheriffsim -mode dist -size 8 -loss 0.05 -trace out.jsonl
 //	sheriffsim -mode chaos -seed 42 -drop 0.2 -dup 0.25 -partition 1:3:0 -trace chaos.jsonl
+//	sheriffsim -mode scale -racks 1000 -vms 4 -steps 10 -shards 4 -json BENCH_scale.json
+//	sheriffsim -mode scale -racks 5000 -hosts 20 -vms 10 -lite -threshold 2  # 1M VMs
 //
 // -trace writes a JSONL event stream (see internal/obs); with no explicit
 // -mode it implies -mode dist, the message-level protocol whose
@@ -20,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,7 +51,7 @@ func main() {
 // parseable JSONL trace.
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("sheriffsim", flag.ContinueOnError)
-	mode := fs.String("mode", "balance", "balance, compare, sweep, plan, dist, or chaos")
+	mode := fs.String("mode", "balance", "balance, compare, sweep, plan, dist, chaos, or scale")
 	topo := fs.String("topology", "fat-tree", "fat-tree or bcube")
 	size := fs.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
 	sizes := fs.String("sizes", "", "comma-separated size sweep (mode=sweep)")
@@ -67,6 +70,15 @@ func run(args []string, out io.Writer) (err error) {
 	delay := fs.Int("delay", 0, "fault plan: fixed extra delivery delay in rounds (mode=chaos)")
 	jitter := fs.Int("jitter", 1, "fault plan: uniform extra delay bound in rounds (mode=chaos)")
 	partition := fs.String("partition", "", "fault plan: partition windows as start:rounds:node,node[;...] (mode=chaos)")
+	racks := fs.Int("racks", 1000, "leaf racks in the leaf-spine fabric (mode=scale)")
+	spines := fs.Int("spines", 0, "spine switches (mode=scale; 0 = topology default)")
+	steps := fs.Int("steps", 10, "collection periods to run (mode=scale)")
+	shards := fs.Int("shards", 0, "shard workers (mode=scale; 0 = number of CPUs)")
+	threshold := fs.Float64("threshold", 0.9, "alert threshold for all profile components (mode=scale; >1 = alert-free)")
+	dep := fs.Float64("dep", 0, "dependency probability (mode=scale)")
+	lite := fs.Bool("lite", false, "memory-lean counter-based trace generators (mode=scale)")
+	reference := fs.Bool("reference", false, "drive the seed reference engine instead of the sharded one (mode=scale)")
+	jsonOut := fs.String("json", "", "append the scale result as one JSON line to this file (mode=scale)")
 	if perr := fs.Parse(args); perr != nil {
 		if errors.Is(perr, flag.ErrHelp) {
 			return nil
@@ -157,6 +169,20 @@ func run(args []string, out io.Writer) (err error) {
 			Partitions:  windows,
 		}
 		return runChaos(out, cfg, plan, rec)
+	case "scale":
+		return runScale(out, sim.ScaleConfig{
+			Racks:          *racks,
+			Spines:         *spines,
+			HostsPerRack:   *hostsPerRack,
+			VMsPerHost:     *vmsPerHost,
+			Steps:          *steps,
+			Shards:         *shards,
+			Seed:           *seed,
+			DependencyProb: *dep,
+			Threshold:      *threshold,
+			LiteTraces:     *lite,
+			Reference:      *reference,
+		}, *jsonOut)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -286,6 +312,37 @@ func runPlan(out io.Writer, cfg sim.Config, k, p int, exact bool) error {
 	}
 	fmt.Fprintln(out)
 	return nil
+}
+
+// runScale drives one hyperscale step-engine scenario and prints the
+// scaling-curve point; with -json the result is appended as one JSON line
+// so a sweep accumulates into a JSONL dataset (BENCH_scale.json).
+func runScale(out io.Writer, cfg sim.ScaleConfig, jsonPath string) error {
+	res, err := sim.RunScale(cfg)
+	if err != nil {
+		return err
+	}
+	engine := "sharded"
+	if cfg.Reference {
+		engine = "reference"
+	}
+	fmt.Fprintf(out, "scale %s: %d racks %d hosts %d VMs | %d steps in %.2fs (%.1f ms/step, max %.1f) | %.0f allocs/step %.1f MB peak RSS | alerts %d/%d migrations %d\n",
+		engine, res.Racks, res.Hosts, res.VMs, res.Steps, res.TotalSeconds,
+		res.MeanStepSeconds*1e3, res.MaxStepSeconds*1e3,
+		res.AllocsPerStep, res.PeakRSSMB, res.ServerAlerts, res.ToRAlerts, res.Migrations)
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.OpenFile(jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseSizes(csv string, fallback int) ([]int, error) {

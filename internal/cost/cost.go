@@ -90,6 +90,37 @@ func New(c *dcn.Cluster, p Params) (*Model, error) {
 	return m, nil
 }
 
+// NewDeferred builds a cost model without computing the rack-sourced
+// shortest-path tables: construction is O(1) instead of |racks| Dijkstra
+// sweeps over dense per-source tables. The tables are built by the first
+// Refresh — which the runtime's management phase already issues before any
+// shim consults the model — or lazily by the first cost query. On a
+// 5,000-rack fabric the eager tables cost hundreds of MB and tens of
+// seconds; a scale run that never raises an alert should pay neither.
+func NewDeferred(c *dcn.Cluster, p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{params: p, cluster: c}
+	m.transCost = func(e topology.Edge) float64 {
+		if e.Bandwidth <= 0 || e.Bandwidth < p.BandwidthFloor {
+			return topology.Inf
+		}
+		t := p.RefSize / e.Bandwidth
+		u := e.Bandwidth / e.Capacity
+		return p.Delta*t + p.Eta*u
+	}
+	return m, nil
+}
+
+// ensure makes the tables usable for a deferred model queried before its
+// first Refresh.
+func (m *Model) ensure() {
+	if m.trans == nil {
+		m.Refresh()
+	}
+}
+
 // Refresh recomputes the shortest-path tables from current link state.
 // Only rack nodes are sources — Eqn. (1) is evaluated between delegation
 // nodes, so per-rack Dijkstra replaces the paper's Floyd–Warshall with
@@ -143,6 +174,7 @@ func (m *Model) Params() Params { return m.params }
 // the actual size. Returns ErrBandwidthBelowFloor when no feasible path
 // exists.
 func (m *Model) TransmissionCost(src, dst *dcn.Rack, size float64) (float64, error) {
+	m.ensure()
 	if src == dst {
 		return 0, nil
 	}
@@ -166,6 +198,7 @@ func (m *Model) TransmissionCost(src, dst *dcn.Rack, size float64) (float64, err
 
 // Distance returns the physical-distance metric Σ D(e) between two racks.
 func (m *Model) Distance(a, b *dcn.Rack) float64 {
+	m.ensure()
 	return m.dist.Dist(a.NodeID, b.NodeID)
 }
 
@@ -174,6 +207,7 @@ func (m *Model) Distance(a, b *dcn.Rack) float64 {
 // the realization of the (Σ_{e∈G_r[N_d(v_i)]}D(e) − Σ_{e∈G_r[N_d(v_p)]}D(e))·C_d
 // term of Sec. III.C. Moving toward peers yields a negative contribution.
 func (m *Model) DependencyCost(vm *dcn.VM, src, dst *dcn.Rack) float64 {
+	m.ensure()
 	if src == dst {
 		return 0
 	}
@@ -208,6 +242,7 @@ func (m *Model) Migration(vm *dcn.VM, dst *dcn.Host) (float64, error) {
 // reference-size VM — the inter-rack metric handed to the k-median
 // reduction of Sec. V.A. Same-rack cost is 0.
 func (m *Model) RackPairCost(a, b *dcn.Rack) float64 {
+	m.ensure()
 	if a == b {
 		return 0
 	}

@@ -166,15 +166,29 @@ func (n *Network) LinkUtilization(a, b int) float64 {
 	return n.load[[2]int{a, b}] / e.Capacity
 }
 
+// EdgeUtilization returns load/capacity for an already-resolved edge,
+// skipping the O(degree) EdgeBetween lookup LinkUtilization pays. Link
+// capacity is symmetric (AddLink installs both directions alike), so the
+// reverse direction reuses e.Capacity.
+func (n *Network) EdgeUtilization(e topology.Edge) float64 {
+	if e.Capacity == 0 {
+		return 0
+	}
+	return n.load[[2]int{e.From, e.To}] / e.Capacity
+}
+
 // SwitchUtilization returns the maximum utilization over a switch's
 // incident directed links — the congestion signal a QCN-style CP reports.
 func (n *Network) SwitchUtilization(sw int) float64 {
 	max := 0.0
 	for _, e := range n.g.Edges(sw) {
-		if u := n.LinkUtilization(e.From, e.To); u > max {
+		if e.Capacity == 0 {
+			continue
+		}
+		if u := n.load[[2]int{e.From, e.To}] / e.Capacity; u > max {
 			max = u
 		}
-		if u := n.LinkUtilization(e.To, e.From); u > max {
+		if u := n.load[[2]int{e.To, e.From}] / e.Capacity; u > max {
 			max = u
 		}
 	}

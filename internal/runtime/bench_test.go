@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"strconv"
 	"testing"
 
 	"sheriff/internal/cost"
@@ -15,6 +16,10 @@ import (
 // per-step prediction hot path (phase 1 plus the per-rack queue monitors);
 // management is exercised by the figure benches at the repo root.
 func buildBenchRuntime(b *testing.B, pods int) *Runtime {
+	return buildBenchRuntimeOpts(b, pods, Options{})
+}
+
+func buildBenchRuntimeOpts(b *testing.B, pods int, opts Options) *Runtime {
 	b.Helper()
 	ft, err := topology.NewFatTree(topology.FatTreeConfig{Pods: pods})
 	if err != nil {
@@ -29,12 +34,13 @@ func buildBenchRuntime(b *testing.B, pods int) *Runtime {
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := Options{Seed: 42}
+	opts.Seed = 42
 	opts.Thresholds.CPU, opts.Thresholds.Mem, opts.Thresholds.IO, opts.Thresholds.TRF = 2, 2, 2, 2
 	r, err := New(cluster, model, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(r.Close)
 	return r
 }
 
@@ -57,6 +63,45 @@ func BenchmarkRuntimeStep(b *testing.B) {
 		if _, err := r.Step(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRuntimeStepReference is BenchmarkRuntimeStep on the seed
+// reference engine — the "before" side of the sharded-engine speedup and
+// allocation comparison (BENCH_scale.json).
+func BenchmarkRuntimeStepReference(b *testing.B) {
+	r := buildBenchRuntimeOpts(b, 48, Options{Reference: true})
+	for i := 0; i < 15; i++ {
+		if _, err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeStepShards pins the shard-count scaling of the default
+// engine on the same 48-pod fabric.
+func BenchmarkRuntimeStepShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("shards-"+strconv.Itoa(shards), func(b *testing.B) {
+			r := buildBenchRuntimeOpts(b, 48, Options{Shards: shards})
+			for i := 0; i < 15; i++ {
+				if _, err := r.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

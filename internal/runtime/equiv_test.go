@@ -1,0 +1,235 @@
+package runtime
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sheriff/internal/dcn"
+	"sheriff/internal/traces"
+)
+
+// equivScenario is one regime the sharded engine must reproduce
+// bit-exactly against the reference engine.
+type equivScenario struct {
+	name     string
+	steps    int
+	external bool // drive via StepExternal instead of Step
+	mutate   func(*Options)
+}
+
+func equivScenarios() []equivScenario {
+	return []equivScenario{
+		{name: "default", steps: 12},
+		{name: "deep", steps: 14, mutate: func(o *Options) {
+			o.DeepPredict = true
+			o.DeepFitAfter = 6
+		}},
+		{name: "qcn", steps: 10, mutate: func(o *Options) {
+			o.UseQCN = true
+			o.FlowRate = func(trf float64) float64 { return 0.5 + 0.5*trf }
+		}},
+		{name: "no-reroute", steps: 10, mutate: func(o *Options) {
+			o.DisableReroute = true
+			o.FlowRate = func(trf float64) float64 { return 0.5 + 0.5*trf }
+		}},
+		{name: "external", steps: 10, external: true},
+		{name: "lite", steps: 12, mutate: func(o *Options) {
+			o.LiteTraces = true
+		}},
+	}
+}
+
+// externalProfile is a deterministic pseudo-measurement for the external
+// scenario, a pure function of (step, vmID).
+func externalProfile(step, vmID int) traces.Profile {
+	f := func(k int) float64 {
+		x := float64((step*31+vmID*17+k*7)%100) / 100
+		return x
+	}
+	return traces.Profile{CPU: f(0), Mem: f(1), IO: f(2), TRF: f(3)}
+}
+
+func buildEquivRuntime(t *testing.T, seed int64, opts Options) *Runtime {
+	t.Helper()
+	cluster, model := buildParts(t, 4)
+	cluster.Populate(dcn.PopulateOptions{VMsPerHost: 3, MinCapacity: 5, MaxCapacity: 20, DependencyProb: 0.5, CrossRackDependencyProb: 0.4, Seed: seed})
+	opts.Seed = seed
+	r, err := New(cluster, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func driveEquiv(t *testing.T, r *Runtime, sc equivScenario) []StepStats {
+	t.Helper()
+	for step := 0; step < sc.steps; step++ {
+		var err error
+		if sc.external {
+			var updates []ExternalUpdate
+			for _, vm := range r.Cluster.VMs() {
+				// Every third VM is silent each step, exercising the
+				// repeat-last-profile path.
+				if (vm.ID+step)%3 == 0 {
+					continue
+				}
+				updates = append(updates, ExternalUpdate{VM: vm.ID, Profile: externalProfile(step, vm.ID)})
+			}
+			_, err = r.StepExternal(updates)
+		} else {
+			_, err = r.Step()
+		}
+		if err != nil {
+			t.Fatalf("%s step %d: %v", sc.name, step, err)
+		}
+	}
+	return r.History()
+}
+
+// TestShardedMatchesReference is the engine-equivalence contract: for
+// every scenario and shard count, the sharded engine's StepStats, final
+// placement, and snapshot are bit-identical to the reference engine's.
+func TestShardedMatchesReference(t *testing.T) {
+	for _, sc := range equivScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			refOpts := Options{Reference: true}
+			if sc.mutate != nil {
+				sc.mutate(&refOpts)
+			}
+			ref := buildEquivRuntime(t, 11, refOpts)
+			refHist := driveEquiv(t, ref, sc)
+
+			var refSnap []byte
+			if !refOpts.UseQCN {
+				snap, err := ref.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				refSnap, err = json.Marshal(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for _, shards := range []int{1, 2, 5} {
+				shOpts := Options{Shards: shards}
+				if sc.mutate != nil {
+					sc.mutate(&shOpts)
+				}
+				sh := buildEquivRuntime(t, 11, shOpts)
+				shHist := driveEquiv(t, sh, sc)
+				if len(shHist) != len(refHist) {
+					t.Fatalf("shards=%d: %d steps, reference has %d", shards, len(shHist), len(refHist))
+				}
+				for i := range refHist {
+					sameStats(t, sc.name, refHist[i], shHist[i])
+				}
+				if refSnap != nil {
+					snap, err := sh.Snapshot()
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := json.Marshal(snap)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(got) != string(refSnap) {
+						t.Fatalf("shards=%d: snapshot diverged from reference engine", shards)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedDeterministicAcrossShardCounts pins the determinism argument
+// directly: the shard count is a pure performance knob, invisible in
+// results.
+func TestShardedDeterministicAcrossShardCounts(t *testing.T) {
+	base := driveEquiv(t, buildEquivRuntime(t, 3, Options{Shards: 1}), equivScenario{name: "base", steps: 10})
+	for _, shards := range []int{2, 3, 8} {
+		got := driveEquiv(t, buildEquivRuntime(t, 3, Options{Shards: shards}), equivScenario{name: "base", steps: 10})
+		for i := range base {
+			sameStats(t, "shard-count", base[i], got[i])
+		}
+	}
+}
+
+// TestHistoryRing verifies the bounded-history contract: with
+// HistoryLimit set, History() returns exactly the last N steps oldest
+// first; without it, every step is retained.
+func TestHistoryRing(t *testing.T) {
+	r := buildEquivRuntime(t, 5, Options{HistoryLimit: 4})
+	if _, err := r.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	h := r.History()
+	if len(h) != 4 {
+		t.Fatalf("history length = %d, want 4", len(h))
+	}
+	for i, s := range h {
+		if s.Step != 6+i {
+			t.Fatalf("history[%d].Step = %d, want %d", i, s.Step, 6+i)
+		}
+	}
+
+	unbounded := buildEquivRuntime(t, 5, Options{})
+	if _, err := unbounded.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(unbounded.History()); got != 10 {
+		t.Fatalf("unbounded history length = %d, want 10", got)
+	}
+}
+
+// TestSnapshotRestoreShardCountChange runs 6 steps on a 3-shard runtime,
+// snapshots, restores onto a 7-shard runtime, runs 4 more, and requires
+// the concatenated trajectory to be bit-identical to a straight 10-step
+// run — the shard partition is orthogonal to snapshot state.
+func TestSnapshotRestoreShardCountChange(t *testing.T) {
+	const seed, before, after = 13, 6, 4
+
+	straight := buildEquivRuntime(t, seed, Options{Shards: 2})
+	wantHist := driveEquiv(t, straight, equivScenario{name: "straight", steps: before + after})
+
+	part := buildEquivRuntime(t, seed, Options{Shards: 3})
+	gotHist := append([]StepStats(nil), driveEquiv(t, part, equivScenario{name: "part1", steps: before})...)
+
+	snap, err := part.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Snapshot
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	freshCluster, freshModel := buildParts(t, 4)
+	if err := freshCluster.Restore(loaded.Cluster); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(freshCluster, freshModel, Options{Seed: seed, Shards: 7}, &loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	for i := 0; i < after; i++ {
+		s, err := restored.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotHist = append(gotHist, *s)
+	}
+
+	if len(gotHist) != len(wantHist) {
+		t.Fatalf("trajectory lengths: got %d, want %d", len(gotHist), len(wantHist))
+	}
+	for i := range wantHist {
+		sameStats(t, "restart", wantHist[i], gotHist[i])
+	}
+}

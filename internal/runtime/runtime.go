@@ -2,19 +2,21 @@
 // time: every period T each shim collects its VMs' measured workload
 // profiles, forecasts the next period, raises pre-alerts, and manages its
 // region — VM migration for server/ToR alerts, flow rerouting for hot
-// outer switches (Sec. II–V assembled). Prediction is embarrassingly
-// parallel and is distributed over individual VM states on the shared
-// bounded worker pool (one goroutine per rack would bottleneck on the
-// largest rack); management mutates shared cluster state and is
-// serialized, mirroring the paper's split between local monitoring and
-// coordinated action.
+// outer switches (Sec. II–V assembled).
+//
+// Two step engines share this API. The default is the sharded SoA engine
+// (sharded.go): VM state in flat arrays partitioned into contiguous
+// rack-range shards owned by persistent workers, sized for 5,000-rack /
+// million-VM fabrics. Options.Reference selects the seed engine
+// (reference.go) — per-VM heap states fanned out over the shared pool —
+// kept as the ground truth the sharded engine is proven bit-exact against.
 package runtime
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	stdruntime "runtime"
 	"time"
 
 	"sheriff/internal/alert"
@@ -24,7 +26,6 @@ import (
 	"sheriff/internal/metrics"
 	"sheriff/internal/migrate"
 	"sheriff/internal/obs"
-	"sheriff/internal/pool"
 	"sheriff/internal/predictor"
 	"sheriff/internal/qcn"
 	"sheriff/internal/timeseries"
@@ -63,6 +64,23 @@ type Options struct {
 	// DeepFitAfter is the rack-history length that triggers the deep
 	// fit (default 48, minimum large enough for the NARNET delay lines).
 	DeepFitAfter int
+	// Shards is the number of persistent shard workers in the sharded
+	// engine (0 = number of CPUs, clamped to the rack count). Step
+	// results are bit-identical for every shard count.
+	Shards int
+	// HistoryLimit bounds the in-memory per-step stats kept by History():
+	// at most the last HistoryLimit steps are retained in a ring. 0 keeps
+	// every step (the seed behavior); streaming consumers should set a
+	// small limit and drain the Recorder instead.
+	HistoryLimit int
+	// LiteTraces replaces the materialized WorkloadGen series (~35 KB of
+	// state per VM) with counter-based hashed generators (~3 words per
+	// VM), making million-VM runs memory-feasible. The profile streams
+	// are NOT sample-compatible with the default generators.
+	LiteTraces bool
+	// Reference selects the seed step engine instead of the sharded one.
+	// Slower and memory-hungry at scale; used as the equivalence oracle.
+	Reference bool
 }
 
 // Validate reports whether the options are usable. Negative values are
@@ -76,6 +94,12 @@ func (o Options) Validate() error {
 	}
 	if o.DeepFitAfter < 0 {
 		return fmt.Errorf("runtime: DeepFitAfter must be >= 0 (0 = default), got %v", o.DeepFitAfter)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("runtime: Shards must be >= 0 (0 = default), got %v", o.Shards)
+	}
+	if o.HistoryLimit < 0 {
+		return fmt.Errorf("runtime: HistoryLimit must be >= 0 (0 = unbounded), got %v", o.HistoryLimit)
 	}
 	return o.Migrate.Validate()
 }
@@ -104,20 +128,10 @@ func (o Options) WithDefaults() Options {
 	if o.DeepFitAfter == 0 {
 		o.DeepFitAfter = 48
 	}
+	if o.Shards == 0 {
+		o.Shards = stdruntime.NumCPU()
+	}
 	return o
-}
-
-// vmState is one VM's monitoring stack: its synthetic workload source and
-// the per-component profile predictor. alert/fired are per-step scratch
-// written only by the worker that owns the state during phase 1.
-type vmState struct {
-	vm      *dcn.VM
-	rack    int
-	gen     *traces.WorkloadGen
-	pred    *alert.ProfilePredictor
-	current traces.Profile
-	alert   alert.Alert
-	fired   bool
 }
 
 // ewmaTrend is a cheap ComponentForecaster: exponentially weighted level
@@ -135,9 +149,7 @@ func (e ewmaTrend) ForecastFrom(h *timeseries.Series, n int) ([]float64, error) 
 	level := h.At(0)
 	trend := 0.0
 	for t := 1; t < h.Len(); t++ {
-		prev := level
-		level = e.alpha*h.At(t) + (1-e.alpha)*(level+trend)
-		trend = e.beta*(level-prev) + (1-e.beta)*trend
+		level, trend = e.fold(level, trend, h.At(t))
 	}
 	out := make([]float64, n)
 	for i := range out {
@@ -172,9 +184,7 @@ func (ts *trendState) ForecastFrom(h *timeseries.Series, n int) ([]float64, erro
 		start = 1
 	}
 	for t := start; t < h.Len(); t++ {
-		prev := ts.level
-		ts.level = ts.alpha*h.At(t) + (1-ts.alpha)*(ts.level+ts.trend)
-		ts.trend = ts.beta*(ts.level-prev) + (1-ts.beta)*ts.trend
+		ts.level, ts.trend = ts.fold(ts.level, ts.trend, h.At(t))
 	}
 	ts.n = h.Len()
 	ts.last = h.At(h.Len() - 1)
@@ -219,17 +229,17 @@ type Runtime struct {
 	Flows   *flow.Network
 
 	opts       Options
-	shims      []*migrate.Shim
-	vms        []*vmState   // all vm states, ascending VM ID (phase-1 work items)
-	byRack     [][]*vmState // the same states grouped by rack index
-	queueMon   []*alert.QueueMonitor
+	shims      []*migrate.Shim              // indexed by rack; nil until first alert (sharded)
 	cps        map[int]*qcn.CongestionPoint // per-switch CPs (UseQCN)
 	flowByPair map[[2]int]int               // dependency pair -> flow ID
-	workers    *pool.Pool
 	rng        *rand.Rand
 	step       int
 	history    []StepStats
+	histStart  int  // ring head once history is full (HistoryLimit > 0)
 	modelStale bool // link bandwidth changed since the last Model.Refresh
+
+	ref *refState   // seed engine (Options.Reference)
+	sh  *shardState // sharded engine (default)
 
 	// Deep forecasting pools (DeepPredict): per-rack aggregate stress
 	// history and, once fitted, the dynamic-selection pool over it.
@@ -237,18 +247,28 @@ type Runtime struct {
 	deep     []*predictor.Selector
 
 	phaseSummaries [4]metrics.Summary // per-phase duration stats, seconds
+	skewSummaries  [3]metrics.Summary // shard-round load skew (sharded engine)
 }
 
 // PhaseSummaries returns streaming duration statistics (in seconds) for
 // the four Step phases, aggregated over every step so far, keyed
-// "predict", "flows", "congestion", "manage".
+// "predict", "flows", "congestion", "manage". Under the sharded engine it
+// additionally exposes the shard-round load skew of the fanned-out phases
+// ("predict_skew", "flows_skew", "congestion_skew": max shard time over
+// mean shard time per round, 1.0 = perfectly balanced).
 func (r *Runtime) PhaseSummaries() map[string]*metrics.Summary {
-	return map[string]*metrics.Summary{
+	out := map[string]*metrics.Summary{
 		"predict":    &r.phaseSummaries[0],
 		"flows":      &r.phaseSummaries[1],
 		"congestion": &r.phaseSummaries[2],
 		"manage":     &r.phaseSummaries[3],
 	}
+	if r.sh != nil {
+		out["predict_skew"] = &r.skewSummaries[0]
+		out["flows_skew"] = &r.skewSummaries[1]
+		out["congestion_skew"] = &r.skewSummaries[2]
+	}
+	return out
 }
 
 // New assembles a runtime over an already populated cluster.
@@ -265,8 +285,6 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 		cps:        make(map[int]*qcn.CongestionPoint),
 		flowByPair: make(map[[2]int]int),
-		byRack:     make([][]*vmState, len(cluster.Racks)),
-		workers:    pool.Shared(),
 	}
 	if opts.DeepPredict {
 		r.deepHist = make([]*timeseries.Series, len(cluster.Racks))
@@ -275,45 +293,59 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 			r.deepHist[i] = timeseries.New(nil)
 		}
 	}
-	for _, rack := range cluster.Racks {
-		shim, err := migrate.NewShim(cluster, model, rack, opts.Migrate)
-		if err != nil {
-			return nil, err
-		}
-		r.shims = append(r.shims, shim)
-		qm, err := alert.NewQueueMonitor(&trendState{ewmaTrend: ewmaTrend{alpha: 0.5, beta: 0.3}}, opts.QueueLimit, 0.9)
-		if err != nil {
-			return nil, err
-		}
-		r.queueMon = append(r.queueMon, qm)
+	var err error
+	if opts.Reference {
+		err = r.initReference()
+	} else {
+		err = r.initSharded()
 	}
-	vms := cluster.VMs()
-	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
-	comp := func() alert.ComponentForecaster {
-		return &trendState{ewmaTrend: ewmaTrend{alpha: 0.5, beta: 0.3}}
-	}
-	for _, vm := range vms {
-		idx := vm.Host().Rack().Index
-		st := &vmState{
-			vm:   vm,
-			rack: idx,
-			gen:  traces.NewWorkloadGen(24, opts.Seed+int64(vm.ID)),
-			pred: alert.NewProfilePredictor(comp(), comp(), comp(), comp()),
-		}
-		r.vms = append(r.vms, st)
-		r.byRack[idx] = append(r.byRack[idx], st)
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }
 
-// History returns the per-step statistics recorded so far.
-func (r *Runtime) History() []StepStats { return r.history }
+// Close releases the engine's persistent shard workers. Safe to call more
+// than once; the reference engine has nothing to release.
+func (r *Runtime) Close() {
+	if r.sh != nil {
+		r.sh.workers.Close()
+	}
+}
 
-// Step advances one collection period T. The prediction phase distributes
-// individual VM states over the shared worker pool (dynamic index
-// claiming, so skewed rack sizes balance across cores instead of
-// serializing behind the largest rack); management is serialized.
-func (r *Runtime) Step() (*StepStats, error) { return r.advance(nil) }
+// History returns the per-step statistics retained so far, oldest first.
+// With HistoryLimit set this is at most the last HistoryLimit steps.
+func (r *Runtime) History() []StepStats {
+	if r.histStart == 0 {
+		return r.history
+	}
+	out := make([]StepStats, len(r.history))
+	n := copy(out, r.history[r.histStart:])
+	copy(out[n:], r.history[:r.histStart])
+	return out
+}
+
+// recordHistory appends one step's stats, evicting the oldest entry once
+// the configured limit is reached.
+func (r *Runtime) recordHistory(s StepStats) {
+	lim := r.opts.HistoryLimit
+	if lim <= 0 || len(r.history) < lim {
+		r.history = append(r.history, s)
+		return
+	}
+	r.history[r.histStart] = s
+	r.histStart = (r.histStart + 1) % lim
+}
+
+// Step advances one collection period T. Prediction and monitoring fan
+// out over the engine's shard workers (or the shared pool under
+// Options.Reference); management is serialized.
+func (r *Runtime) Step() (*StepStats, error) {
+	if r.ref != nil {
+		return r.advanceRef(nil)
+	}
+	return r.advanceSharded(false)
+}
 
 // ExternalUpdate is one VM's measured workload profile for the current
 // collection period, delivered by an external ingest plane instead of the
@@ -330,204 +362,30 @@ type ExternalUpdate struct {
 // error. The synthetic generators do not advance, so a daemon fed real
 // measurements never consumes generator state.
 func (r *Runtime) StepExternal(updates []ExternalUpdate) (*StepStats, error) {
-	external := make(map[int]traces.Profile, len(updates))
+	if r.ref != nil {
+		external := make(map[int]traces.Profile, len(updates))
+		for _, u := range updates {
+			if r.Cluster.VM(u.VM) == nil {
+				return nil, fmt.Errorf("runtime: external update for unknown VM %d", u.VM)
+			}
+			external[u.VM] = u.Profile
+		}
+		return r.advanceRef(external)
+	}
+	// The sharded path stamps profiles into a persistent overlay keyed by
+	// dense VM index; bumping the epoch invalidates the previous step's
+	// stamps, so a steady ingest loop allocates nothing.
+	sh := r.sh
+	sh.extEpoch++
 	for _, u := range updates {
-		if r.Cluster.VM(u.VM) == nil {
+		i, ok := sh.vmIndex[u.VM]
+		if !ok {
 			return nil, fmt.Errorf("runtime: external update for unknown VM %d", u.VM)
 		}
-		external[u.VM] = u.Profile
+		sh.extProf[i] = u.Profile
+		sh.extMark[i] = sh.extEpoch
 	}
-	return r.advance(external)
-}
-
-// advance is the shared step body. A nil external map means "pull from
-// the synthetic generators" (Step); non-nil means profiles come from the
-// ingest plane (StepExternal) and the map is read-only under the
-// parallel phase.
-func (r *Runtime) advance(external map[int]traces.Profile) (*StepStats, error) {
-	stats := &StepStats{Step: r.step}
-	r.step++
-	rec := r.opts.Recorder
-	rec.SetStep(stats.Step)
-
-	// Phase 1 (parallel): observe, predict, raise alerts per VM. Each
-	// worker touches only the claimed vmState (its generator, predictor,
-	// and VM are owned by that state), so no locking is needed; results
-	// are folded in deterministic VM order afterwards.
-	phaseStart := time.Now()
-	r.workers.ForEach(len(r.vms), func(i int) {
-		st := r.vms[i]
-		st.fired = false
-		if external == nil {
-			st.current = st.gen.Next()
-		} else if p, ok := external[st.vm.ID]; ok {
-			st.current = p
-		}
-		st.pred.Observe(st.current)
-		if st.pred.HistoryLen() < 3 {
-			return // not enough history to extrapolate
-		}
-		a, fired, err := st.pred.Check(r.opts.Thresholds)
-		if err != nil || !fired {
-			return
-		}
-		a.VMID = st.vm.ID
-		if h := st.vm.Host(); h != nil {
-			a.HostID = h.ID
-		}
-		a.RackIndex = st.rack
-		st.vm.Alert = a.Value
-		st.alert = a
-		st.fired = true
-	})
-	alertsByRack := make([][]alert.Alert, len(r.byRack))
-	for _, st := range r.vms {
-		if st.fired {
-			alertsByRack[st.rack] = append(alertsByRack[st.rack], st.alert)
-			stats.ServerAlerts++
-		}
-	}
-	if r.opts.DeepPredict {
-		r.deepStep(stats, rec)
-	}
-	stats.Timings.Predict = time.Since(phaseStart)
-	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "predict",
-		Shim: migrate.ShimUnknown, VM: -1, Host: -1, Value: stats.Timings.Predict.Seconds()})
-
-	// Phase 2: rebuild the traffic plane from the dependency graph.
-	phaseStart = time.Now()
-	r.syncFlows()
-	stats.Timings.Flows = time.Since(phaseStart)
-	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "flows",
-		Shim: migrate.ShimUnknown, VM: -1, Host: -1, Value: stats.Timings.Flows.Seconds()})
-
-	// Phase 3: switch-side congestion. Hot outer switches trigger
-	// FLOWREROUTE; ToR uplink monitors raise FromLocalToR alerts.
-	phaseStart = time.Now()
-	var hot []int
-	if r.opts.UseQCN {
-		hot = r.qcnHotSwitches(stats)
-	} else {
-		hot = r.Flows.HotSwitches(r.opts.HotThreshold)
-	}
-	stats.HotSwitches = len(hot)
-	for _, sw := range hot {
-		stats.SwitchAlerts++
-		if r.opts.DisableReroute {
-			continue
-		}
-		moved := r.Flows.RerouteAroundHot(sw, r.opts.HotThreshold)
-		stats.Reroutes += len(moved)
-	}
-	for idx, rack := range r.Cluster.Racks {
-		util := r.uplinkUtilization(rack)
-		if util > stats.MaxUplinkUtil {
-			stats.MaxUplinkUtil = util
-		}
-		r.queueMon[idx].Observe(util)
-		if a, fired, err := r.queueMon[idx].Check(); err == nil && fired {
-			a.RackIndex = idx
-			alertsByRack[idx] = append(alertsByRack[idx], a)
-			stats.ToRAlerts++
-		}
-	}
-	stats.Timings.Congestion = time.Since(phaseStart)
-	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "congestion",
-		Shim: migrate.ShimUnknown, VM: -1, Host: -1, Value: stats.Timings.Congestion.Seconds()})
-	if rec.Enabled() {
-		for idx := range alertsByRack {
-			if n := len(alertsByRack[idx]); n > 0 {
-				rec.Record(obs.Event{Kind: obs.KindAlerts, Phase: "manage",
-					Shim: idx, VM: -1, Host: -1, Value: float64(n)})
-			}
-		}
-	}
-
-	// Phase 4 (serialized): management. The cost model's shortest-path
-	// tables are refreshed lazily: only a step that actually manages
-	// alerts pays for the |racks| Dijkstra sweeps, and a refresh is
-	// carried over (modelStale) so the tables reflect the latest traffic
-	// plane when the next alert arrives.
-	phaseStart = time.Now()
-	r.modelStale = true
-	for idx, shim := range r.shims {
-		if len(alertsByRack[idx]) == 0 {
-			continue
-		}
-		if r.modelStale {
-			r.Flows.UpdateGraphBandwidth()
-			r.Model.Refresh()
-			r.modelStale = false
-		}
-		shimStart := time.Now()
-		rep, err := shim.ProcessAlerts(alertsByRack[idx])
-		if err != nil {
-			return nil, fmt.Errorf("runtime: shim %d: %w", idx, err)
-		}
-		rec.Record(obs.Event{Kind: obs.KindManage, Phase: "manage",
-			Shim: idx, VM: -1, Host: -1, Value: time.Since(shimStart).Seconds()})
-		stats.Migrations += len(rep.Migrations)
-		stats.MigrationCost += rep.TotalCost
-	}
-	stats.Timings.Manage = time.Since(phaseStart)
-	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "manage",
-		Shim: migrate.ShimUnknown, VM: -1, Host: -1, Value: stats.Timings.Manage.Seconds()})
-
-	stats.WorkloadStdDev = r.Cluster.WorkloadStdDev()
-	for i, d := range []time.Duration{stats.Timings.Predict, stats.Timings.Flows, stats.Timings.Congestion, stats.Timings.Manage} {
-		r.phaseSummaries[i].Observe(d.Seconds())
-	}
-	r.history = append(r.history, *stats)
-	return stats, nil
-}
-
-// deepStep advances the per-rack deep forecasting pools: each rack's
-// aggregate stress (mean of its VMs' current profile maxima) either
-// extends the pre-fit history, triggers the one-time pool fit, or feeds
-// the fitted selector, whose next-period prediction is recorded and
-// counted as a deep warning when it crosses the hot threshold. Fits and
-// predictions are deterministic (seeded NARNETs, fixed pool order), so
-// deep state snapshots and restores bit-exactly.
-func (r *Runtime) deepStep(stats *StepStats, rec *obs.Recorder) {
-	for idx := range r.byRack {
-		if len(r.byRack[idx]) == 0 {
-			continue
-		}
-		agg := 0.0
-		for _, st := range r.byRack[idx] {
-			agg += st.current.Max()
-		}
-		agg /= float64(len(r.byRack[idx]))
-
-		sel := r.deep[idx]
-		if sel == nil {
-			h := r.deepHist[idx]
-			h.Append(agg)
-			if h.Len() < r.opts.DeepFitAfter {
-				continue
-			}
-			fitted, err := predictor.New(h, predictor.Options{Seed: r.opts.Seed + int64(idx)})
-			if err != nil {
-				// Not enough signal yet (e.g. constant history); keep
-				// collecting and retry next step.
-				continue
-			}
-			r.deep[idx] = fitted
-			r.deepHist[idx] = timeseries.New(nil) // history lives in the selector now
-			sel = fitted
-		} else {
-			sel.Observe(agg)
-		}
-		p, err := sel.Predict()
-		if err != nil {
-			continue
-		}
-		rec.Record(obs.Event{Kind: obs.KindForecast, Phase: "predict",
-			Shim: idx, VM: -1, Host: -1, Value: p})
-		if p > r.opts.HotThreshold {
-			stats.DeepWarnings++
-		}
-	}
+	return r.advanceSharded(true)
 }
 
 // DeepReady reports whether the rack's deep forecasting pool has been
@@ -536,7 +394,7 @@ func (r *Runtime) DeepReady(rack int) bool {
 	return r.deep != nil && rack >= 0 && rack < len(r.deep) && r.deep[rack] != nil
 }
 
-// Run advances n steps and returns the collected statistics.
+// Run advances n steps and returns the retained statistics.
 func (r *Runtime) Run(n int) ([]StepStats, error) {
 	for i := 0; i < n; i++ {
 		if _, err := r.Step(); err != nil {
@@ -544,101 +402,6 @@ func (r *Runtime) Run(n int) ([]StepStats, error) {
 		}
 	}
 	return r.History(), nil
-}
-
-// syncFlows reconciles the flow set with the VM dependency graph: one
-// flow per dependent pair hosted in different racks, with rate driven by
-// the pair's current traffic component. Existing flows keep their routes
-// (so reroutes survive across steps); only rate changes are applied in
-// place, and flows whose endpoints migrated are re-created.
-func (r *Runtime) syncFlows() {
-	type want struct {
-		src, dst int
-		rate     float64
-		ds       bool
-	}
-	desired := make(map[[2]int]want)
-	for idx := range r.byRack {
-		for _, st := range r.byRack[idx] {
-			for _, peerID := range r.Cluster.Deps.Peers(st.vm.ID) {
-				peer := r.Cluster.VM(peerID)
-				if peer == nil || peer.Host() == nil || st.vm.Host() == nil {
-					continue
-				}
-				a, b := st.vm.ID, peerID
-				if a > b {
-					a, b = b, a
-				}
-				key := [2]int{a, b}
-				if _, ok := desired[key]; ok {
-					continue
-				}
-				srcNode := st.vm.Host().Rack().NodeID
-				dstNode := peer.Host().Rack().NodeID
-				if srcNode == dstNode {
-					continue // intra-rack traffic never crosses the fabric
-				}
-				desired[key] = want{
-					src:  srcNode,
-					dst:  dstNode,
-					rate: r.opts.FlowRate(st.current.TRF),
-					// Dependencies with delay-sensitive endpoints produce
-					// delay-sensitive flows (PRIORITY must not move them).
-					ds: st.vm.DelaySensitive || peer.DelaySensitive,
-				}
-			}
-		}
-	}
-	// Reconcile in deterministic key order: drop stale flows, re-route
-	// moved ones, update rates (map iteration order would perturb the
-	// floating-point load sums).
-	existing := make([][2]int, 0, len(r.flowByPair))
-	for key := range r.flowByPair {
-		existing = append(existing, key)
-	}
-	sort.Slice(existing, func(i, j int) bool {
-		if existing[i][0] != existing[j][0] {
-			return existing[i][0] < existing[j][0]
-		}
-		return existing[i][1] < existing[j][1]
-	})
-	for _, key := range existing {
-		id := r.flowByPair[key]
-		f := r.Flows.Flow(id)
-		w, ok := desired[key]
-		if f == nil || !ok || f.Src != w.src || f.Dst != w.dst {
-			if f != nil {
-				r.Flows.RemoveFlow(id)
-			}
-			delete(r.flowByPair, key)
-			continue
-		}
-		if f.Rate != w.rate {
-			// Rate update failure is impossible for positive rates on a
-			// live flow; ignore the error to keep the loop total.
-			_ = r.Flows.SetRate(f, w.rate)
-		}
-		delete(desired, key) // handled
-	}
-	// Admit new pairs in deterministic order.
-	keys := make([][2]int, 0, len(desired))
-	for key := range desired {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
-		}
-		return keys[i][1] < keys[j][1]
-	})
-	for _, key := range keys {
-		w := desired[key]
-		f, err := r.Flows.AddFlow(w.src, w.dst, w.rate, w.ds)
-		if err != nil {
-			continue // unroutable pairs are skipped, not fatal
-		}
-		r.flowByPair[key] = f.ID
-	}
 }
 
 // qcnHotSwitches advances each switch's congestion point by one step and
@@ -674,7 +437,7 @@ func (r *Runtime) qcnHotSwitches(stats *StepStats) []int {
 func (r *Runtime) uplinkUtilization(rack *dcn.Rack) float64 {
 	max := 0.0
 	for _, e := range r.Cluster.Graph.Edges(rack.NodeID) {
-		if u := r.Flows.LinkUtilization(e.From, e.To); u > max {
+		if u := r.Flows.EdgeUtilization(e); u > max {
 			max = u
 		}
 	}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
@@ -13,42 +14,64 @@ import (
 
 // SnapshotVersion is the current snapshot format version. Restore rejects
 // other versions rather than guessing at field semantics.
-const SnapshotVersion = 1
+//
+// Version 2 replaced the per-VM component histories of version 1 with the
+// Holt (level, trend) states that fully determine the forecast
+// continuation: a million-VM snapshot carries 8 floats per VM instead of
+// 4 unbounded series. Queue monitors are carried the same way. Because
+// the state is global (not per shard), the shard count is free to change
+// between save and restore.
+const SnapshotVersion = 2
 
 // VMSnap is one VM's forecasting state: the generator replay position,
-// the last observed profile, and the four component histories. The cheap
-// Holt trend states are NOT serialized — their continuation is bit-exact
-// with a cold re-smoothing of the restored history, so restore recomputes
-// them on first forecast instead of carrying redundant state.
+// the last observed profile, the observation count, and the per-component
+// Holt (level, trend) pairs in profile order (CPU, Mem, IO, TRF).
 type VMSnap struct {
-	ID        int            `json:"id"`
-	GenPos    int            `json:"gen_pos"`
-	Current   traces.Profile `json:"current"`
-	Histories [4][]float64   `json:"histories"`
+	ID      int            `json:"id"`
+	GenPos  int            `json:"gen_pos"`
+	Current traces.Profile `json:"current"`
+	Hist    int            `json:"hist"`
+	Trend   [4][2]float64  `json:"trend"`
 }
 
 // Snapshot is the serializable state of a Runtime: everything needed so
 // that a restored runtime's subsequent StepStats are bit-identical
 // (timings aside) to the original continuing. Step history is reporting
-// state, not simulation state, and is not carried.
+// state, not simulation state, and is not carried. Both engines emit the
+// same snapshot for the same trajectory (VMs in ascending ID order).
 type Snapshot struct {
 	Version    int               `json:"version"`
 	Step       int               `json:"step"`
 	Seed       int64             `json:"seed"`
+	Lite       bool              `json:"lite,omitempty"` // traces regime (LiteTraces)
 	CostParams cost.Params       `json:"cost_params"`
 	Cluster    *dcn.Snapshot     `json:"cluster"`
 	Flows      *flow.Snapshot    `json:"flows"`
 	FlowPairs  [][3]int          `json:"flow_pairs,omitempty"` // [vmA, vmB, flowID]
 	VMs        []VMSnap          `json:"vms"`
-	Queues     [][]float64       `json:"queues"`
+	Queues     [][3]float64      `json:"queues"` // per-rack monitor (level, trend, count)
 	ModelStale bool              `json:"model_stale"`
 	Deep       []json.RawMessage `json:"deep,omitempty"`      // per-rack fitted selector (null = unfit)
 	DeepHist   [][]float64       `json:"deep_hist,omitempty"` // per-rack pre-fit history
 }
 
+// foldHolt cold-smooths a full history into its Holt state — how the
+// reference engine (which keeps histories, not states) emits version-2
+// snapshots. Bit-exact with the sharded engine's incremental fold.
+func foldHolt(h []float64) [2]float64 {
+	if len(h) == 0 {
+		return [2]float64{}
+	}
+	level, trend := h[0], 0.0
+	for t := 1; t < len(h); t++ {
+		level, trend = holtCoeff.fold(level, trend, h[t])
+	}
+	return [2]float64{level, trend}
+}
+
 // Snapshot captures the runtime's full resumable state. It fails under
-// UseQCN (congestion-point dynamics are not serialized in version 1) and
-// when a fitted deep pool contains an unserializable candidate.
+// UseQCN (congestion-point dynamics are not serialized) and when a fitted
+// deep pool contains an unserializable candidate.
 func (r *Runtime) Snapshot() (*Snapshot, error) {
 	if r.opts.UseQCN {
 		return nil, fmt.Errorf("runtime: snapshot under UseQCN is not supported (congestion-point state is not serialized)")
@@ -57,21 +80,49 @@ func (r *Runtime) Snapshot() (*Snapshot, error) {
 		Version:    SnapshotVersion,
 		Step:       r.step,
 		Seed:       r.opts.Seed,
+		Lite:       r.opts.LiteTraces,
 		CostParams: r.Model.Params(),
 		Cluster:    r.Cluster.Snapshot(),
 		Flows:      r.Flows.Snapshot(),
 		ModelStale: r.modelStale,
 	}
-	for _, st := range r.vms {
-		snap.VMs = append(snap.VMs, VMSnap{
-			ID:        st.vm.ID,
-			GenPos:    st.gen.Pos(),
-			Current:   st.current,
-			Histories: st.pred.Histories(),
-		})
-	}
-	for _, qm := range r.queueMon {
-		snap.Queues = append(snap.Queues, qm.History())
+	if r.ref != nil {
+		for _, st := range r.ref.vms {
+			h := st.pred.Histories()
+			vs := VMSnap{ID: st.vm.ID, GenPos: st.gen.Pos(), Current: st.current, Hist: len(h[0])}
+			for c := 0; c < 4; c++ {
+				vs.Trend[c] = foldHolt(h[c])
+			}
+			snap.VMs = append(snap.VMs, vs)
+		}
+		for _, qm := range r.ref.queueMon {
+			h := qm.History()
+			lt := foldHolt(h)
+			snap.Queues = append(snap.Queues, [3]float64{lt[0], lt[1], float64(len(h))})
+		}
+	} else {
+		sh := r.sh
+		order := make([]int, len(sh.vms))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return sh.vms[order[a]].ID < sh.vms[order[b]].ID })
+		for _, i := range order {
+			pos := 0
+			if sh.lite != nil {
+				pos = sh.lite[i].Pos()
+			} else {
+				pos = sh.gens[i].Pos()
+			}
+			vs := VMSnap{ID: sh.vms[i].ID, GenPos: pos, Current: sh.cur[i], Hist: int(sh.nObs[i])}
+			for c := 0; c < 4; c++ {
+				vs.Trend[c] = [2]float64{sh.pred[i][c].level, sh.pred[i][c].trend}
+			}
+			snap.VMs = append(snap.VMs, vs)
+		}
+		for rk := range sh.qHolt {
+			snap.Queues = append(snap.Queues, [3]float64{sh.qHolt[rk].level, sh.qHolt[rk].trend, float64(sh.qN[rk])})
+		}
 	}
 	for pair, id := range r.flowByPair {
 		snap.FlowPairs = append(snap.FlowPairs, [3]int{pair[0], pair[1], id})
@@ -117,10 +168,14 @@ func less3(a, b [3]int) bool {
 // already been restored from snap.Cluster (same topology construction,
 // then dcn.Cluster.Restore) and a cost model built over that cluster.
 // opts must describe the same regime as the original run — in particular
-// Seed is taken from the snapshot (the generators replay from it) and
-// UseQCN must be off. A restored runtime resumes forecasting
-// incrementally: per-VM histories, queue monitors, flow routes, and any
-// fitted deep pools continue bit-exactly without cold-fitting.
+// Seed is taken from the snapshot (the generators replay from it),
+// LiteTraces must match the snapshot's regime, and UseQCN must be off.
+// The restored runtime always uses the sharded engine; the shard count
+// may differ from the run that produced the snapshot (the state is
+// global, so the partition is free to change). A restored runtime
+// resumes forecasting incrementally: per-VM Holt states, queue monitors,
+// flow routes, and any fitted deep pools continue bit-exactly without
+// cold-fitting.
 func Restore(cluster *dcn.Cluster, model *cost.Model, opts Options, snap *Snapshot) (*Runtime, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("runtime: restore from nil snapshot")
@@ -131,6 +186,12 @@ func Restore(cluster *dcn.Cluster, model *cost.Model, opts Options, snap *Snapsh
 	if opts.UseQCN {
 		return nil, fmt.Errorf("runtime: restore under UseQCN is not supported")
 	}
+	if opts.Reference {
+		return nil, fmt.Errorf("runtime: restore into the reference engine is not supported")
+	}
+	if snap.Lite != opts.LiteTraces {
+		return nil, fmt.Errorf("runtime: snapshot traces regime (lite=%v) does not match options (lite=%v)", snap.Lite, opts.LiteTraces)
+	}
 	opts.Seed = snap.Seed
 	r, err := New(cluster, model, opts)
 	if err != nil {
@@ -139,33 +200,39 @@ func Restore(cluster *dcn.Cluster, model *cost.Model, opts Options, snap *Snapsh
 	r.step = snap.Step
 	r.modelStale = snap.ModelStale
 
-	byID := make(map[int]*vmState, len(r.vms))
-	for _, st := range r.vms {
-		byID[st.vm.ID] = st
-	}
-	if len(snap.VMs) != len(r.vms) {
-		return nil, fmt.Errorf("runtime: snapshot has %d VMs, cluster has %d", len(snap.VMs), len(r.vms))
+	sh := r.sh
+	if len(snap.VMs) != len(sh.vms) {
+		return nil, fmt.Errorf("runtime: snapshot has %d VMs, cluster has %d", len(snap.VMs), len(sh.vms))
 	}
 	for _, vs := range snap.VMs {
-		st := byID[vs.ID]
-		if st == nil {
+		i, ok := sh.vmIndex[vs.ID]
+		if !ok {
 			return nil, fmt.Errorf("runtime: snapshot VM %d not present in cluster", vs.ID)
 		}
 		if vs.GenPos < 0 {
 			return nil, fmt.Errorf("runtime: snapshot VM %d has negative generator position", vs.ID)
 		}
-		st.gen.Skip(vs.GenPos)
-		st.current = vs.Current
-		if err := st.pred.RestoreHistories(vs.Histories); err != nil {
-			return nil, fmt.Errorf("runtime: snapshot VM %d: %w", vs.ID, err)
+		if vs.Hist < 0 {
+			return nil, fmt.Errorf("runtime: snapshot VM %d has negative history length", vs.ID)
+		}
+		if sh.lite != nil {
+			sh.lite[i].Skip(vs.GenPos)
+		} else {
+			sh.gens[i].Skip(vs.GenPos)
+		}
+		sh.cur[i] = vs.Current
+		sh.nObs[i] = int32(vs.Hist)
+		for c := 0; c < 4; c++ {
+			sh.pred[i][c] = holtState{level: vs.Trend[c][0], trend: vs.Trend[c][1]}
 		}
 	}
 
-	if len(snap.Queues) != len(r.queueMon) {
-		return nil, fmt.Errorf("runtime: snapshot has %d queue monitors, cluster has %d racks", len(snap.Queues), len(r.queueMon))
+	if len(snap.Queues) != len(sh.qHolt) {
+		return nil, fmt.Errorf("runtime: snapshot has %d queue monitors, cluster has %d racks", len(snap.Queues), len(sh.qHolt))
 	}
-	for i, h := range snap.Queues {
-		r.queueMon[i].RestoreHistory(h)
+	for rk, q := range snap.Queues {
+		sh.qHolt[rk] = holtState{level: q[0], trend: q[1]}
+		sh.qN[rk] = int32(q[2])
 	}
 
 	if err := r.Flows.Restore(snap.Flows); err != nil {

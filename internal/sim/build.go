@@ -17,8 +17,10 @@ func ParseKind(s string) (Kind, error) {
 		return FatTree, nil
 	case "bcube", "bc":
 		return BCube, nil
+	case "leaf-spine", "leafspine", "ls":
+		return LeafSpine, nil
 	default:
-		return 0, fmt.Errorf("sim: unknown topology %q (want fat-tree or bcube)", s)
+		return 0, fmt.Errorf("sim: unknown topology %q (want fat-tree, bcube, or leaf-spine)", s)
 	}
 }
 
@@ -66,6 +68,12 @@ func BuildCluster(cfg RuntimeConfig) (*dcn.Cluster, *cost.Model, error) {
 			return nil, nil, err
 		}
 		g = b.Graph
+	case LeafSpine:
+		ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{Leaves: cfg.Size})
+		if err != nil {
+			return nil, nil, err
+		}
+		g = ls.Graph
 	default:
 		return nil, nil, fmt.Errorf("sim: unknown topology kind %d", cfg.Kind)
 	}

@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+// TestRunScaleSmoke drives a small leaf-spine scenario through both
+// engines and requires identical alert/migration totals — the scale
+// harness inherits the engines' bit-exact equivalence.
+func TestRunScaleSmoke(t *testing.T) {
+	base := ScaleConfig{
+		Racks:          50,
+		HostsPerRack:   1,
+		VMsPerHost:     2,
+		Steps:          4,
+		Shards:         2,
+		Seed:           21,
+		DependencyProb: 0.1,
+		Threshold:      0.5,
+	}
+	sharded, err := RunScale(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.VMs != 100 || sharded.Racks != 50 {
+		t.Fatalf("unexpected shape: %d racks, %d VMs", sharded.Racks, sharded.VMs)
+	}
+	if sharded.ServerAlerts == 0 {
+		t.Fatal("threshold 0.5 raised no server alerts")
+	}
+	if sharded.MeanStepSeconds <= 0 || sharded.TotalSeconds <= 0 {
+		t.Fatal("timing fields not populated")
+	}
+
+	ref := base
+	ref.Reference = true
+	refRes, err := RunScale(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refRes.ServerAlerts != sharded.ServerAlerts ||
+		refRes.ToRAlerts != sharded.ToRAlerts ||
+		refRes.Migrations != sharded.Migrations {
+		t.Fatalf("engines diverged: sharded (%d,%d,%d) vs reference (%d,%d,%d)",
+			sharded.ServerAlerts, sharded.ToRAlerts, sharded.Migrations,
+			refRes.ServerAlerts, refRes.ToRAlerts, refRes.Migrations)
+	}
+}
+
+// TestRunScaleLite exercises the lite-traces memory regime end to end.
+func TestRunScaleLite(t *testing.T) {
+	res, err := RunScale(ScaleConfig{
+		Racks:      40,
+		VMsPerHost: 2,
+		Steps:      3,
+		Shards:     3,
+		Seed:       5,
+		Threshold:  2, // alert-free predict plane
+		LiteTraces: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerAlerts != 0 || res.Migrations != 0 {
+		t.Fatalf("threshold 2 should be alert-free, got %d alerts %d migrations", res.ServerAlerts, res.Migrations)
+	}
+	if res.VMs != 160 {
+		t.Fatalf("VMs = %d, want 160", res.VMs)
+	}
+}

@@ -33,6 +33,9 @@ const (
 	FatTree Kind = iota
 	// BCube simulates a BCube(n,1) (Size = switches per level).
 	BCube
+	// LeafSpine simulates a two-tier leaf–spine fabric (Size = leaves).
+	// Linear in racks, it is the topology of the hyperscale scenarios.
+	LeafSpine
 )
 
 // String names the topology kind.
@@ -42,6 +45,8 @@ func (k Kind) String() string {
 		return "fat-tree"
 	case BCube:
 		return "bcube"
+	case LeafSpine:
+		return "leaf-spine"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -119,6 +124,12 @@ func Build(cfg Config) (*Sim, error) {
 			return nil, err
 		}
 		g = b.Graph
+	case LeafSpine:
+		ls, err := topology.NewLeafSpine(topology.LeafSpineConfig{Leaves: cfg.Size})
+		if err != nil {
+			return nil, err
+		}
+		g = ls.Graph
 	default:
 		return nil, fmt.Errorf("sim: unknown topology kind %d", cfg.Kind)
 	}

@@ -1,0 +1,47 @@
+package topology
+
+import "testing"
+
+func TestLeafSpineShape(t *testing.T) {
+	ls, err := NewLeafSpine(LeafSpineConfig{Leaves: 100, Spines: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ls.Graph.Racks()); got != 100 {
+		t.Fatalf("racks = %d, want 100", got)
+	}
+	if got := len(ls.Graph.Switches()); got != 8 {
+		t.Fatalf("switches = %d, want 8", got)
+	}
+	// Every leaf reaches every other leaf in exactly two hops via any spine.
+	for _, rack := range ls.RackIDs[:5] {
+		if got := len(ls.Graph.Edges(rack)); got != 8 {
+			t.Fatalf("leaf %d has %d uplinks, want 8", rack, got)
+		}
+	}
+	for _, sp := range ls.SpineIDs {
+		if got := len(ls.Graph.Edges(sp)); got != 100 {
+			t.Fatalf("spine %d has %d downlinks, want 100", sp, got)
+		}
+	}
+}
+
+func TestLeafSpineDefaultsAndErrors(t *testing.T) {
+	if _, err := NewLeafSpine(LeafSpineConfig{}); err == nil {
+		t.Fatal("zero leaves accepted")
+	}
+	ls, err := NewLeafSpine(LeafSpineConfig{Leaves: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ls.SpineIDs); got != 16 {
+		t.Fatalf("default spines for 1024 leaves = %d, want 16", got)
+	}
+	small, err := NewLeafSpine(LeafSpineConfig{Leaves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(small.SpineIDs); got != 4 {
+		t.Fatalf("default spine floor = %d, want 4", got)
+	}
+}

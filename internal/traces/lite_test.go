@@ -1,0 +1,65 @@
+package traces
+
+import "testing"
+
+func TestLiteGenDeterministic(t *testing.T) {
+	a := NewLiteGen(42)
+	b := NewLiteGen(42)
+	for i := 0; i < 500; i++ {
+		if pa, pb := a.Next(), b.Next(); pa != pb {
+			t.Fatalf("step %d: same seed diverged: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+func TestLiteGenSkipMatchesReplay(t *testing.T) {
+	replay := NewLiteGen(7)
+	for i := 0; i < 123; i++ {
+		replay.Next()
+	}
+	skipped := NewLiteGen(7)
+	skipped.Skip(123)
+	if skipped.Pos() != 123 {
+		t.Fatalf("Pos after Skip(123) = %d", skipped.Pos())
+	}
+	for i := 0; i < 50; i++ {
+		if pr, ps := replay.Next(), skipped.Next(); pr != ps {
+			t.Fatalf("step %d after skip diverged: %+v vs %+v", i, pr, ps)
+		}
+	}
+}
+
+func TestLiteGenNormalizedAndVarying(t *testing.T) {
+	g := NewLiteGen(3)
+	other := NewLiteGen(4)
+	var crossedHot, differsAcrossSeeds bool
+	prev := Profile{}
+	var changes int
+	for i := 0; i < 3*SamplesPerDay; i++ {
+		p := g.At(int64(i))
+		for _, v := range p.Components() {
+			if v < 0 || v > 1 {
+				t.Fatalf("step %d: component %v out of [0,1] in %+v", i, v, p)
+			}
+		}
+		if p.Max() > 0.9 {
+			crossedHot = true
+		}
+		if p != other.At(int64(i)) {
+			differsAcrossSeeds = true
+		}
+		if i > 0 && p != prev {
+			changes++
+		}
+		prev = p
+	}
+	if !crossedHot {
+		t.Fatal("lite traces never cross the 0.9 hot region — alerts would be untestable at scale")
+	}
+	if !differsAcrossSeeds {
+		t.Fatal("distinct seeds produced identical traces")
+	}
+	if changes < SamplesPerDay {
+		t.Fatalf("trace nearly constant: only %d changes over 3 days", changes)
+	}
+}
