@@ -244,7 +244,7 @@ func BenchmarkPlacementPolicies(b *testing.B) {
 	for i := range caps {
 		caps[i] = 10
 	}
-	for _, pol := range []placement.Policy{placement.FirstFit, placement.BestFit, placement.WorstFit} {
+	for _, pol := range []placement.Kind{placement.FirstFit, placement.BestFit, placement.WorstFit} {
 		b.Run(pol.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()

@@ -11,6 +11,7 @@
 //	sheriffsim -mode chaos -seed 42 -drop 0.2 -dup 0.25 -partition 1:3:0 -trace chaos.jsonl
 //	sheriffsim -mode scale -racks 1000 -vms 4 -steps 10 -shards 4 -json BENCH_scale.json
 //	sheriffsim -mode scale -racks 5000 -hosts 20 -vms 10 -lite -threshold 2  # 1M VMs
+//	sheriffsim -mode policy -size 4 -json BENCH_policy.json
 //
 // -trace writes a JSONL event stream (see internal/obs); with no explicit
 // -mode it implies -mode dist, the message-level protocol whose
@@ -36,6 +37,7 @@ import (
 	"sheriff/internal/faults"
 	"sheriff/internal/migrate"
 	"sheriff/internal/obs"
+	"sheriff/internal/placement"
 	"sheriff/internal/sim"
 )
 
@@ -51,7 +53,7 @@ func main() {
 // parseable JSONL trace.
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("sheriffsim", flag.ContinueOnError)
-	mode := fs.String("mode", "balance", "balance, compare, sweep, plan, dist, chaos, or scale")
+	mode := fs.String("mode", "balance", "balance, compare, sweep, plan, dist, chaos, scale, or policy")
 	topo := fs.String("topology", "fat-tree", "fat-tree or bcube")
 	size := fs.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
 	sizes := fs.String("sizes", "", "comma-separated size sweep (mode=sweep)")
@@ -169,6 +171,8 @@ func run(args []string, out io.Writer) (err error) {
 			Partitions:  windows,
 		}
 		return runChaos(out, cfg, plan, rec)
+	case "policy":
+		return runPolicyGrid(out, cfg, *size, *jsonOut, rec)
 	case "scale":
 		return runScale(out, sim.ScaleConfig{
 			Racks:          *racks,
@@ -186,6 +190,68 @@ func run(args []string, out io.Writer) (err error) {
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// runPolicyGrid runs the placement-policy ablation: every matching-capable
+// policy (sheriff, best-fit, worst-fit, oversub) × topology (fat-tree,
+// bcube) × fault plan (none, chaos), each cell through the distributed
+// protocol with preemption and the fail-queue enabled. Each row ends with
+// its "unplaced N" count and the summary line reports the grid total —
+// "total unplaced 0" is the grid's resilience criterion (CI greps for it).
+// With -json each cell appends one JSON line (BENCH_policy.json).
+func runPolicyGrid(out io.Writer, cfg sim.Config, size int, jsonPath string, rec *obs.Recorder) error {
+	var enc *json.Encoder
+	if jsonPath != "" {
+		f, err := os.OpenFile(jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	chaos := &faults.Plan{Seed: cfg.Seed, Drop: 0.1, DupRate: 0.1, ReorderRate: 0.2, Jitter: 1}
+	topos := []sim.Kind{sim.FatTree, sim.BCube}
+	plans := []struct {
+		name string
+		plan *faults.Plan
+	}{{"none", nil}, {"chaos", chaos}}
+	cells, totalUnplaced := 0, 0
+	for _, kind := range topos {
+		for _, pol := range placement.Kinds() {
+			for _, fp := range plans {
+				c := cfg
+				c.Kind = kind
+				c.Size = size
+				res, err := sim.RunPolicy(sim.PolicyConfig{
+					Sim:         c,
+					Policy:      placement.PolicyOptions{Kind: pol, Seed: cfg.Seed},
+					Preempt:     migrate.PreemptOptions{Enabled: true},
+					Retry:       migrate.RetryOptions{Enabled: true},
+					Fault:       fp.plan,
+					FaultName:   fp.name,
+					Distributed: true,
+					Recorder:    rec,
+				})
+				if err != nil {
+					return fmt.Errorf("policy grid %s/%s/%s: %w", pol, kind, fp.name, err)
+				}
+				cells++
+				totalUnplaced += res.Unplaced
+				fmt.Fprintf(out, "policy %-9s %-8s %-5s: stddev %6.3f -> %6.3f (decay %5.1f%%) | %3d migrations cost %9.1f | preempt %d requeue %d retry %d | unplaced %d\n",
+					res.Policy, res.Topology, res.Fault,
+					res.InitialStdDev, res.FinalStdDev, 100*res.StdDevDecay,
+					res.Migrations, res.MigrationCost,
+					res.Preemptions, res.Requeued, res.Retried, res.Unplaced)
+				if enc != nil {
+					if err := enc.Encode(res); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	fmt.Fprintf(out, "policy grid: %d cells, total unplaced %d\n", cells, totalUnplaced)
+	return nil
 }
 
 // runChaos is runDist under a seeded fault plan: the injected drops,

@@ -98,9 +98,9 @@ func TestNewCoordinatorFacade(t *testing.T) {
 	}
 }
 
-func TestNewExtendedPredictorFacade(t *testing.T) {
+func TestNewPredictorExtendedPoolFacade(t *testing.T) {
 	data := traces.WeeklyTraffic(traces.TrafficConfig{Days: 7, PerDay: 64, Seed: 44}).Values()
-	sel, err := NewExtendedPredictor(data[:350], 0, 44)
+	sel, err := NewPredictor(data[:350], PredictorOptions{Pool: PredictorPoolExtended, Seed: 44})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,7 @@ import (
 func TestEndToEndSheriffScenario(t *testing.T) {
 	// --- Prediction phase ---
 	trace := traces.CPU(traces.CPUConfig{Hours: 8, Seed: 99}).Values()
-	sel, err := NewCombinedPredictor(trace[:400], 99)
+	sel, err := NewPredictor(trace[:400], PredictorOptions{Seed: 99})
 	if err != nil {
 		t.Fatal(err)
 	}

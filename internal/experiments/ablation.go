@@ -317,12 +317,12 @@ func AblationPlacement(seed int64) (*Table, error) {
 		Columns: []string{"policy", "initial_stddev", "final_stddev", "migrations"},
 		Notes:   []string{"policy: 0 = first-fit, 1 = best-fit, 2 = worst-fit, 3 = random"},
 	}
-	for _, pol := range []placement.Policy{placement.FirstFit, placement.BestFit, placement.WorstFit, placement.Random} {
+	for row, kind := range []placement.Kind{placement.FirstFit, placement.BestFit, placement.WorstFit, placement.Random} {
 		s, err := sim.Build(sim.Config{Kind: sim.FatTree, Size: 4, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		placer := placement.New(s.Cluster, pol, seed)
+		placer := placement.New(s.Cluster, kind, seed)
 		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < 60; i++ {
 			if _, err := placer.Place(5+rng.Float64()*15, 1+rng.Float64()*9, false); err != nil {
@@ -340,7 +340,37 @@ func AblationPlacement(seed int64) (*Table, error) {
 				migrations += len(r.Migrations)
 			}
 		}
-		t.AddRow(float64(pol), initial, s.Cluster.WorkloadStdDev(), float64(migrations))
+		t.AddRow(float64(row), initial, s.Cluster.WorkloadStdDev(), float64(migrations))
+	}
+	return t, nil
+}
+
+// AblationPolicy runs the placement-policy grid sequentially on a 4-pod
+// Fat-Tree: every matching-capable policy relocates the same 5% alerted
+// VMs with preemption and the fail-queue enabled, exposing the
+// stddev-decay vs migration-cost trade-off each policy buys (best-fit
+// packs and pays in imbalance, worst-fit spreads and pays in cost,
+// oversubscription absorbs overflow in place).
+func AblationPolicy(seed int64) (*Table, error) {
+	t := &Table{
+		Name:    "Ablation A10",
+		Title:   "Migration placement policy: stddev decay vs migration cost",
+		Columns: []string{"policy", "initial_stddev", "final_stddev", "decay", "migration_cost", "migrations", "preemptions", "requeued", "unplaced"},
+		Notes:   []string{"policy: 0 = sheriff, 1 = best-fit, 2 = worst-fit, 3 = oversub(2x)"},
+	}
+	for row, kind := range placement.Kinds() {
+		res, err := sim.RunPolicy(sim.PolicyConfig{
+			Sim:     sim.Config{Kind: sim.FatTree, Size: 4, Seed: seed},
+			Policy:  placement.PolicyOptions{Kind: kind, Seed: seed},
+			Preempt: migrate.PreemptOptions{Enabled: true},
+			Retry:   migrate.RetryOptions{Enabled: true},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy ablation %s: %w", kind, err)
+		}
+		t.AddRow(float64(row), res.InitialStdDev, res.FinalStdDev, res.StdDevDecay,
+			res.MigrationCost, float64(res.Migrations), float64(res.Preemptions),
+			float64(res.Requeued), float64(res.Unplaced))
 	}
 	return t, nil
 }
@@ -377,7 +407,7 @@ func AblationKMedianPlanning(seed int64) (*Table, error) {
 		for _, r := range shim.NeighborRacks() {
 			hosts = append(hosts, r.Hosts...)
 		}
-		res, err := migrate.VMMigrationOpts(sA.Cluster, sA.Model, vms, hosts, true)
+		res, err := migrate.Migrate(sA.Cluster, sA.Model, vms, hosts, migrate.MigrationOptions{ForbidSameRack: true, Shim: migrate.ShimUnknown})
 		if err != nil {
 			return nil, err
 		}
@@ -423,7 +453,7 @@ func AblationKMedianPlanning(seed int64) (*Table, error) {
 				}
 			}
 		}
-		res, err := migrate.VMMigrationOpts(sB.Cluster, sB.Model, vms, dstRack.Hosts, true)
+		res, err := migrate.Migrate(sB.Cluster, sB.Model, vms, dstRack.Hosts, migrate.MigrationOptions{ForbidSameRack: true, Shim: migrate.ShimUnknown})
 		if err != nil {
 			return nil, err
 		}
@@ -487,6 +517,7 @@ var Ablations = map[string]func(seed int64) (*Table, error){
 	"seasonal":        AblationSeasonal,
 	"reroute":         AblationReroute,
 	"placement":       AblationPlacement,
+	"policy":          AblationPolicy,
 	"kmedian":         AblationKMedianPlanning,
 	"planning-scale":  AblationPlanningScale,
 }

@@ -39,6 +39,10 @@ type RoundReport struct {
 	SearchSpace int
 	Collisions  int // commits refused because another shim won the slot
 	Rounds      int // recompute iterations until quiescence
+	Preemptions int // victims evicted by the leftover pass
+	Retried     int // fail-queued VMs drained into this round
+	Requeued    int // VMs parked in shim fail-queues for a later round
+	Unplaced    []*dcn.VM
 }
 
 // proposal is one shim's desired placement for one VM.
@@ -116,7 +120,7 @@ func (co *Coordinator) Round(alertsByShim [][]alert.Alert) (*RoundReport, error)
 			for _, p := range proposals[i] {
 				rec.Record(obs.Event{Kind: obs.KindRequest, Round: report.Rounds,
 					Shim: src.Rack.Index, VM: p.vm.ID, Host: p.dst.ID, Value: p.cost})
-				granted := Request(p.vm, p.dst)
+				granted := RequestWith(src.policy, p.vm, p.dst)
 				if granted {
 					if dstShim := shimByRack[p.dst.Rack().Index]; dstShim != nil {
 						if pol := dstShim.params.RequestPolicy; pol != nil && !pol(p.vm, p.dst) {
@@ -126,7 +130,7 @@ func (co *Coordinator) Round(alertsByShim [][]alert.Alert) (*RoundReport, error)
 				}
 				if granted {
 					from := p.vm.Host()
-					if err := co.cluster.Move(p.vm, p.dst); err != nil {
+					if err := commitMove(co.cluster, src.policy, p.vm, p.dst); err != nil {
 						report.Collisions++
 						next[i] = append(next[i], p.vm)
 						rec.Record(obs.Event{Kind: obs.KindReject, Round: report.Rounds,
@@ -161,6 +165,30 @@ func (co *Coordinator) Round(alertsByShim [][]alert.Alert) (*RoundReport, error)
 			break
 		}
 	}
+	// Leftover pass: VMs the FCFS protocol never placed were silently
+	// dropped before the fail-queue existed. Shims that opted into
+	// preemption or retries now hand their leftovers (and any VMs parked
+	// in earlier rounds) to the sequential Alg. 3 path, which evicts,
+	// places, or parks them; default shims keep the old drop semantics.
+	for i, s := range co.shims {
+		if s.queue == nil && !s.params.Preempt.Enabled {
+			continue
+		}
+		if len(pending[i]) == 0 && s.QueueLen() == 0 {
+			continue
+		}
+		res, err := Migrate(co.cluster, co.model, pending[i], s.regionHosts(true), s.migrationOptions())
+		if err != nil {
+			return report, err
+		}
+		report.Migrations = append(report.Migrations, res.Migrations...)
+		report.TotalCost += res.TotalCost
+		report.SearchSpace += res.SearchSpace
+		report.Preemptions += res.Preemptions
+		report.Retried += res.Retried
+		report.Requeued += res.Requeued
+		report.Unplaced = append(report.Unplaced, res.Unplaced...)
+	}
 	return report, nil
 }
 
@@ -173,10 +201,12 @@ func (s *Shim) propose(vms []*dcn.VM) ([]proposal, int) {
 		return nil, 0
 	}
 	costs := make([][]float64, len(vms))
+	bases := make([][]float64, len(vms))
 	for i, vm := range vms {
 		costs[i] = make([]float64, len(hosts))
+		bases[i] = make([]float64, len(hosts))
 		for j, h := range hosts {
-			costs[i][j] = pairCost(s.cluster, s.model, vm, h)
+			costs[i][j], bases[i][j] = pairCost(s.cluster, s.model, vm, h, s.policy)
 		}
 	}
 	sol, err := matching.Solve(costs)
@@ -186,7 +216,7 @@ func (s *Shim) propose(vms []*dcn.VM) ([]proposal, int) {
 	var out []proposal
 	for i, vm := range vms {
 		if j := sol.Assign[i]; j >= 0 {
-			out = append(out, proposal{vm: vm, dst: hosts[j], cost: costs[i][j]})
+			out = append(out, proposal{vm: vm, dst: hosts[j], cost: bases[i][j]})
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].vm.ID < out[b].vm.ID })

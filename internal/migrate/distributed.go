@@ -5,11 +5,13 @@ import (
 	"sort"
 	"strconv"
 
+	"sheriff/internal/alert"
 	"sheriff/internal/comm"
 	"sheriff/internal/cost"
 	"sheriff/internal/dcn"
 	"sheriff/internal/matching"
 	"sheriff/internal/obs"
+	"sheriff/internal/placement"
 )
 
 // DistOptions tunes the message-passing migration protocol. Zero fields
@@ -47,6 +49,19 @@ type DistOptions struct {
 	// Recorder, when non-nil, receives request/ack/reject/retry/backoff/
 	// suppress/fallback/unplaced events with protocol round numbers.
 	Recorder *obs.Recorder
+	// Placement selects the protocol-wide destination-scoring policy for
+	// source matchings and destination capacity grants. The zero value is
+	// the Sheriff rule, bit-exact with the pre-policy protocol.
+	Placement placement.PolicyOptions
+	// Preempt enables destination-side preemption: a shim refusing a
+	// REQUEST for capacity may evict a strictly lower-severity resident
+	// to grant it. Requires Queue (the victim must park somewhere).
+	Preempt PreemptOptions
+	// Queue, when non-nil, is the cross-invocation fail-queue: parked VMs
+	// drain into their owning shim's candidate set at the start of the
+	// run, and budget- or rounds-exhausted VMs park for the next run
+	// instead of degrading straight to the fallback ladder.
+	Queue *RetryQueue
 }
 
 // Validate reports whether the options are usable. Negative values are
@@ -67,7 +82,10 @@ func (o DistOptions) Validate() error {
 	if o.BackoffMax < 0 {
 		return fmt.Errorf("migrate: BackoffMax must be >= 0 (0 = default), got %d", o.BackoffMax)
 	}
-	return nil
+	if err := o.Placement.Validate(); err != nil {
+		return err
+	}
+	return o.Preempt.Validate()
 }
 
 // WithDefaults returns the options with zero fields replaced by their
@@ -89,6 +107,8 @@ func (o DistOptions) WithDefaults() DistOptions {
 	if o.BackoffMax == 0 {
 		o.BackoffMax = 8
 	}
+	o.Placement = o.Placement.WithDefaults()
+	o.Preempt = o.Preempt.WithDefaults()
 	return o
 }
 
@@ -103,6 +123,9 @@ type DistResult struct {
 	Fallbacks   int // VMs degraded to local sequential placement
 	Rounds      int
 	Unplaced    []*dcn.VM
+	Preemptions int // residents evicted by destination shims
+	Retried     int // fail-queued VMs drained into this run
+	Requeued    int // VMs parked in the fail-queue for the next run
 }
 
 // outstanding tracks one in-flight request at its source shim.
@@ -161,15 +184,51 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 	opts = opts.WithDefaults()
 	rec := opts.Recorder
 	res := &DistResult{}
+	var pol placement.Policy
+	if opts.Placement.Kind != placement.Sheriff {
+		p, err := opts.Placement.New()
+		if err != nil {
+			return nil, err
+		}
+		pol = p
+	}
 
 	shimByRack := make(map[int]*Shim, len(shims))
-	for _, s := range shims {
+	shimIdxByRack := make(map[int]int, len(shims))
+	for i, s := range shims {
 		shimByRack[s.Rack.Index] = s
+		shimIdxByRack[s.Rack.Index] = i
 	}
 	remaining := make([][]*dcn.VM, len(shims))
 	for i, set := range vmSets {
 		remaining[i] = append([]*dcn.VM(nil), set...)
 	}
+	// Drain the cross-invocation fail-queue: parked VMs re-enter their
+	// owning shim's candidate set (unattributed entries go to shim 0).
+	queueAttempts := make(map[int]int)
+	queueEvicted := make(map[int]bool)
+	if opts.Queue != nil {
+		for _, e := range opts.Queue.TakeAll() {
+			if c.VM(e.VM.ID) != e.VM {
+				continue // removed from the cluster while parked
+			}
+			i, ok := shimIdxByRack[e.Shim]
+			if !ok {
+				i = 0
+			}
+			queueAttempts[e.VM.ID] = e.Attempts
+			if e.Evicted {
+				queueEvicted[e.VM.ID] = true
+			}
+			remaining[i] = append(remaining[i], e.VM)
+			res.Retried++
+			if rec.Enabled() {
+				rec.Record(obs.Event{Kind: obs.KindRetry, Shim: e.Shim, VM: e.VM.ID, Host: ShimUnknown,
+					Value: float64(e.Attempts), Attrs: map[string]string{"cause": "queue"}})
+			}
+		}
+	}
+	evictions := 0
 	// Per-shim excluded (vmID, hostID) pairs after explicit REJECTs.
 	excluded := make([]map[int]map[int]bool, len(shims))
 	for i := range excluded {
@@ -239,6 +298,7 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 				continue
 			}
 			costs := make([][]float64, len(ready))
+			bases := make([][]float64, len(ready))
 			feasible := false
 			cut := make(map[int]bool) // host index -> across a partition
 			for hi, h := range hosts {
@@ -248,12 +308,13 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 			}
 			for vi, vm := range ready {
 				costs[vi] = make([]float64, len(hosts))
+				bases[vi] = make([]float64, len(hosts))
 				for hi, h := range hosts {
 					if cut[hi] || excluded[i][vm.ID][h.ID] {
 						costs[vi][hi] = matching.Forbidden
 						continue
 					}
-					costs[vi][hi] = pairCost(c, m, vm, h)
+					costs[vi][hi], bases[vi][hi] = pairCost(c, m, vm, h, pol)
 					if costs[vi][hi] != matching.Forbidden {
 						feasible = true
 					}
@@ -284,9 +345,9 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 				}
 				dst := hosts[hi]
 				seq++
-				pending[i][seq] = &outstanding{vm: vm, dst: dst, cost: costs[vi][hi]}
+				pending[i][seq] = &outstanding{vm: vm, dst: dst, cost: bases[vi][hi]}
 				rec.Record(obs.Event{Kind: obs.KindRequest, Round: res.Rounds,
-					Shim: shim.Rack.Index, VM: vm.ID, Host: dst.ID, Value: costs[vi][hi]})
+					Shim: shim.Rack.Index, VM: vm.ID, Host: dst.ID, Value: bases[vi][hi]})
 				bus.Send(comm.Message{
 					Type: comm.MsgRequest,
 					From: shim.Rack.Index,
@@ -315,9 +376,36 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 				vm := c.VM(msg.VMID)
 				dst := c.Host(msg.HostID)
 				reply = comm.MsgReject
-				if vm != nil && dst != nil && dst.Rack() == shim.Rack && allowRequest(opts.RequestPolicy, shim, vm, dst) {
-					if err := c.Move(vm, dst); err == nil {
-						reply = comm.MsgAck
+				if vm != nil && dst != nil && dst.Rack() == shim.Rack {
+					granted := allowRequestWith(pol, opts.RequestPolicy, shim, vm, dst)
+					// Destination-side preemption: a capacity refusal may
+					// evict one strictly lower-severity resident; the victim
+					// parks in the fail-queue and finds a new home later.
+					if !granted && opts.Preempt.Enabled && opts.Queue != nil &&
+						evictions < opts.Preempt.MaxEvictions &&
+						allowRequestPolicies(opts.RequestPolicy, shim, vm, dst) {
+						if victim := preemptVictim(c, vm, dst, opts.Preempt, nil); victim != nil {
+							c.Evict(victim)
+							evictions++
+							res.Preemptions++
+							opts.Queue.Put(RetryEntry{VM: victim, Shim: shim.Rack.Index, Evicted: true})
+							res.Requeued++
+							if rec.Enabled() {
+								rec.Record(obs.Event{Kind: obs.KindPreempt, Round: res.Rounds,
+									Shim: shim.Rack.Index, VM: victim.ID, Host: dst.ID,
+									Value: victim.Value, Attrs: map[string]string{
+										"for":             strconv.Itoa(vm.ID),
+										"severity":        alert.ClassifySeverity(vm.Alert).String(),
+										"victim-severity": alert.ClassifySeverity(victim.Alert).String(),
+									}})
+							}
+							granted = allowRequestWith(pol, opts.RequestPolicy, shim, vm, dst)
+						}
+					}
+					if granted {
+						if err := commitMove(c, pol, vm, dst); err == nil {
+							reply = comm.MsgAck
+						}
 					}
 				}
 				seen[msg.Seq] = reply
@@ -468,14 +556,33 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 	}
 	// Degradation ladder, last rung: each shim places its degraded VMs
 	// with local sequential VMMIGRATION over its own region — no bus, no
-	// retries — so a hostile fabric costs optimality, not placement.
+	// retries — so a hostile fabric costs optimality, not placement. With
+	// a fail-queue attached, VMs inside the attempt budget park for the
+	// next protocol run instead of degrading; budget-exhausted ones still
+	// take the ladder so in-call unplaced==0 guarantees hold.
 	for i, shim := range shims {
 		if len(fallback[i]) == 0 {
 			continue
 		}
 		vms := make([]*dcn.VM, 0, len(fallback[i]))
 		for _, f := range fallback[i] {
-			vms = append(vms, f.vm)
+			vm := f.vm
+			if opts.Queue != nil {
+				att := queueAttempts[vm.ID] + 1
+				if opts.Queue.Put(RetryEntry{VM: vm, Shim: shim.Rack.Index, Attempts: att, Evicted: queueEvicted[vm.ID]}) {
+					res.Requeued++
+					if rec.Enabled() {
+						rec.Record(obs.Event{Kind: obs.KindRequeue, Round: res.Rounds,
+							Shim: shim.Rack.Index, VM: vm.ID, Host: ShimUnknown,
+							Value: float64(att), Attrs: map[string]string{"attempts": strconv.Itoa(att)}})
+					}
+					continue
+				}
+			}
+			vms = append(vms, vm)
+		}
+		if len(vms) == 0 {
+			continue
 		}
 		if opts.DisableFallback {
 			res.Unplaced = append(res.Unplaced, vms...)
@@ -487,10 +594,11 @@ func DistributedVMMigration(c *dcn.Cluster, m *cost.Model, bus *comm.Bus, shims 
 			res.Unplaced = append(res.Unplaced, vms...)
 			continue
 		}
-		lr, err := VMMigrationWith(c, m, vms, hosts, MigrationOptions{
-			Policy:   composePolicy(opts.RequestPolicy, shim.params.RequestPolicy),
-			Recorder: rec,
-			Shim:     shim.Rack.Index,
+		lr, err := Migrate(c, m, vms, hosts, MigrationOptions{
+			Policy:    composePolicy(opts.RequestPolicy, shim.params.RequestPolicy),
+			Recorder:  rec,
+			Shim:      shim.Rack.Index,
+			Placement: pol,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("migrate: fallback placement shim %d: %w", shim.Rack.Index, err)
@@ -520,16 +628,62 @@ func composePolicy(a, b RequestPolicy) RequestPolicy {
 	return func(vm *dcn.VM, dst *dcn.Host) bool { return a(vm, dst) && b(vm, dst) }
 }
 
-// allowRequest composes the protocol-wide policy, the destination shim's
-// own policy, and the Alg. 4 capacity check.
-func allowRequest(protocol RequestPolicy, dstShim *Shim, vm *dcn.VM, dst *dcn.Host) bool {
+// allowRequestPolicies composes the protocol-wide policy and the
+// destination shim's own policy (the admission stages, without the
+// capacity check).
+func allowRequestPolicies(protocol RequestPolicy, dstShim *Shim, vm *dcn.VM, dst *dcn.Host) bool {
 	if protocol != nil && !protocol(vm, dst) {
 		return false
 	}
 	if p := dstShim.params.RequestPolicy; p != nil && !p(vm, dst) {
 		return false
 	}
-	return Request(vm, dst)
+	return true
+}
+
+// allowRequestWith composes the admission policies and the Alg. 4
+// capacity check under the placement policy's capacity rule.
+func allowRequestWith(pol placement.Policy, protocol RequestPolicy, dstShim *Shim, vm *dcn.VM, dst *dcn.Host) bool {
+	return allowRequestPolicies(protocol, dstShim, vm, dst) && RequestWith(pol, vm, dst)
+}
+
+// preemptVictim selects the cheapest evictable resident of dst whose
+// severity tier the incoming VM dominates by the configured gap: lowest
+// knapsack Value first (the Alg. 2 preference), lowest ID on ties, never
+// delay-sensitive VMs or IDs in skip, and only when the eviction
+// actually makes room and leaves no dependency conflict. Returns nil
+// when no resident qualifies.
+func preemptVictim(c *dcn.Cluster, vm *dcn.VM, dst *dcn.Host, po PreemptOptions, skip map[int]bool) *dcn.VM {
+	sev := alert.ClassifySeverity(vm.Alert)
+	if int(sev) < po.MinSeverityGap {
+		return nil
+	}
+	var victim *dcn.VM
+	for _, resident := range dst.VMs() {
+		if resident.DelaySensitive || resident.ID == vm.ID || skip[resident.ID] {
+			continue
+		}
+		if int(alert.ClassifySeverity(resident.Alert))+po.MinSeverityGap > int(sev) {
+			continue
+		}
+		if dst.Free()+resident.Capacity < vm.Capacity {
+			continue
+		}
+		conflict := false
+		for _, other := range dst.VMs() {
+			if other != resident && c.Deps.Dependent(vm.ID, other.ID) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		if victim == nil || resident.Value < victim.Value {
+			victim = resident
+		}
+	}
+	return victim
 }
 
 func excludeDist(m map[int]map[int]bool, vmID, hostID int) {

@@ -30,7 +30,7 @@ func TestVMMigrationRetriesAfterTransientRejects(t *testing.T) {
 	}
 
 	dsts := []*dcn.Host{fx.cluster.Racks[1].Hosts[0], fx.cluster.Racks[1].Hosts[1], fx.cluster.Racks[2].Hosts[0]}
-	res, err := VMMigrationWith(fx.cluster, fx.model, []*dcn.VM{vm}, dsts, opts)
+	res, err := Migrate(fx.cluster, fx.model, []*dcn.VM{vm}, dsts, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestVMMigrationGivesUpUnderPermanentRejection(t *testing.T) {
 		Policy:         func(*dcn.VM, *dcn.Host) bool { return false },
 	}
 
-	res, err := VMMigrationWith(fx.cluster, fx.model, []*dcn.VM{vm}, []*dcn.Host{fx.cluster.Racks[1].Hosts[0]}, opts)
+	res, err := Migrate(fx.cluster, fx.model, []*dcn.VM{vm}, []*dcn.Host{fx.cluster.Racks[1].Hosts[0]}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestVMMigrationPartialRejection(t *testing.T) {
 		},
 	}
 
-	res, err := VMMigrationWith(fx.cluster, fx.model, []*dcn.VM{a, b}, []*dcn.Host{d1, d2}, opts)
+	res, err := Migrate(fx.cluster, fx.model, []*dcn.VM{a, b}, []*dcn.Host{d1, d2}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"sheriff/internal/knapsack"
 	"sheriff/internal/matching"
 	"sheriff/internal/obs"
+	"sheriff/internal/placement"
 )
 
 // Migration records one applied VM move.
@@ -36,6 +37,9 @@ type Report struct {
 	SearchSpace int // candidate (VM, destination) pairs examined
 	Rerouted    []*dcn.VM
 	Rejected    int // REQUEST handshakes answered with REJECT
+	Preemptions int // resident VMs evicted to admit higher-severity ones
+	Retried     int // fail-queued VMs re-entering this round
+	Requeued    int // VMs parked in the fail-queue for a later round
 }
 
 // RequestPolicy decides whether a REQUEST handshake may be granted,
@@ -65,6 +69,16 @@ type Params struct {
 	// Recorder, when non-nil, receives request/ack/reject/unplaced events
 	// from the shim's migration rounds.
 	Recorder *obs.Recorder
+	// Placement selects the destination-scoring policy for the shim's
+	// migration rounds. The zero value is the Sheriff rule (hard capacity
+	// check, pure Eqn. (1) cost), bit-exact with the pre-policy code.
+	Placement placement.PolicyOptions
+	// Preempt enables preemption-aware migration: evict a strictly
+	// lower-severity resident to admit a high-alert VM.
+	Preempt PreemptOptions
+	// Retry enables the shim's fail-queue: VMs unplaced in one management
+	// round retry in later rounds instead of being abandoned.
+	Retry RetryOptions
 }
 
 // DefaultParams matches the regional scheme: one-hop neighbors,
@@ -86,6 +100,9 @@ func (p Params) WithDefaults() Params {
 	if p.NeighborSwitchHops == 0 {
 		p.NeighborSwitchHops = d.NeighborSwitchHops
 	}
+	p.Placement = p.Placement.WithDefaults()
+	p.Preempt = p.Preempt.WithDefaults()
+	p.Retry = p.Retry.WithDefaults()
 	return p
 }
 
@@ -102,7 +119,13 @@ func (p Params) Validate() error {
 	if p.NeighborSwitchHops < 0 {
 		return fmt.Errorf("migrate: NeighborSwitchHops must be >= 0 (0 = default), got %d", p.NeighborSwitchHops)
 	}
-	return nil
+	if err := p.Placement.Validate(); err != nil {
+		return err
+	}
+	if err := p.Preempt.Validate(); err != nil {
+		return err
+	}
+	return p.Retry.Validate()
 }
 
 // Shim is the delegation node v_i: it monitors one rack and manages its
@@ -112,6 +135,12 @@ type Shim struct {
 	cluster *dcn.Cluster
 	model   *cost.Model
 	params  Params
+
+	// policy is the destination-scoring policy (nil = the Sheriff rule,
+	// which keeps the pre-policy fast path bit-exact).
+	policy placement.Policy
+	// queue is the shim's fail-queue (nil when retries are disabled).
+	queue *RetryQueue
 
 	neighborRacks []*dcn.Rack // cached one-hop region
 }
@@ -123,6 +152,20 @@ func NewShim(c *dcn.Cluster, m *cost.Model, rack *dcn.Rack, p Params) (*Shim, er
 	}
 	p = p.WithDefaults()
 	s := &Shim{Rack: rack, cluster: c, model: m, params: p}
+	if p.Placement.Kind != placement.Sheriff {
+		pol, err := p.Placement.New()
+		if err != nil {
+			return nil, err
+		}
+		s.policy = pol
+	}
+	if p.Retry.Enabled {
+		q, err := NewRetryQueue(p.Retry)
+		if err != nil {
+			return nil, err
+		}
+		s.queue = q
+	}
 	for _, nodeID := range c.Graph.RackNeighbors(rack.NodeID, p.NeighborSwitchHops) {
 		if r := c.RackByNode(nodeID); r != nil {
 			s.neighborRacks = append(s.neighborRacks, r)
@@ -145,6 +188,22 @@ func (s *Shim) NeighborRacks() []*dcn.Rack { return s.neighborRacks }
 // destination side. Like the rest of the shim it must not race Process-
 // Alerts or a protocol run.
 func (s *Shim) SetRequestPolicy(p RequestPolicy) { s.params.RequestPolicy = p }
+
+// Policy returns the shim's destination-scoring policy (nil = Sheriff).
+func (s *Shim) Policy() placement.Policy { return s.policy }
+
+// Queue returns the shim's fail-queue (nil when retries are disabled).
+// Safe on a nil shim, as is QueueLen — the runtime's sharded engine keeps
+// nil slots for racks that never alerted.
+func (s *Shim) Queue() *RetryQueue {
+	if s == nil {
+		return nil
+	}
+	return s.queue
+}
+
+// QueueLen returns the number of VMs parked in the shim's fail-queue.
+func (s *Shim) QueueLen() int { return s.Queue().Len() }
 
 // ProcessAlerts runs Alg. 1 over one collection period's alert set:
 // outer-switch alerts feed FLOWREROUTE; host alerts select VMs with the
@@ -189,14 +248,17 @@ func (s *Shim) ProcessAlerts(alerts []alert.Alert) (*Report, error) {
 	}
 	// Host-overload VMs may be relieved anywhere in the region, including
 	// other hosts of this rack; ToR-congestion VMs must leave the rack
-	// ("release the workload of ToR_i … to neighbor racks").
-	if len(hostSet) > 0 {
-		if err := report.merge(VMMigrationWith(s.cluster, s.model, hostSet, s.regionHosts(true), s.migrationOptions())); err != nil {
+	// ("release the workload of ToR_i … to neighbor racks"). Fail-queued
+	// VMs from earlier rounds re-enter through the host-set migration —
+	// the queue is drained inside Migrate — so the round runs even with an
+	// empty alert-selected set while retries are pending.
+	if len(hostSet) > 0 || s.QueueLen() > 0 {
+		if err := report.merge(Migrate(s.cluster, s.model, hostSet, s.regionHosts(true), s.migrationOptions())); err != nil {
 			return report, err
 		}
 	}
 	if len(torSet) > 0 {
-		if err := report.merge(VMMigrationWith(s.cluster, s.model, torSet, s.regionHosts(false), s.migrationOptions())); err != nil {
+		if err := report.merge(Migrate(s.cluster, s.model, torSet, s.regionHosts(false), s.migrationOptionsDeferred())); err != nil {
 			return report, err
 		}
 	}
@@ -206,10 +268,23 @@ func (s *Shim) ProcessAlerts(alerts []alert.Alert) (*Report, error) {
 // migrationOptions projects the shim's params onto one VMMIGRATION call.
 func (s *Shim) migrationOptions() MigrationOptions {
 	return MigrationOptions{
-		Policy:   s.params.RequestPolicy,
-		Recorder: s.params.Recorder,
-		Shim:     s.Rack.Index,
+		Policy:    s.params.RequestPolicy,
+		Recorder:  s.params.Recorder,
+		Shim:      s.Rack.Index,
+		Placement: s.policy,
+		Preempt:   s.params.Preempt,
+		Queue:     s.queue,
 	}
+}
+
+// migrationOptionsDeferred is migrationOptions with queue draining off:
+// the ToR-relief migration runs after the host-set one already drained
+// the queue, and must not re-drain VMs parked moments earlier in the
+// same round — but its own unplaced VMs still park.
+func (s *Shim) migrationOptionsDeferred() MigrationOptions {
+	o := s.migrationOptions()
+	o.DeferDrain = true
+	return o
 }
 
 // merge folds a VMMIGRATION result into the round report.
@@ -221,6 +296,9 @@ func (r *Report) merge(res *MigrationResult, err error) error {
 	r.TotalCost += res.TotalCost
 	r.SearchSpace += res.SearchSpace
 	r.Rejected += res.Rejected
+	r.Preemptions += res.Preemptions
+	r.Retried += res.Retried
+	r.Requeued += res.Requeued
 	return nil
 }
 
@@ -264,83 +342,207 @@ type MigrationResult struct {
 	TotalCost   float64
 	SearchSpace int
 	Rejected    int
-	Unplaced    []*dcn.VM // VMs no destination would accept
+	Unplaced    []*dcn.VM // VMs no destination would accept (and no queue kept)
+	Preemptions int       // victims evicted to admit higher-severity VMs
+	Evicted     []*dcn.VM // the victims, in eviction order
+	Retried     int       // fail-queued VMs drained into this call
+	Requeued    int       // VMs parked in the fail-queue by this call
 }
 
 // ErrNoCandidates is returned when the destination set is empty.
 var ErrNoCandidates = errors.New("migrate: no candidate destination hosts")
 
-// MigrationOptions configures one VMMIGRATION invocation.
+// MigrationOptions configures one VMMIGRATION invocation. It is the
+// single policy-carrying entry-point configuration that replaced the
+// VMMigration / VMMigrationOpts / VMMigrationWith trio.
 type MigrationOptions struct {
 	// ForbidSameRack applies the Eqn. (6) constraint: a VM may only land
 	// in a rack other than its own (v_p ∈ N(v_i)), the setting of the
 	// Figs. 11–14 comparison where alerts mean the whole rack must shed
-	// load.
+	// load. Detached (preempted) VMs have no rack and are exempt.
 	ForbidSameRack bool
 	// Policy, when non-nil, is consulted before the Alg. 4 capacity check
 	// on every REQUEST handshake.
 	Policy RequestPolicy
-	// Recorder, when non-nil, receives request/ack/reject/unplaced events
-	// with the retry round numbers.
+	// Recorder, when non-nil, receives request/ack/reject/preempt/requeue/
+	// unplaced events with the retry round numbers.
 	Recorder *obs.Recorder
 	// Shim tags recorded events with the source shim's rack index; leave
 	// zero-valued calls at ShimUnknown.
 	Shim int
+	// Placement scores candidate destinations. Nil is the Sheriff rule —
+	// hard capacity check, pure Eqn. (1) cost — bit-exact with the
+	// pre-policy implementation.
+	Placement placement.Policy
+	// Preempt enables eviction of strictly lower-severity residents when a
+	// candidate VM has no feasible destination.
+	Preempt PreemptOptions
+	// Queue, when non-nil, is the fail-queue: parked VMs drain into the
+	// candidate set at the start of the call (unless DeferDrain) and VMs
+	// left unplaced park for a later round instead of being abandoned.
+	Queue *RetryQueue
+	// DeferDrain leaves already-parked entries in the queue (a caller
+	// running several migrations per round drains only the first); VMs
+	// unplaced by this call still park.
+	DeferDrain bool
 }
 
 // ShimUnknown marks events whose source shim is not identified.
 const ShimUnknown = -1
 
 // decide runs one Alg. 4 handshake decision: policy first, then the FCFS
-// capacity check. The cause names the refusing stage for trace events.
+// capacity check (under the placement policy's capacity rule, so an
+// oversubscription policy relaxes the handshake). The cause names the
+// refusing stage for trace events.
 func (o *MigrationOptions) decide(vm *dcn.VM, dst *dcn.Host) (ok bool, cause string) {
 	if o.Policy != nil && !o.Policy(vm, dst) {
 		return false, "policy"
 	}
-	if !Request(vm, dst) {
+	if !RequestWith(o.Placement, vm, dst) {
 		return false, "capacity"
 	}
 	return true, ""
 }
 
-// VMMigration implements Alg. 3: while the candidate set is non-empty,
-// build the bipartite cost graph between candidate VMs and destination
-// slots, compute a minimum-weight matching (Kuhn–Munkres), and apply each
-// matched pair through the Alg. 4 REQUEST handshake. VMs whose request is
-// rejected are retried in the next round against the remaining slots; the
-// loop ends when every VM is placed or no progress is possible.
+// VMMigration implements Alg. 3 with default options: while the candidate
+// set is non-empty, build the bipartite cost graph between candidate VMs
+// and destination slots, compute a minimum-weight matching (Kuhn–
+// Munkres), and apply each matched pair through the Alg. 4 REQUEST
+// handshake. It is a thin alias for Migrate.
 func VMMigration(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*dcn.Host) (*MigrationResult, error) {
-	return VMMigrationWith(c, m, f, candidates, MigrationOptions{Shim: ShimUnknown})
+	return Migrate(c, m, f, candidates, MigrationOptions{Shim: ShimUnknown})
 }
 
-// VMMigrationOpts is VMMigration with the Eqn. (6) constraint switchable.
-//
-// Deprecated: use VMMigrationWith with MigrationOptions.ForbidSameRack,
-// which also carries the request policy and event recorder.
-func VMMigrationOpts(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*dcn.Host, forbidSameRack bool) (*MigrationResult, error) {
-	return VMMigrationWith(c, m, f, candidates, MigrationOptions{ForbidSameRack: forbidSameRack, Shim: ShimUnknown})
-}
-
-// VMMigrationWith is the fully configurable Alg. 3 entry point.
-func VMMigrationWith(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*dcn.Host, o MigrationOptions) (*MigrationResult, error) {
+// Migrate is the unified Alg. 3 entry point: minimum-weight matching of
+// candidate VMs to destination slots under the configured placement
+// policy, round by round through the Alg. 4 REQUEST handshake. VMs whose
+// request is rejected retry in the next round against the remaining
+// slots. When no destination admits a VM, preemption (if enabled) evicts
+// a strictly lower-severity, lower-knapsack-value resident to make room;
+// VMs still unplaced at the end park in the fail-queue (if attached) for
+// a later management round.
+func Migrate(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*dcn.Host, o MigrationOptions) (*MigrationResult, error) {
 	if len(candidates) == 0 {
 		return nil, ErrNoCandidates
 	}
+	if err := o.Preempt.Validate(); err != nil {
+		return nil, err
+	}
+	o.Preempt = o.Preempt.WithDefaults()
 	res := &MigrationResult{}
 	rec := o.Recorder
 	remaining := append([]*dcn.VM(nil), f...)
+	// attempts carries prior placement attempts for fail-queued VMs;
+	// evictedSet marks detached VMs (exempt from the attempt budget);
+	// evictedFrom remembers each victim's original host for rollback.
+	attempts := make(map[int]int)
+	evictedSet := make(map[int]bool)
+	evictedFrom := make(map[int]*dcn.Host)
+	if o.Queue != nil && !o.DeferDrain {
+		inSet := make(map[int]bool, len(remaining))
+		for _, vm := range remaining {
+			inSet[vm.ID] = true
+		}
+		for _, e := range o.Queue.TakeAll() {
+			if c.VM(e.VM.ID) != e.VM {
+				continue // removed from the cluster while parked
+			}
+			attempts[e.VM.ID] = e.Attempts
+			if e.Evicted {
+				evictedSet[e.VM.ID] = true
+			}
+			if !inSet[e.VM.ID] {
+				inSet[e.VM.ID] = true
+				remaining = append(remaining, e.VM)
+			}
+			res.Retried++
+			if rec.Enabled() {
+				rec.Record(obs.Event{Kind: obs.KindRetry, Shim: o.Shim, VM: e.VM.ID, Host: ShimUnknown,
+					Value: float64(e.Attempts), Attrs: map[string]string{"cause": "queue"}})
+			}
+		}
+	}
 	// Destinations that rejected a VM are excluded from its later rounds
-	// ("v_i should recalculate possible migration destinations"). The
+	// ("v_i should recalculate possible migration destinations"), as is
+	// the host a victim was evicted from (no preemption ping-pong). The
 	// exclusion set only grows, so the loop terminates.
 	excluded := make(map[int]map[int]bool)
+	exclude := func(vmID, j int) {
+		if excluded[vmID] == nil {
+			excluded[vmID] = make(map[int]bool)
+		}
+		excluded[vmID][j] = true
+	}
+	evictions := 0
+	// preempt frees capacity for the stuck VMs by evicting one strictly
+	// lower-severity resident from a candidate host, returning whether an
+	// eviction happened (the caller then rebuilds the cost matrix). The
+	// victim joins the remaining set and must find a new home itself.
+	preempt := func(stuck []*dcn.VM) ([]*dcn.VM, bool) {
+		if !o.Preempt.Enabled || evictions >= o.Preempt.MaxEvictions {
+			return stuck, false
+		}
+		inSet := make(map[int]bool, len(stuck))
+		for _, vm := range stuck {
+			inSet[vm.ID] = true
+		}
+		// Highest-severity stuck VM first; ID breaks ties for determinism.
+		order := append([]*dcn.VM(nil), stuck...)
+		sort.SliceStable(order, func(i, j int) bool {
+			si, sj := alert.ClassifySeverity(order[i].Alert), alert.ClassifySeverity(order[j].Alert)
+			if si != sj {
+				return si > sj
+			}
+			return order[i].ID < order[j].ID
+		})
+		for _, vm := range order {
+			sev := alert.ClassifySeverity(vm.Alert)
+			if int(sev) < o.Preempt.MinSeverityGap {
+				continue // cannot dominate anyone by the required gap
+			}
+			for j, h := range candidates {
+				if excluded[vm.ID][j] || h == vm.Host() {
+					continue
+				}
+				if o.ForbidSameRack && vm.Host() != nil && h.Rack() == vm.Host().Rack() {
+					continue
+				}
+				victim := preemptVictim(c, vm, h, o.Preempt, inSet)
+				if victim == nil {
+					continue
+				}
+				evictedFrom[victim.ID] = h
+				c.Evict(victim)
+				evictions++
+				res.Preemptions++
+				res.Evicted = append(res.Evicted, victim)
+				evictedSet[victim.ID] = true
+				exclude(victim.ID, j) // no ping-pong back onto h
+				stuck = append(stuck, victim)
+				if rec.Enabled() {
+					rec.Record(obs.Event{Kind: obs.KindPreempt, Shim: o.Shim, VM: victim.ID, Host: h.ID,
+						Value: victim.Value, Attrs: map[string]string{
+							"for":             fmt.Sprintf("%d", vm.ID),
+							"severity":        sev.String(),
+							"victim-severity": alert.ClassifySeverity(victim.Alert).String(),
+						}})
+				}
+				return stuck, true
+			}
+		}
+		return stuck, false
+	}
 
+	pol := o.Placement
 	round := 0
 	for len(remaining) > 0 {
 		round++
 		costs := make([][]float64, len(remaining))
+		bases := make([][]float64, len(remaining))
 		feasible := false
 		for i, vm := range remaining {
 			costs[i] = make([]float64, len(candidates))
+			bases[i] = make([]float64, len(candidates))
 			for j, h := range candidates {
 				if excluded[vm.ID][j] {
 					costs[i][j] = matching.Forbidden
@@ -350,7 +552,7 @@ func VMMigrationWith(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*d
 					costs[i][j] = matching.Forbidden
 					continue
 				}
-				costs[i][j] = pairCost(c, m, vm, h)
+				costs[i][j], bases[i][j] = pairCost(c, m, vm, h, pol)
 				if costs[i][j] != matching.Forbidden {
 					feasible = true
 				}
@@ -358,18 +560,15 @@ func VMMigrationWith(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*d
 		}
 		res.SearchSpace += len(remaining) * len(candidates)
 		if !feasible {
-			res.Unplaced = append(res.Unplaced, remaining...)
+			var evicted bool
+			if remaining, evicted = preempt(remaining); evicted {
+				continue
+			}
 			break
 		}
 		sol, err := matching.Solve(costs)
 		if err != nil {
 			return nil, fmt.Errorf("migrate: matching: %w", err)
-		}
-		exclude := func(vmID, j int) {
-			if excluded[vmID] == nil {
-				excluded[vmID] = make(map[int]bool)
-			}
-			excluded[vmID][j] = true
 		}
 		var next []*dcn.VM
 		anyMatched := false
@@ -381,14 +580,14 @@ func VMMigrationWith(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*d
 			}
 			anyMatched = true
 			dst := candidates[j]
-			moveCost := costs[i][j]
+			moveCost := bases[i][j]
 			rec.Record(obs.Event{Kind: obs.KindRequest, Round: round, Shim: o.Shim, VM: vm.ID, Host: dst.ID, Value: moveCost})
 			// Alg. 4 REQUEST: the destination's delegation node re-checks
 			// capacity (FCFS) and replies ACK or REJECT.
 			ok, cause := o.decide(vm, dst)
 			if ok {
 				from := vm.Host()
-				if err := c.Move(vm, dst); err != nil {
+				if err := commitMove(c, pol, vm, dst); err != nil {
 					// The handshake said yes but placement failed (e.g. a
 					// dependency raced in): treat as a rejection.
 					ok, cause = false, "race"
@@ -409,38 +608,86 @@ func VMMigrationWith(c *dcn.Cluster, m *cost.Model, f []*dcn.VM, candidates []*d
 			}
 		}
 		if !anyMatched {
-			res.Unplaced = append(res.Unplaced, next...)
+			var evicted bool
+			if remaining, evicted = preempt(next); evicted {
+				continue
+			}
+			remaining = next
 			break
 		}
 		remaining = next
 	}
-	if rec.Enabled() {
-		for _, vm := range res.Unplaced {
-			rec.Record(obs.Event{Kind: obs.KindUnplaced, Round: round, Shim: o.Shim, VM: vm.ID, Host: ShimUnknown})
+	// Whatever is left found no home this call: park it in the fail-queue
+	// when one is attached and the attempt budget allows, otherwise report
+	// it unplaced. A detached victim that cannot park rolls back onto its
+	// original host if the slot is still open.
+	for _, vm := range remaining {
+		att := attempts[vm.ID] + 1
+		if o.Queue != nil && o.Queue.Put(RetryEntry{VM: vm, Shim: o.Shim, Attempts: att, Evicted: evictedSet[vm.ID]}) {
+			res.Requeued++
+			if rec.Enabled() {
+				rec.Record(obs.Event{Kind: obs.KindRequeue, Round: round, Shim: o.Shim, VM: vm.ID, Host: ShimUnknown,
+					Value: float64(att), Attrs: map[string]string{"attempts": fmt.Sprintf("%d", att)}})
+			}
+			continue
 		}
+		if vm.Host() == nil && evictedSet[vm.ID] {
+			if home := evictedFrom[vm.ID]; home != nil && c.Move(vm, home) == nil {
+				res.Preemptions-- // rolled back: the eviction did not stick
+			}
+		}
+		res.Unplaced = append(res.Unplaced, vm)
+		rec.Record(obs.Event{Kind: obs.KindUnplaced, Round: round, Shim: o.Shim, VM: vm.ID, Host: ShimUnknown})
 	}
 	return res, nil
 }
 
 // pairCost evaluates one (VM, destination) edge of Alg. 3's bipartite
-// graph G_m, Forbidden when the destination cannot host the VM.
-func pairCost(c *dcn.Cluster, m *cost.Model, vm *dcn.VM, h *dcn.Host) float64 {
+// graph G_m under the placement policy: score is the matching weight
+// (Forbidden when the destination cannot host the VM), base the Eqn. (1)
+// migration cost actually charged on commit. With a nil policy both are
+// the raw migration cost — the pre-policy behavior, bit for bit. A
+// detached (preempted) VM has no source rack, so its base reduces to the
+// fixed restart cost Cr.
+func pairCost(c *dcn.Cluster, m *cost.Model, vm *dcn.VM, h *dcn.Host, pol placement.Policy) (score, base float64) {
 	if h == vm.Host() {
-		return matching.Forbidden // must actually move
+		return matching.Forbidden, 0 // must actually move
 	}
-	if h.Free() < vm.Capacity {
-		return matching.Forbidden
+	if pol != nil {
+		if !pol.Feasible(vm.Capacity, h) {
+			return matching.Forbidden, 0
+		}
+	} else if h.Free() < vm.Capacity {
+		return matching.Forbidden, 0
 	}
 	for _, resident := range h.VMs() {
 		if c.Deps.Dependent(vm.ID, resident.ID) {
-			return matching.Forbidden
+			return matching.Forbidden, 0
 		}
 	}
-	mc, err := m.Migration(vm, h)
-	if err != nil {
-		return matching.Forbidden
+	if vm.Host() == nil {
+		base = m.Params().Cr
+	} else {
+		mc, err := m.Migration(vm, h)
+		if err != nil {
+			return matching.Forbidden, 0
+		}
+		base = mc
 	}
-	return mc
+	if pol != nil {
+		return pol.Score(vm.Capacity, h, base), base
+	}
+	return base, base
+}
+
+// commitMove applies an ACKed migration. An oversubscribing policy (one
+// exposing Factor) commits through dcn.MoveOversub so the relaxed
+// capacity rule the handshake granted also holds at placement.
+func commitMove(c *dcn.Cluster, pol placement.Policy, vm *dcn.VM, dst *dcn.Host) error {
+	if oc, ok := pol.(interface{ Factor() float64 }); ok {
+		return c.MoveOversub(vm, dst, oc.Factor())
+	}
+	return c.Move(vm, dst)
 }
 
 // Request implements Alg. 4: the receiving delegation node grants the
@@ -451,4 +698,15 @@ func pairCost(c *dcn.Cluster, m *cost.Model, vm *dcn.VM, h *dcn.Host) float64 {
 // (it was unsafe under the parallel coordinator).
 func Request(vm *dcn.VM, dst *dcn.Host) bool {
 	return dst.Free() >= vm.Capacity
+}
+
+// RequestWith is Request under a placement policy: the destination-side
+// capacity rule becomes the policy's Feasible check, so e.g. an
+// oversubscription policy also relaxes the Alg. 4 handshake. A nil
+// policy is the paper's rule.
+func RequestWith(pol placement.Policy, vm *dcn.VM, dst *dcn.Host) bool {
+	if pol != nil {
+		return pol.Feasible(vm.Capacity, dst)
+	}
+	return Request(vm, dst)
 }

@@ -1,9 +1,14 @@
-// Package placement provides initial VM placement policies for a cluster:
-// first-fit, best-fit, worst-fit, and random. Initial placement sets the
-// starting imbalance that Sheriff's migration phase then corrects — the
-// Figs. 9–10 experiments start from a deliberately bad placement; these
-// policies give the library a principled way to create (or avoid) such
-// states, and a baseline to compare the migration machinery against.
+// Package placement defines the pluggable destination-selection policies
+// shared by initial VM placement and Sheriff's migration phase: one
+// Policy vocabulary scores candidate hosts whether a VM is first entering
+// the cluster (Placer) or being relocated by Alg. 3 (migrate.Migrate).
+//
+// The Sheriff policy reproduces the paper's behavior bit-exactly: pure
+// Eqn. (1) migration cost under a hard capacity check. Best-fit packs
+// tightly, worst-fit spreads load, and oversubscription relaxes the
+// capacity check by a configurable factor — the policy spectrum the
+// k8s-cluster-simulator exemplar compares (bestfit / worstfit / oversub /
+// proposed) brought onto Sheriff's migration machinery.
 package placement
 
 import (
@@ -14,59 +19,247 @@ import (
 	"sheriff/internal/dcn"
 )
 
-// Policy selects a host for each incoming VM.
-type Policy int
+// Policy scores candidate destination hosts for one VM. Feasible gates
+// the capacity rule (the Alg. 4 REQUEST check is routed through it, so an
+// oversubscription policy relaxes the handshake too); Score ranks
+// feasible candidates — lower wins. base is the context cost: the
+// Eqn. (1) migration cost during migration, 0 at initial placement.
+type Policy interface {
+	// Name is the short stable identifier ("sheriff", "best-fit", ...).
+	Name() string
+	// Feasible reports whether the host can accept a VM of the given
+	// capacity under this policy. Dependency conflicts are checked by the
+	// caller; Feasible only owns the capacity rule.
+	Feasible(capacity float64, h *dcn.Host) bool
+	// Score ranks a feasible candidate; lower is better. Scores from one
+	// policy are mutually comparable but carry no meaning across policies.
+	Score(capacity float64, h *dcn.Host, base float64) float64
+}
+
+// Kind enumerates the built-in policies.
+type Kind int
 
 const (
-	// FirstFit: the lowest-ID host with room.
-	FirstFit Policy = iota
-	// BestFit: the host with the least free capacity that still fits
-	// (packs tightly; maximizes imbalance).
+	// Sheriff: the paper's rule — hard capacity check, pure migration
+	// cost. The default; bit-exact with the pre-policy implementation.
+	Sheriff Kind = iota
+	// FirstFit: the lowest-ID host with room (score 0 everywhere; order
+	// breaks ties). An initial-placement policy; degenerate for matching.
+	FirstFit
+	// BestFit: the host left with the least free capacity (packs tightly;
+	// maximizes imbalance). Migration cost breaks ties.
 	BestFit
-	// WorstFit: the host with the most free capacity (spreads load;
-	// minimizes imbalance).
+	// WorstFit: the host left with the most free capacity (spreads load;
+	// minimizes imbalance). Migration cost breaks ties.
 	WorstFit
-	// Random: a uniformly random host with room.
+	// Oversub: Sheriff's scoring with the capacity check relaxed to
+	// OversubFactor × host capacity (the exemplar's oversubscription
+	// scheduler).
+	Oversub
+	// Random: a uniformly random host with room (initial placement only;
+	// the Placer keeps its seeded selection).
 	Random
 )
 
-// String names the policy.
-func (p Policy) String() string {
-	switch p {
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Sheriff:
+		return "sheriff"
 	case FirstFit:
 		return "first-fit"
 	case BestFit:
 		return "best-fit"
 	case WorstFit:
 		return "worst-fit"
+	case Oversub:
+		return "oversub"
 	case Random:
 		return "random"
 	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
+		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
+
+// ParseKind resolves a policy name ("sheriff", "best-fit"/"bestfit", ...)
+// to its Kind.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "sheriff", "":
+		return Sheriff, nil
+	case "first-fit", "firstfit":
+		return FirstFit, nil
+	case "best-fit", "bestfit":
+		return BestFit, nil
+	case "worst-fit", "worstfit":
+		return WorstFit, nil
+	case "oversub", "oversubscription":
+		return Oversub, nil
+	case "random":
+		return Random, nil
+	default:
+		return 0, fmt.Errorf("placement: unknown policy %q", name)
+	}
+}
+
+// Kinds lists the matching-capable policies in grid order (Random is
+// excluded: it is an initial-placement policy only).
+func Kinds() []Kind { return []Kind{Sheriff, BestFit, WorstFit, Oversub} }
+
+// DefaultOversubFactor is the capacity multiplier of the Oversub policy:
+// a host may be committed to twice its nominal capacity, the exemplar
+// scheduler's oversubscription setting.
+const DefaultOversubFactor = 2.0
+
+// PolicyOptions selects and tunes a policy. Zero fields mean "use the
+// default" (the Sheriff policy; factor DefaultOversubFactor); negative or
+// out-of-range values are Validate errors.
+type PolicyOptions struct {
+	Kind Kind
+	// OversubFactor is the Oversub capacity multiplier (≥ 1; 0 = default).
+	// Ignored by the other kinds.
+	OversubFactor float64
+	// Seed drives the Random policy's host choice; ignored otherwise.
+	Seed int64
+}
+
+// Validate reports whether the options are usable. Zero values are
+// accepted (they mean "use the default").
+func (o PolicyOptions) Validate() error {
+	if o.Kind < Sheriff || o.Kind > Random {
+		return fmt.Errorf("placement: unknown policy kind %d", int(o.Kind))
+	}
+	if o.OversubFactor != 0 && o.OversubFactor < 1 {
+		return fmt.Errorf("placement: OversubFactor must be >= 1 (0 = default), got %v", o.OversubFactor)
+	}
+	return nil
+}
+
+// WithDefaults returns o with zero fields replaced by their defaults.
+func (o PolicyOptions) WithDefaults() PolicyOptions {
+	if o.OversubFactor == 0 {
+		o.OversubFactor = DefaultOversubFactor
+	}
+	return o
+}
+
+// New builds the policy the options select.
+func (o PolicyOptions) New() (Policy, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.WithDefaults()
+	switch o.Kind {
+	case Sheriff:
+		return sheriffPolicy{}, nil
+	case FirstFit:
+		return firstFitPolicy{}, nil
+	case BestFit:
+		return bestFitPolicy{}, nil
+	case WorstFit:
+		return worstFitPolicy{}, nil
+	case Oversub:
+		return oversubPolicy{factor: o.OversubFactor}, nil
+	case Random:
+		return &randomPolicy{rng: rand.New(rand.NewSource(o.Seed))}, nil
+	default:
+		return nil, fmt.Errorf("placement: unknown policy kind %d", int(o.Kind))
+	}
+}
+
+// fits is the hard capacity rule shared by every non-oversubscribing
+// policy — identical to the pre-policy check, so the Sheriff policy stays
+// bit-exact.
+func fits(capacity float64, h *dcn.Host) bool { return h.Free() >= capacity }
+
+// costTiebreak folds the base cost into a capacity-driven score without
+// letting it reorder the capacity ranking (free capacities are O(host
+// capacity); costs can be orders of magnitude larger).
+const costTiebreak = 1e-6
+
+type sheriffPolicy struct{}
+
+func (sheriffPolicy) Name() string                                       { return "sheriff" }
+func (sheriffPolicy) Feasible(c float64, h *dcn.Host) bool               { return fits(c, h) }
+func (sheriffPolicy) Score(_ float64, _ *dcn.Host, base float64) float64 { return base }
+
+type firstFitPolicy struct{}
+
+func (firstFitPolicy) Name() string                              { return "first-fit" }
+func (firstFitPolicy) Feasible(c float64, h *dcn.Host) bool      { return fits(c, h) }
+func (firstFitPolicy) Score(float64, *dcn.Host, float64) float64 { return 0 }
+
+type bestFitPolicy struct{}
+
+func (bestFitPolicy) Name() string                         { return "best-fit" }
+func (bestFitPolicy) Feasible(c float64, h *dcn.Host) bool { return fits(c, h) }
+func (bestFitPolicy) Score(c float64, h *dcn.Host, base float64) float64 {
+	return (h.Free() - c) + costTiebreak*base
+}
+
+type worstFitPolicy struct{}
+
+func (worstFitPolicy) Name() string                         { return "worst-fit" }
+func (worstFitPolicy) Feasible(c float64, h *dcn.Host) bool { return fits(c, h) }
+func (worstFitPolicy) Score(c float64, h *dcn.Host, base float64) float64 {
+	return -(h.Free() - c) + costTiebreak*base
+}
+
+type oversubPolicy struct{ factor float64 }
+
+func (oversubPolicy) Name() string { return "oversub" }
+func (p oversubPolicy) Feasible(c float64, h *dcn.Host) bool {
+	return h.Used()+c <= p.factor*h.Capacity
+}
+
+// Factor exposes the capacity multiplier so commit paths (dcn.MoveOversub)
+// can relax the placement constraint to match Feasible.
+func (p oversubPolicy) Factor() float64                                  { return p.factor }
+func (oversubPolicy) Score(_ float64, _ *dcn.Host, base float64) float64 { return base }
+
+type randomPolicy struct{ rng *rand.Rand }
+
+func (*randomPolicy) Name() string                                { return "random" }
+func (*randomPolicy) Feasible(c float64, h *dcn.Host) bool        { return fits(c, h) }
+func (p *randomPolicy) Score(float64, *dcn.Host, float64) float64 { return p.rng.Float64() }
 
 // ErrNoHost is returned when no host can take the VM.
 var ErrNoHost = errors.New("placement: no host fits the VM")
 
-// Placer assigns VMs to hosts under one policy.
+// Placer assigns incoming VMs to hosts under one policy. Initial
+// placement sets the starting imbalance that Sheriff's migration phase
+// then corrects — the Figs. 9–10 experiments start from a deliberately
+// bad placement; these policies give the library a principled way to
+// create (or avoid) such states.
 type Placer struct {
 	cluster *dcn.Cluster
+	kind    Kind
 	policy  Policy
+	err     error
 	rng     *rand.Rand
 }
 
-// New builds a placer. The seed matters only for the Random policy.
-func New(c *dcn.Cluster, policy Policy, seed int64) *Placer {
-	return &Placer{cluster: c, policy: policy, rng: rand.New(rand.NewSource(seed))}
+// New builds a placer. The seed matters only for the Random policy. An
+// unknown kind is reported by the first Pick/Place call.
+func New(c *dcn.Cluster, kind Kind, seed int64) *Placer {
+	pol, err := PolicyOptions{Kind: kind, Seed: seed}.New()
+	return &Placer{cluster: c, kind: kind, policy: pol, err: err, rng: rand.New(rand.NewSource(seed))}
 }
+
+// Policy returns the scoring policy the placer selects with.
+func (p *Placer) Policy() Policy { return p.policy }
 
 // Pick returns the host the policy selects for a VM of the given capacity
 // (respecting dependency conflicts against the peer VM IDs), without
-// placing anything.
+// placing anything. Hosts are scanned in ID order; the lowest-scoring
+// feasible host wins, first host on ties — which reproduces the classic
+// first-fit / best-fit / worst-fit selection rules exactly.
 func (p *Placer) Pick(capacity float64, peerIDs []int) (*dcn.Host, error) {
-	fits := func(h *dcn.Host) bool {
-		if h.Free() < capacity {
+	if p.err != nil {
+		return nil, p.err
+	}
+	ok := func(h *dcn.Host) bool {
+		if !p.policy.Feasible(capacity, h) {
 			return false
 		}
 		for _, resident := range h.VMs() {
@@ -79,53 +272,34 @@ func (p *Placer) Pick(capacity float64, peerIDs []int) (*dcn.Host, error) {
 		return true
 	}
 	hosts := p.cluster.Hosts()
-	switch p.policy {
-	case FirstFit:
-		for _, h := range hosts {
-			if fits(h) {
-				return h, nil
-			}
-		}
-	case BestFit:
-		var best *dcn.Host
-		for _, h := range hosts {
-			if !fits(h) {
-				continue
-			}
-			if best == nil || h.Free() < best.Free() {
-				best = h
-			}
-		}
-		if best != nil {
-			return best, nil
-		}
-	case WorstFit:
-		var best *dcn.Host
-		for _, h := range hosts {
-			if !fits(h) {
-				continue
-			}
-			if best == nil || h.Free() > best.Free() {
-				best = h
-			}
-		}
-		if best != nil {
-			return best, nil
-		}
-	case Random:
+	if p.kind == Random {
+		// Seeded uniform choice over the feasible set (not score-driven,
+		// so the distribution is exactly uniform).
 		var cands []*dcn.Host
 		for _, h := range hosts {
-			if fits(h) {
+			if ok(h) {
 				cands = append(cands, h)
 			}
 		}
-		if len(cands) > 0 {
-			return cands[p.rng.Intn(len(cands))], nil
+		if len(cands) == 0 {
+			return nil, ErrNoHost
 		}
-	default:
-		return nil, fmt.Errorf("placement: unknown policy %v", p.policy)
+		return cands[p.rng.Intn(len(cands))], nil
 	}
-	return nil, ErrNoHost
+	var best *dcn.Host
+	bestScore := 0.0
+	for _, h := range hosts {
+		if !ok(h) {
+			continue
+		}
+		if s := p.policy.Score(capacity, h, 0); best == nil || s < bestScore {
+			best, bestScore = h, s
+		}
+	}
+	if best == nil {
+		return nil, ErrNoHost
+	}
+	return best, nil
 }
 
 // Place creates and places one VM under the policy.

@@ -21,15 +21,87 @@ func testCluster(t *testing.T) *dcn.Cluster {
 	return c
 }
 
-func TestPolicyString(t *testing.T) {
-	want := map[Policy]string{FirstFit: "first-fit", BestFit: "best-fit", WorstFit: "worst-fit", Random: "random"}
-	for p, s := range want {
-		if p.String() != s {
-			t.Errorf("%d.String() = %q", p, p.String())
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Sheriff: "sheriff", FirstFit: "first-fit", BestFit: "best-fit",
+		WorstFit: "worst-fit", Oversub: "oversub", Random: "random",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", k, k.String())
 		}
 	}
-	if Policy(9).String() == "" {
-		t.Error("unknown policy should render")
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+	for k, s := range want {
+		got, err := ParseKind(s)
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted bogus name")
+	}
+}
+
+func TestPolicyScoring(t *testing.T) {
+	c := testCluster(t)
+	h := c.Hosts()[0]
+	if _, err := c.AddVM(h, 60, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range Kinds() {
+		pol, err := PolicyOptions{Kind: kind}.New()
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if pol.Name() != kind.String() {
+			t.Errorf("%v policy Name() = %q", kind, pol.Name())
+		}
+		if !pol.Feasible(40, h) {
+			t.Errorf("%v: 40 should fit a 40-free host", kind)
+		}
+	}
+	// The hard-capacity policies refuse 41 on the 40-free host; oversub
+	// accepts up to factor×capacity.
+	sheriff, _ := PolicyOptions{Kind: Sheriff}.New()
+	if sheriff.Feasible(41, h) {
+		t.Error("sheriff accepted an over-capacity VM")
+	}
+	over, _ := PolicyOptions{Kind: Oversub, OversubFactor: 1.5}.New()
+	if !over.Feasible(41, h) || over.Feasible(100, h) {
+		t.Error("oversub factor 1.5 should accept 41 but not 100 on a 60-used host")
+	}
+	// Sheriff scores are the raw base cost; best/worst-fit rank by free
+	// capacity with the base as a tiebreak.
+	if sheriff.Score(10, h, 7.5) != 7.5 {
+		t.Error("sheriff score should be the base cost")
+	}
+	best, _ := PolicyOptions{Kind: BestFit}.New()
+	worst, _ := PolicyOptions{Kind: WorstFit}.New()
+	h2 := c.Hosts()[1] // 100 free
+	if best.Score(10, h, 0) >= best.Score(10, h2, 0) {
+		t.Error("best-fit should prefer the tighter host")
+	}
+	if worst.Score(10, h2, 0) >= worst.Score(10, h, 0) {
+		t.Error("worst-fit should prefer the emptier host")
+	}
+}
+
+func TestPolicyOptionsContract(t *testing.T) {
+	if err := (PolicyOptions{}).Validate(); err != nil {
+		t.Errorf("zero options should validate: %v", err)
+	}
+	if err := (PolicyOptions{Kind: Kind(99)}).Validate(); err == nil {
+		t.Error("unknown kind should fail validation")
+	}
+	if err := (PolicyOptions{Kind: Oversub, OversubFactor: 0.5}).Validate(); err == nil {
+		t.Error("OversubFactor < 1 should fail validation")
+	}
+	d := (PolicyOptions{Kind: Oversub}).WithDefaults()
+	if d.OversubFactor != DefaultOversubFactor {
+		t.Errorf("default OversubFactor = %v", d.OversubFactor)
 	}
 }
 
@@ -153,7 +225,7 @@ func TestNoHostFits(t *testing.T) {
 	if _, err := p.Place(150, 1, false); !errors.Is(err, ErrNoHost) {
 		t.Fatalf("want ErrNoHost, got %v", err)
 	}
-	if _, err := New(c, Policy(42), 0).Pick(10, nil); err == nil {
+	if _, err := New(c, Kind(42), 0).Pick(10, nil); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }

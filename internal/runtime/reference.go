@@ -194,7 +194,9 @@ func (r *Runtime) advanceRef(external map[int]traces.Profile) (*StepStats, error
 	phaseStart = time.Now()
 	r.modelStale = true
 	for idx, shim := range r.shims {
-		if len(alertsByRack[idx]) == 0 {
+		// A rack participates when it has fresh alerts or fail-queued VMs
+		// from an earlier step awaiting retry (queue disabled = never).
+		if len(alertsByRack[idx]) == 0 && shim.QueueLen() == 0 {
 			continue
 		}
 		if r.modelStale {
@@ -211,6 +213,8 @@ func (r *Runtime) advanceRef(external map[int]traces.Profile) (*StepStats, error
 			Shim: idx, VM: -1, Host: -1, Value: time.Since(shimStart).Seconds()})
 		stats.Migrations += len(rep.Migrations)
 		stats.MigrationCost += rep.TotalCost
+		stats.Preemptions += rep.Preemptions
+		stats.Requeued += rep.Requeued
 	}
 	stats.Timings.Manage = time.Since(phaseStart)
 	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "manage",

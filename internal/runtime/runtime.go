@@ -213,6 +213,8 @@ type StepStats struct {
 	SwitchAlerts   int
 	Migrations     int
 	MigrationCost  float64
+	Preemptions    int // victims evicted by preemption-aware shims
+	Requeued       int // VMs parked in shim fail-queues this step
 	Reroutes       int
 	HotSwitches    int
 	WorkloadStdDev float64

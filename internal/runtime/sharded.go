@@ -611,7 +611,10 @@ func (r *Runtime) advanceSharded(external bool) (*StepStats, error) {
 	phaseStart = time.Now()
 	r.modelStale = true
 	for idx := range sh.alertsByRack {
-		if len(sh.alertsByRack[idx]) == 0 {
+		// As in the reference engine, a rack participates when it has fresh
+		// alerts or fail-queued VMs awaiting retry; a nil (never-alerted)
+		// shim cannot hold a queue, so the lazy path stays equivalent.
+		if len(sh.alertsByRack[idx]) == 0 && r.shims[idx].QueueLen() == 0 {
 			continue
 		}
 		if r.modelStale {
@@ -637,6 +640,8 @@ func (r *Runtime) advanceSharded(external bool) (*StepStats, error) {
 			Shim: idx, VM: -1, Host: -1, Value: time.Since(shimStart).Seconds()})
 		stats.Migrations += len(rep.Migrations)
 		stats.MigrationCost += rep.TotalCost
+		stats.Preemptions += rep.Preemptions
+		stats.Requeued += rep.Requeued
 	}
 	stats.Timings.Manage = time.Since(phaseStart)
 	rec.Record(obs.Event{Kind: obs.KindPhase, Phase: "manage",

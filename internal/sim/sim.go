@@ -415,7 +415,7 @@ func Compare(cfg Config) (*CompareResult, error) {
 			if len(hosts) == 0 {
 				continue
 			}
-			mr, err := migrate.VMMigrationOpts(regional.Cluster, regional.Model, remaining, hosts, true)
+			mr, err := migrate.Migrate(regional.Cluster, regional.Model, remaining, hosts, migrate.MigrationOptions{ForbidSameRack: true, Shim: migrate.ShimUnknown})
 			if err != nil {
 				return nil, fmt.Errorf("sim: regional migration rack %d: %w", shim.Rack.Index, err)
 			}
@@ -436,7 +436,7 @@ func Compare(cfg Config) (*CompareResult, error) {
 	for _, idx := range rackOrder {
 		all = append(all, alertsG[idx]...)
 	}
-	mg, err := migrate.VMMigrationOpts(global.Cluster, global.Model, all, global.Cluster.Hosts(), true)
+	mg, err := migrate.Migrate(global.Cluster, global.Model, all, global.Cluster.Hosts(), migrate.MigrationOptions{ForbidSameRack: true, Shim: migrate.ShimUnknown})
 	if err != nil {
 		return nil, fmt.Errorf("sim: centralized migration: %w", err)
 	}

@@ -15,6 +15,7 @@ import (
 	"sheriff/internal/migrate"
 	"sheriff/internal/narnet"
 	"sheriff/internal/obs"
+	"sheriff/internal/placement"
 	"sheriff/internal/predictor"
 	"sheriff/internal/runtime"
 	"sheriff/internal/sim"
@@ -120,6 +121,55 @@ type (
 	// (see internal/faults); compile it with faults.New and hand the
 	// injector to comm.Options.
 	FaultPlan = faults.Plan
+
+	// PlacementPolicy scores candidate destination hosts — the pluggable
+	// destination-selection vocabulary shared by initial placement
+	// (internal/placement.Placer) and migration (MigrationOptions,
+	// migrate.Params, migrate.DistOptions). Nil always means the paper's
+	// Sheriff rule.
+	PlacementPolicy = placement.Policy
+	// PlacementKind names a built-in placement policy.
+	PlacementKind = placement.Kind
+	// PolicyOptions selects and tunes a built-in placement policy.
+	PolicyOptions = placement.PolicyOptions
+	// PreemptOptions enables eviction of lower-severity residents when an
+	// alerted VM has no feasible destination.
+	PreemptOptions = migrate.PreemptOptions
+	// RetryOptions configures the migration fail-queue.
+	RetryOptions = migrate.RetryOptions
+	// RetryQueue parks VMs no destination would accept for later rounds.
+	RetryQueue = migrate.RetryQueue
+	// MigrationOptions is the unified per-invocation migration
+	// configuration (policy, preemption, fail-queue, tracing).
+	MigrationOptions = migrate.MigrationOptions
+	// MigrationResult summarizes one Migrate invocation.
+	MigrationResult = migrate.MigrationResult
+	// Severity is an alert severity tier (watch < urgent < critical) —
+	// the preemption priority scale.
+	Severity = alert.Severity
+	// PolicyGridConfig sizes one cell of the policy × topology × fault
+	// evaluation grid (`sheriffsim -mode policy`).
+	PolicyGridConfig = sim.PolicyConfig
+	// PolicyGridResult is one cell's outcome.
+	PolicyGridResult = sim.PolicyResult
+)
+
+// Built-in placement policy kinds for PolicyOptions.Kind.
+const (
+	// PlacementSheriff is the paper's rule: hard capacity check, pure
+	// Eqn. (1) migration cost. The zero value, bit-exact with the
+	// pre-policy code path.
+	PlacementSheriff = placement.Sheriff
+	// PlacementFirstFit takes the first feasible host.
+	PlacementFirstFit = placement.FirstFit
+	// PlacementBestFit packs: least free capacity remaining wins.
+	PlacementBestFit = placement.BestFit
+	// PlacementWorstFit spreads: most free capacity remaining wins.
+	PlacementWorstFit = placement.WorstFit
+	// PlacementOversub admits up to OversubFactor × host capacity.
+	PlacementOversub = placement.Oversub
+	// PlacementRandom picks uniformly among feasible hosts (seeded).
+	PlacementRandom = placement.Random
 )
 
 // Predictor pool kinds for PredictorOptions.Pool.
@@ -195,22 +245,6 @@ func NewCoordinator(cluster *Cluster, model *CostModel, shims []*Shim) *Coordina
 // the default two-ARIMA + two-NARNET pool.
 func NewPredictor(data []float64, opts PredictorOptions) (*Selector, error) {
 	return predictor.New(timeseries.New(data), opts)
-}
-
-// NewCombinedPredictor builds the default dynamic-selection predictor.
-//
-// Deprecated: use NewPredictor(train, PredictorOptions{Seed: seed}).
-func NewCombinedPredictor(train []float64, seed int64) (*Selector, error) {
-	return NewPredictor(train, PredictorOptions{Seed: seed})
-}
-
-// NewExtendedPredictor builds the dynamic-selection predictor with the
-// extended candidate pool.
-//
-// Deprecated: use NewPredictor(train, PredictorOptions{Pool:
-// PredictorPoolExtended, Period: period, Seed: seed}).
-func NewExtendedPredictor(train []float64, period int, seed int64) (*Selector, error) {
-	return NewPredictor(train, PredictorOptions{Pool: PredictorPoolExtended, Period: period, Seed: seed})
 }
 
 // HoltWintersModel is a fitted exponential-smoothing model.
@@ -297,6 +331,34 @@ func Figures() []string { return experiments.FigureIDs() }
 
 // LocalSearchRatio returns the VMMIGRATION approximation guarantee 3+2/p.
 func LocalSearchRatio(p int) float64 { return kmedian.ApproximationRatio(p) }
+
+// Migrate relocates the candidate VMs into the destination hosts with the
+// Alg. 3 min-cost matching under the options' placement policy,
+// preemption, and fail-queue settings — the unified entry point that
+// subsumed the VMMigration / VMMigrationOpts / VMMigrationWith trio. The
+// zero MigrationOptions reproduce Alg. 3 exactly.
+func Migrate(cluster *Cluster, model *CostModel, candidates []*VM, hosts []*Host, o MigrationOptions) (*MigrationResult, error) {
+	return migrate.Migrate(cluster, model, candidates, hosts, o)
+}
+
+// NewPlacementPolicy builds one of the built-in placement policies.
+func NewPlacementPolicy(o PolicyOptions) (PlacementPolicy, error) { return o.New() }
+
+// ParsePlacementKind resolves a policy name ("sheriff", "best-fit",
+// "worst-fit", "oversub", ...) to its kind; "" is PlacementSheriff.
+func ParsePlacementKind(name string) (PlacementKind, error) { return placement.ParseKind(name) }
+
+// NewRetryQueue builds a migration fail-queue; hand it to
+// MigrationOptions.Queue, migrate.Params.Retry-enabled shims, or
+// migrate.DistOptions.Queue.
+func NewRetryQueue(o RetryOptions) (*RetryQueue, error) { return migrate.NewRetryQueue(o) }
+
+// ClassifySeverity maps an alert value to its severity tier — the scale
+// preemption uses to decide who may evict whom.
+func ClassifySeverity(alertValue float64) Severity { return alert.ClassifySeverity(alertValue) }
+
+// RunPolicyGrid runs one cell of the policy × topology × fault grid.
+func RunPolicyGrid(cfg PolicyGridConfig) (*PolicyGridResult, error) { return sim.RunPolicy(cfg) }
 
 // NewRecorder builds an event recorder with the default in-memory ring
 // and the given sinks. Pass the result to RuntimeOptions.Recorder,

@@ -45,9 +45,9 @@ func TestTrainNARNETFacade(t *testing.T) {
 	}
 }
 
-func TestNewCombinedPredictorFacade(t *testing.T) {
+func TestNewPredictorDefaultPoolFacade(t *testing.T) {
 	data := traces.WeeklyTraffic(traces.TrafficConfig{Days: 7, PerDay: 64, Seed: 4}).Values()
-	sel, err := NewCombinedPredictor(data[:300], 4)
+	sel, err := NewPredictor(data[:300], PredictorOptions{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
