@@ -75,6 +75,7 @@ func run(args []string, out io.Writer) (err error) {
 	snapEvery := fs.Int("snapshot-every", 10, "steps between periodic snapshots (with -snapshot)")
 	listen := fs.String("listen", "", "serve the live JSONL event stream to TCP subscribers on this address")
 	deep := fs.Bool("deep", false, "enable per-rack deep forecasting pools (ARIMA/NARNET dynamic selection)")
+	tracesKind := fs.String("traces", "", "trace-generator family: diurnal, lite, surge, surge-lite (\"\" = diurnal)")
 	failStep := fs.Int("fail-step", 0, "inject a failure after this step (testing the crash-safe trace path)")
 	shards := fs.Int("shards", 0, "step-engine shard workers (0 = number of CPUs)")
 	historyLimit := fs.Int("history-limit", 0, "retain only the last N steps of in-memory stats (0 = unbounded)")
@@ -88,6 +89,16 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	tkind, err := traces.ParseKind(*tracesKind)
+	if err != nil {
+		return err
+	}
+	// Normalize so "-traces diurnal" and the default spell the config
+	// identity the same way (and pre-existing snapshots keep matching).
+	traceKind := ""
+	if tkind != traces.Diurnal {
+		traceKind = tkind.String()
+	}
 	cfg := sim.RuntimeConfig{
 		Kind:           kind,
 		Size:           *size,
@@ -95,6 +106,7 @@ func run(args []string, out io.Writer) (err error) {
 		VMsPerHost:     *vmsPerHost,
 		DependencyProb: *depProb,
 		Seed:           *seed,
+		TraceKind:      traceKind,
 	}
 
 	var rec *obs.Recorder
@@ -131,7 +143,8 @@ func run(args []string, out io.Writer) (err error) {
 	}
 
 	rtOpts := runtime.Options{Seed: cfg.Seed, Recorder: rec, DeepPredict: *deep,
-		Shards: *shards, HistoryLimit: *historyLimit}
+		Shards: *shards, HistoryLimit: *historyLimit,
+		Traces: traces.Options{Kind: tkind}}
 	inOpts := ingest.Options{Recorder: rec}
 
 	// Restore from the snapshot file when it exists; build fresh otherwise.
@@ -180,14 +193,17 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	defer rt.Close()
 
-	// The metric reporters: one deterministic generator per VM, replayed
-	// to the resume point so a restored daemon sees the same tail of
-	// profiles the uninterrupted one would have.
+	// The metric reporters: one deterministic stream per VM from the
+	// runtime's trace generator (so -traces picks the family and surge
+	// kinds keep their rack-correlated bursts), replayed to the resume
+	// point so a restored daemon sees the same tail of profiles the
+	// uninterrupted one would have.
 	vms := rt.Cluster.VMs()
 	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
-	gens := make([]*traces.WorkloadGen, len(vms))
+	tgen := rt.TraceGen()
+	gens := make([]traces.Source, len(vms))
 	for i, vm := range vms {
-		gens[i] = traces.NewWorkloadGen(24, cfg.Seed+int64(vm.ID))
+		gens[i] = tgen.Source(vm.ID, vm.Host().Rack().Index)
 		gens[i].Skip(startStep)
 	}
 

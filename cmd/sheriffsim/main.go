@@ -10,8 +10,16 @@
 //	sheriffsim -mode dist -size 8 -loss 0.05 -trace out.jsonl
 //	sheriffsim -mode chaos -seed 42 -drop 0.2 -dup 0.25 -partition 1:3:0 -trace chaos.jsonl
 //	sheriffsim -mode scale -racks 1000 -vms 4 -steps 10 -shards 4 -json BENCH_scale.json
-//	sheriffsim -mode scale -racks 5000 -hosts 20 -vms 10 -lite -threshold 2  # 1M VMs
+//	sheriffsim -mode scale -racks 5000 -hosts 20 -vms 10 -traces lite -threshold 2  # 1M VMs
 //	sheriffsim -mode policy -size 4 -json BENCH_policy.json
+//	sheriffsim -mode surge -seed 1 -json BENCH_surge.json
+//
+// Surge mode evaluates the burst-extended predictor pool over the regime
+// grid (diurnal control, training-job waves, flash crowds, correlated
+// rack bursts): each (regime, candidate) cell reports one-step MSE,
+// sliding-window win share, and the operator's early-warning scores
+// (lead time, precision, recall), then a cluster pass drives correlated
+// multi-rack bursts through the sharded step engine.
 //
 // -trace writes a JSONL event stream (see internal/obs); with no explicit
 // -mode it implies -mode dist, the message-level protocol whose
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"sheriff/internal/comm"
+	"sheriff/internal/experiments"
 	"sheriff/internal/faults"
 	"sheriff/internal/migrate"
 	"sheriff/internal/obs"
@@ -53,7 +62,7 @@ func main() {
 // parseable JSONL trace.
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("sheriffsim", flag.ContinueOnError)
-	mode := fs.String("mode", "balance", "balance, compare, sweep, plan, dist, chaos, scale, or policy")
+	mode := fs.String("mode", "balance", "balance, compare, sweep, plan, dist, chaos, scale, policy, or surge")
 	topo := fs.String("topology", "fat-tree", "fat-tree or bcube")
 	size := fs.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
 	sizes := fs.String("sizes", "", "comma-separated size sweep (mode=sweep)")
@@ -78,9 +87,17 @@ func run(args []string, out io.Writer) (err error) {
 	shards := fs.Int("shards", 0, "shard workers (mode=scale; 0 = number of CPUs)")
 	threshold := fs.Float64("threshold", 0.9, "alert threshold for all profile components (mode=scale; >1 = alert-free)")
 	dep := fs.Float64("dep", 0, "dependency probability (mode=scale)")
-	lite := fs.Bool("lite", false, "memory-lean counter-based trace generators (mode=scale)")
+	lite := fs.Bool("lite", false, "deprecated: use -traces lite (mode=scale)")
+	tracesKind := fs.String("traces", "", "trace-generator family: diurnal, lite, surge, surge-lite (mode=scale; \"\" = diurnal)")
 	reference := fs.Bool("reference", false, "drive the seed reference engine instead of the sharded one (mode=scale)")
-	jsonOut := fs.String("json", "", "append the scale result as one JSON line to this file (mode=scale)")
+	jsonOut := fs.String("json", "", "append results as JSON lines to this file (mode=scale, policy, surge)")
+	hours := fs.Int("hours", 12, "trace hours per surge regime; first half trains the pool (mode=surge)")
+	window := fs.Int("window", 0, "selector sliding-MSE window (mode=surge; 0 = predictor default)")
+	maxLead := fs.Int("max-lead", 10, "alert horizon in steps (mode=surge)")
+	intensity := fs.Float64("intensity", 1.5, "surge amplitude scale (mode=surge)")
+	clusterRacks := fs.Int("cluster-racks", 0, "racks in the correlated-burst cluster pass (mode=surge; 0 = 8)")
+	clusterSteps := fs.Int("cluster-steps", 0, "steps in the cluster pass (mode=surge; 0 = 120)")
+	noCluster := fs.Bool("no-cluster", false, "skip the cluster pass (mode=surge)")
 	if perr := fs.Parse(args); perr != nil {
 		if errors.Is(perr, flag.ErrHelp) {
 			return nil
@@ -184,12 +201,78 @@ func run(args []string, out io.Writer) (err error) {
 			Seed:           *seed,
 			DependencyProb: *dep,
 			Threshold:      *threshold,
+			TraceKind:      *tracesKind,
 			LiteTraces:     *lite,
 			Reference:      *reference,
+		}, *jsonOut)
+	case "surge":
+		return runSurge(out, experiments.SurgeConfig{
+			Seed:         *seed,
+			Hours:        *hours,
+			Window:       *window,
+			MaxLead:      *maxLead,
+			Intensity:    *intensity,
+			ClusterRacks: *clusterRacks,
+			ClusterSteps: *clusterSteps,
+			SkipCluster:  *noCluster,
 		}, *jsonOut)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+}
+
+// runSurge prints the regime × candidate early-warning grid (winners
+// starred) and the correlated-burst cluster pass; with -json each cell is
+// appended as one JSON line, then one summary line with the winners map
+// and cluster stats (BENCH_surge.json).
+func runSurge(out io.Writer, cfg experiments.SurgeConfig, jsonPath string) error {
+	res, err := experiments.RunSurge(cfg)
+	if err != nil {
+		return err
+	}
+	for _, c := range res.Cells {
+		mark := " "
+		if c.Winner {
+			mark = "*"
+		}
+		fmt.Fprintf(out, "surge %-12s %-10s%s mse %9.6f win %4.2f | lead %5.2f prec %4.2f rec %4.2f (episodes %d alerts %d)\n",
+			c.Regime, c.Candidate, mark, c.MSE, c.WinShare,
+			c.LeadTime, c.Precision, c.Recall, c.Episodes, c.Alerts)
+	}
+	for _, reg := range []string{"diurnal", "train-wave", "flash-crowd", "rack-burst"} {
+		if w, ok := res.Winners[reg]; ok {
+			fmt.Fprintf(out, "surge winner %-12s -> %s\n", reg, w)
+		}
+	}
+	if cl := res.Cluster; cl != nil {
+		fmt.Fprintf(out, "surge cluster: %d racks %d VMs %d steps (%d in surge) | alerts %d (%d surge / %d calm) alignment %.2f lift %.2f | migrations %d\n",
+			cl.Racks, cl.VMs, cl.Steps, cl.SurgeSteps,
+			cl.ServerAlerts, cl.SurgeAlerts, cl.CalmAlerts, cl.Alignment, cl.AlertLift, cl.Migrations)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.OpenFile(jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, c := range res.Cells {
+		if err := enc.Encode(c); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	summary := struct {
+		Config  experiments.SurgeConfig        `json:"config"`
+		Winners map[string]string              `json:"winners"`
+		Cluster *experiments.SurgeClusterStats `json:"cluster,omitempty"`
+	}{res.Config, res.Winners, res.Cluster}
+	if err := enc.Encode(summary); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runPolicyGrid runs the placement-policy ablation: every matching-capable

@@ -7,6 +7,11 @@
 //	tracegen -trace traffic -days 7 -o traffic.csv
 //	tracegen -trace cpu -hours 24 -seed 3 -o -
 //	tracegen -trace profile -hours 4 -o profiles.csv
+//	tracegen -trace profile -kind surge -hours 12 -vm 3 -rack 1 -o -
+//
+// -kind selects the trace-generator family for profile traces (diurnal,
+// lite, surge, surge-lite) via the unified traces.New API; -vm and -rack
+// pick the stream, which matters for the rack-correlated surge bursts.
 package main
 
 import (
@@ -35,6 +40,9 @@ func run(args []string, stdout io.Writer) (err error) {
 	hours := fs.Int("hours", 24, "trace length in hours (cpu, io, profile)")
 	perDay := fs.Int("per-day", 64, "samples per day (traffic)")
 	seed := fs.Int64("seed", 1, "generator seed")
+	kind := fs.String("kind", "", "profile generator family: diurnal, lite, surge, surge-lite (profile)")
+	vmID := fs.Int("vm", 0, "VM stream to generate (profile)")
+	rack := fs.Int("rack", 0, "rack of the VM stream (profile; surge kinds correlate bursts by rack)")
 	out := fs.String("o", "-", "output file; - for stdout")
 	if perr := fs.Parse(args); perr != nil {
 		if errors.Is(perr, flag.ErrHelp) {
@@ -68,10 +76,18 @@ func run(args []string, stdout io.Writer) (err error) {
 		s := traces.DiskIO(traces.DiskIOConfig{Hours: *hours, Seed: *seed})
 		return traces.WriteCSV(w, "io_mbps", s)
 	case "profile":
-		g := traces.NewWorkloadGen(*hours, *seed)
-		profiles := make([]traces.Profile, g.Len())
+		k, kerr := traces.ParseKind(*kind)
+		if kerr != nil {
+			return kerr
+		}
+		gen, gerr := traces.New(traces.Options{Kind: k, Seed: *seed, Hours: *hours})
+		if gerr != nil {
+			return gerr
+		}
+		src := gen.Source(*vmID, *rack)
+		profiles := make([]traces.Profile, *hours*traces.SamplesPerHour)
 		for i := range profiles {
-			profiles[i] = g.Next()
+			profiles[i] = src.Next()
 		}
 		return traces.WriteProfileCSV(w, profiles)
 	default:

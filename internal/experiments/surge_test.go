@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRunSurgeSmoke drives a reduced surge grid end to end: every regime
+// gets a full candidate column, exactly one winner per regime, sane
+// operator scores, and a populated cluster pass.
+func TestRunSurgeSmoke(t *testing.T) {
+	res, err := RunSurge(SurgeConfig{
+		Seed:         3,
+		Hours:        4,
+		VMs:          4,
+		ClusterRacks: 2,
+		ClusterSteps: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regimes := []string{"diurnal", "train-wave", "flash-crowd", "rack-burst"}
+	if len(res.Winners) != len(regimes) {
+		t.Fatalf("winners for %d regimes, want %d", len(res.Winners), len(regimes))
+	}
+	perRegime := make(map[string]int)
+	winners := make(map[string]int)
+	for _, c := range res.Cells {
+		perRegime[c.Regime]++
+		if c.Winner {
+			winners[c.Regime]++
+			if res.Winners[c.Regime] != c.Candidate {
+				t.Fatalf("%s: winner cell %s disagrees with Winners map %s", c.Regime, c.Candidate, res.Winners[c.Regime])
+			}
+		}
+		if c.Precision < 0 || c.Precision > 1 || c.Recall < 0 || c.Recall > 1 {
+			t.Fatalf("%s/%s: precision %v recall %v out of [0,1]", c.Regime, c.Candidate, c.Precision, c.Recall)
+		}
+		if c.MSE < 0 || c.Threshold <= 0 {
+			t.Fatalf("%s/%s: mse %v threshold %v", c.Regime, c.Candidate, c.MSE, c.Threshold)
+		}
+	}
+	// The burst-extended pool: 2 ARIMA + 2 NARNET + Burst.
+	for _, reg := range regimes {
+		if perRegime[reg] != 5 {
+			t.Fatalf("%s: %d cells, want 5", reg, perRegime[reg])
+		}
+		if winners[reg] != 1 {
+			t.Fatalf("%s: %d winner cells, want exactly 1", reg, winners[reg])
+		}
+	}
+	if res.Cluster == nil {
+		t.Fatal("cluster pass missing")
+	}
+	cl := res.Cluster
+	if cl.Racks != 2 || cl.Steps != 24 || cl.VMs == 0 {
+		t.Fatalf("cluster shape = %d racks / %d steps / %d VMs", cl.Racks, cl.Steps, cl.VMs)
+	}
+	if cl.SurgeSteps <= 0 || cl.SurgeSteps > cl.Steps {
+		t.Fatalf("cluster surge steps = %d of %d", cl.SurgeSteps, cl.Steps)
+	}
+	if cl.SurgeAlerts+cl.CalmAlerts != cl.ServerAlerts {
+		t.Fatalf("alert split %d+%d != %d", cl.SurgeAlerts, cl.CalmAlerts, cl.ServerAlerts)
+	}
+}
+
+// TestRunSurgeDeterministic: the grid is a pure function of its config.
+func TestRunSurgeDeterministic(t *testing.T) {
+	cfg := SurgeConfig{Seed: 5, Hours: 2, VMs: 2, SkipCluster: true}
+	a, err := RunSurge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSurge(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs:\n%+v\n%+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+}

@@ -79,6 +79,14 @@ type Options struct {
 	Window int
 	// Seed drives NARNET weight initialization.
 	Seed int64
+	// Burst appends the change-point forecaster (Page–Hinkley gating a
+	// fast-adapting Holt — see Burst) to whichever pool Pool selects. It
+	// composes with either kind; the default pool stays burst-free so
+	// existing scenarios and serialized deep pools are untouched.
+	Burst bool
+	// BurstConfig tunes the burst candidate; the zero value means the
+	// defaults. Ignored unless Burst is set.
+	BurstConfig BurstConfig
 }
 
 // Validate reports whether the options are usable: negative windows and
@@ -93,7 +101,7 @@ func (o Options) Validate() error {
 	if o.Window < 0 {
 		return fmt.Errorf("predictor: Window must be >= 0 (0 = default), got %d", o.Window)
 	}
-	return nil
+	return o.BurstConfig.Validate()
 }
 
 // WithDefaults returns the options with zero fields replaced by their
@@ -115,6 +123,23 @@ func New(train *timeseries.Series, opts Options) (*Selector, error) {
 		return nil, err
 	}
 	opts = opts.WithDefaults()
+	cands, err := Pool(train, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewSelector(train, Config{Window: opts.Window}, cands...)
+}
+
+// Pool builds the candidate pool the options select without wrapping it in
+// a Selector — the Options-driven construction surface that subsumed the
+// positional DefaultPool / ExtendedPool pair. Opts.Burst appends the
+// change-point candidate after the family pool, so it never displaces the
+// paper's candidates, only competes with them.
+func Pool(train *timeseries.Series, opts Options) ([]*Candidate, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.WithDefaults()
 	var (
 		cands []*Candidate
 		err   error
@@ -125,14 +150,21 @@ func New(train *timeseries.Series, opts Options) (*Selector, error) {
 		if period == 0 {
 			period = timeseries.DetectPeriod(train, 4, train.Len()/3)
 		}
-		cands, err = ExtendedPool(train, period, opts.Seed)
+		cands, err = extendedPool(train, period, opts.Seed)
 	default:
-		cands, err = DefaultPool(train, opts.Seed)
+		cands, err = defaultPool(train, opts.Seed)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return NewSelector(train, Config{Window: opts.Window}, cands...)
+	if opts.Burst {
+		bm, berr := FitBurst(train, opts.BurstConfig)
+		if berr != nil {
+			return nil, berr
+		}
+		cands = append(cands, NewCandidate("Burst", bm))
+	}
+	return cands, nil
 }
 
 // NewSelector builds a Selector over the given candidates, primed with the
@@ -297,7 +329,16 @@ func (s *Selector) Run(test *timeseries.Series) (pred []float64, winShare map[st
 	return pred, winShare, nil
 }
 
-// ExtendedPool builds DefaultPool plus the exponential-smoothing family:
+// ExtendedPool builds the extended candidate family with positional
+// arguments.
+//
+// Deprecated: use Pool with Options{Pool: PoolExtended, Period: period,
+// Seed: seed}. Kept one PR for external callers.
+func ExtendedPool(train *timeseries.Series, period int, seed int64) ([]*Candidate, error) {
+	return extendedPool(train, period, seed)
+}
+
+// extendedPool builds defaultPool plus the exponential-smoothing family:
 // Holt's linear method and, when period >= 2, additive Holt–Winters with
 // that season length. Pass period = 0 to skip the seasonal candidate.
 // The three families fit concurrently on the shared worker pool.
@@ -305,7 +346,7 @@ func (s *Selector) Run(test *timeseries.Series) (pred []float64, winShare map[st
 // When every candidate fails, the returned error wraps the underlying
 // per-family fit errors (errors.Join), so callers see why the whole pool
 // died instead of a bare "failed to fit".
-func ExtendedPool(train *timeseries.Series, period int, seed int64) ([]*Candidate, error) {
+func extendedPool(train *timeseries.Series, period int, seed int64) ([]*Candidate, error) {
 	var (
 		base           []*Candidate
 		baseErr        error
@@ -313,7 +354,7 @@ func ExtendedPool(train *timeseries.Series, period int, seed int64) ([]*Candidat
 		holtErr, hwErr error
 	)
 	tasks := []func(){
-		func() { base, baseErr = DefaultPool(train, seed) },
+		func() { base, baseErr = defaultPool(train, seed) },
 		func() { holt, holtErr = smoothing.Fit(train, smoothing.Config{Method: smoothing.Holt}) },
 	}
 	if period >= 2 {
@@ -340,13 +381,22 @@ func ExtendedPool(train *timeseries.Series, period int, seed int64) ([]*Candidat
 	return out, nil
 }
 
-// DefaultPool builds the paper's four-candidate pool on a training series:
+// DefaultPool builds the paper's four-candidate pool with positional
+// arguments.
+//
+// Deprecated: use Pool with Options{Seed: seed}. Kept one PR for external
+// callers.
+func DefaultPool(train *timeseries.Series, seed int64) ([]*Candidate, error) {
+	return defaultPool(train, seed)
+}
+
+// defaultPool builds the paper's four-candidate pool on a training series:
 // ARIMA(p1,d1,q1), ARIMA(p2,d2,q2), NARNET(ni1,nh1), NARNET(ni2,nh2),
 // fitting the candidates concurrently on the shared worker pool (each fit
 // is independent and deterministic, so the pool order is stable). Any
 // candidate whose fit fails is dropped; at least one must survive, and
 // when none do the returned error wraps every underlying fit error.
-func DefaultPool(train *timeseries.Series, seed int64) ([]*Candidate, error) {
+func defaultPool(train *timeseries.Series, seed int64) ([]*Candidate, error) {
 	type spec struct {
 		name string
 		fit  func() (Forecaster, error)

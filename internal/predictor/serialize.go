@@ -17,6 +17,7 @@ const (
 	kindARIMA   = "arima"
 	kindSARIMA  = "sarima"
 	kindNARNET  = "narnet"
+	kindBurst   = "burst"
 	kindUnknown = ""
 )
 
@@ -51,6 +52,8 @@ func forecasterKind(f Forecaster) string {
 		return kindSARIMA
 	case *narnet.Network:
 		return kindNARNET
+	case *Burst:
+		return kindBurst
 	default:
 		return kindUnknown
 	}
@@ -111,6 +114,8 @@ func (s *Selector) UnmarshalJSON(b []byte) error {
 			f = new(arima.SeasonalModel)
 		case kindNARNET:
 			f = new(narnet.Network)
+		case kindBurst:
+			f = new(Burst)
 		default:
 			return fmt.Errorf("predictor: unmarshal: candidate %q has unknown kind %q", cj.Name, cj.Kind)
 		}

@@ -36,6 +36,14 @@ func equivScenarios() []equivScenario {
 		{name: "lite", steps: 12, mutate: func(o *Options) {
 			o.LiteTraces = true
 		}},
+		{name: "surge", steps: 12, mutate: func(o *Options) {
+			o.Traces = traces.Options{Kind: traces.Surge,
+				Surge: traces.SurgeParams{MeanDwell: 4, Intensity: 1.5}}
+		}},
+		{name: "surge-lite", steps: 12, mutate: func(o *Options) {
+			o.Traces = traces.Options{Kind: traces.SurgeLite,
+				Surge: traces.SurgeParams{MeanDwell: 4, BurstWeight: 1, RackFraction: 0.5}}
+		}},
 	}
 }
 
@@ -231,5 +239,68 @@ func TestSnapshotRestoreShardCountChange(t *testing.T) {
 	}
 	for i := range wantHist {
 		sameStats(t, "restart", wantHist[i], gotHist[i])
+	}
+}
+
+// TestSnapshotRestoreSurgeRegime: a surge-kind runtime snapshots its trace
+// options whole, a restore replays the same regime schedule (and the same
+// correlated rack bursts) bit-exactly, and a restore that asks for a
+// different family is refused.
+func TestSnapshotRestoreSurgeRegime(t *testing.T) {
+	const seed, before, after = 21, 5, 5
+	trOpts := traces.Options{Kind: traces.Surge,
+		Surge: traces.SurgeParams{MeanDwell: 4, BurstWeight: 1, RackFraction: 0.5, Intensity: 1.5}}
+
+	straight := buildEquivRuntime(t, seed, Options{Traces: trOpts})
+	wantHist := driveEquiv(t, straight, equivScenario{name: "straight", steps: before + after})
+
+	part := buildEquivRuntime(t, seed, Options{Traces: trOpts})
+	gotHist := append([]StepStats(nil), driveEquiv(t, part, equivScenario{name: "part1", steps: before})...)
+
+	snap, err := part.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Snapshot
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	freshCluster, freshModel := buildParts(t, 4)
+	if err := freshCluster.Restore(loaded.Cluster); err != nil {
+		t.Fatal(err)
+	}
+	// The restore does not need the surge params re-specified: they ride
+	// in the snapshot.
+	restored, err := Restore(freshCluster, freshModel, Options{Seed: seed}, &loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	for i := 0; i < after; i++ {
+		s, err := restored.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotHist = append(gotHist, *s)
+	}
+	for i := range wantHist {
+		sameStats(t, "surge-restart", wantHist[i], gotHist[i])
+	}
+
+	// Conflicting regime requests must be refused, not silently adopted.
+	otherCluster, otherModel := buildParts(t, 4)
+	if err := otherCluster.Restore(loaded.Cluster); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(otherCluster, otherModel,
+		Options{Traces: traces.Options{Kind: traces.Lite}}, &loaded); err == nil {
+		t.Fatal("restore accepted a conflicting trace kind")
+	}
+	if _, err := Restore(otherCluster, otherModel, Options{LiteTraces: true}, &loaded); err == nil {
+		t.Fatal("restore accepted conflicting deprecated LiteTraces")
 	}
 }

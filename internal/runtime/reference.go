@@ -72,7 +72,7 @@ func (r *Runtime) initReference() error {
 		st := &vmState{
 			vm:   vm,
 			rack: idx,
-			gen:  newSource(r.opts, vm.ID),
+			gen:  r.gen.Source(vm.ID, idx),
 			pred: alert.NewProfilePredictor(comp(), comp(), comp(), comp()),
 		}
 		ref.vms = append(ref.vms, st)

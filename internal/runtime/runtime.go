@@ -73,10 +73,16 @@ type Options struct {
 	// every step (the seed behavior); streaming consumers should set a
 	// small limit and drain the Recorder instead.
 	HistoryLimit int
-	// LiteTraces replaces the materialized WorkloadGen series (~35 KB of
-	// state per VM) with counter-based hashed generators (~3 words per
-	// VM), making million-VM runs memory-feasible. The profile streams
-	// are NOT sample-compatible with the default generators.
+	// Traces selects and tunes the trace-generator family feeding the
+	// synthetic engines (traces.New): Diurnal (default), Lite, Surge, or
+	// SurgeLite, plus the surge regime parameters. Traces.Seed inherits
+	// Seed when zero, so the default configuration stays bit-exact with
+	// the pre-Options engines.
+	Traces traces.Options
+	// LiteTraces selects the counter-based hashed generators.
+	//
+	// Deprecated: set Traces.Kind = traces.Lite. Kept one PR as a shim;
+	// WithDefaults upgrades it into Traces.
 	LiteTraces bool
 	// Reference selects the seed step engine instead of the sharded one.
 	// Slower and memory-hungry at scale; used as the equivalence oracle.
@@ -100,6 +106,12 @@ func (o Options) Validate() error {
 	}
 	if o.HistoryLimit < 0 {
 		return fmt.Errorf("runtime: HistoryLimit must be >= 0 (0 = unbounded), got %v", o.HistoryLimit)
+	}
+	if err := o.Traces.Validate(); err != nil {
+		return err
+	}
+	if o.LiteTraces && o.Traces.Kind != traces.Diurnal && o.Traces.Kind != traces.Lite {
+		return fmt.Errorf("runtime: deprecated LiteTraces conflicts with Traces.Kind=%v", o.Traces.Kind)
 	}
 	return o.Migrate.Validate()
 }
@@ -131,6 +143,16 @@ func (o Options) WithDefaults() Options {
 	if o.Shards == 0 {
 		o.Shards = stdruntime.NumCPU()
 	}
+	// Upgrade the deprecated LiteTraces shim into the kind-carrying field,
+	// and let the trace seed default to the runtime seed so pre-Options
+	// configurations replay bit-exactly.
+	if o.LiteTraces && o.Traces.Kind == traces.Diurnal {
+		o.Traces.Kind = traces.Lite
+	}
+	if o.Traces.Seed == 0 {
+		o.Traces.Seed = o.Seed
+	}
+	o.Traces = o.Traces.WithDefaults()
 	return o
 }
 
@@ -231,6 +253,7 @@ type Runtime struct {
 	Flows   *flow.Network
 
 	opts       Options
+	gen        traces.Generator             // trace family (opts.Traces), built once
 	shims      []*migrate.Shim              // indexed by rack; nil until first alert (sharded)
 	cps        map[int]*qcn.CongestionPoint // per-switch CPs (UseQCN)
 	flowByPair map[[2]int]int               // dependency pair -> flow ID
@@ -279,11 +302,16 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 		return nil, err
 	}
 	opts = opts.WithDefaults()
+	gen, err := traces.New(opts.Traces)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
 	r := &Runtime{
 		Cluster:    cluster,
 		Model:      model,
 		Flows:      flow.NewNetwork(cluster.Graph),
 		opts:       opts,
+		gen:        gen,
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 		cps:        make(map[int]*qcn.CongestionPoint),
 		flowByPair: make(map[[2]int]int),
@@ -295,7 +323,6 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 			r.deepHist[i] = timeseries.New(nil)
 		}
 	}
-	var err error
 	if opts.Reference {
 		err = r.initReference()
 	} else {
@@ -306,6 +333,11 @@ func New(cluster *dcn.Cluster, model *cost.Model, opts Options) (*Runtime, error
 	}
 	return r, nil
 }
+
+// TraceGen returns the trace generator the synthetic engines draw from —
+// the same streams an external reporter should replay when labeling the
+// runtime's predictions against ground truth.
+func (r *Runtime) TraceGen() traces.Generator { return r.gen }
 
 // Close releases the engine's persistent shard workers. Safe to call more
 // than once; the reference engine has nothing to release.

@@ -83,11 +83,11 @@ type shardState struct {
 	vms       []*dcn.VM
 	rack      []int32
 	cur       []traces.Profile
-	pred      [][4]holtState        // per-component Holt state, profile order
-	nObs      []int32               // profiles folded per VM
-	gens      []*traces.WorkloadGen // nil under LiteTraces
-	lite      []traces.LiteGen      // nil unless LiteTraces
-	rackStart []int32               // dense VM range of each rack (len racks+1)
+	pred      [][4]holtState   // per-component Holt state, profile order
+	nObs      []int32          // profiles folded per VM
+	srcs      []traces.Source  // per-VM streams; nil when Kind == Lite
+	lite      []traces.LiteGen // Lite fast path: value slice, no per-VM heap state
+	rackStart []int32          // dense VM range of each rack (len racks+1)
 
 	// Per-rack monitor state and reused alert buckets.
 	qHolt        []holtState
@@ -125,15 +125,6 @@ type shardState struct {
 	monitorFn func(int)
 }
 
-// newSource builds one VM's profile stream per the options.
-func newSource(opts Options, vmID int) traces.Source {
-	if opts.LiteTraces {
-		g := traces.NewLiteGen(opts.Seed + int64(vmID))
-		return &g
-	}
-	return traces.NewWorkloadGen(24, opts.Seed+int64(vmID))
-}
-
 // initSharded assembles the sharded engine: dense rack-major VM arrays,
 // a contiguous-rack shard partition balanced by VM count, and the
 // persistent worker group. Shims are built lazily on a rack's first alert
@@ -166,10 +157,11 @@ func (r *Runtime) initSharded() error {
 	sh.vmIndex = make(map[int]int32, n)
 	sh.extProf = make([]traces.Profile, n)
 	sh.extMark = make([]uint64, n)
-	if r.opts.LiteTraces {
+	liteKind := r.gen.Kind() == traces.Lite
+	if liteKind {
 		sh.lite = make([]traces.LiteGen, n)
 	} else {
-		sh.gens = make([]*traces.WorkloadGen, n)
+		sh.srcs = make([]traces.Source, n)
 	}
 	fill := make([]int32, racks)
 	copy(fill, sh.rackStart[:racks])
@@ -180,10 +172,12 @@ func (r *Runtime) initSharded() error {
 		sh.vms[i] = vm
 		sh.rack[i] = int32(rk)
 		sh.vmIndex[vm.ID] = i
-		if r.opts.LiteTraces {
-			sh.lite[i] = traces.NewLiteGen(r.opts.Seed + int64(vm.ID))
+		if liteKind {
+			// Store the O(1)-state generator by value: a million-VM run
+			// carries 3 words per VM instead of a heap object.
+			sh.lite[i] = *(r.gen.Source(vm.ID, rk).(*traces.LiteGen))
 		} else {
-			sh.gens[i] = traces.NewWorkloadGen(24, r.opts.Seed+int64(vm.ID))
+			sh.srcs[i] = r.gen.Source(vm.ID, rk)
 		}
 	}
 
@@ -259,7 +253,7 @@ func (r *Runtime) predictShard(s int) {
 		case sh.lite != nil:
 			p = sh.lite[i].Next()
 		default:
-			p = sh.gens[i].Next()
+			p = sh.srcs[i].Next()
 		}
 		sh.cur[i] = p
 		hp := &sh.pred[i]

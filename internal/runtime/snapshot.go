@@ -43,7 +43,8 @@ type Snapshot struct {
 	Version    int               `json:"version"`
 	Step       int               `json:"step"`
 	Seed       int64             `json:"seed"`
-	Lite       bool              `json:"lite,omitempty"` // traces regime (LiteTraces)
+	Lite       bool              `json:"lite,omitempty"`   // legacy traces regime flag (Kind == Lite)
+	Traces     *traces.Options   `json:"traces,omitempty"` // resolved trace options; replay requires them verbatim
 	CostParams cost.Params       `json:"cost_params"`
 	Cluster    *dcn.Snapshot     `json:"cluster"`
 	Flows      *flow.Snapshot    `json:"flows"`
@@ -76,11 +77,13 @@ func (r *Runtime) Snapshot() (*Snapshot, error) {
 	if r.opts.UseQCN {
 		return nil, fmt.Errorf("runtime: snapshot under UseQCN is not supported (congestion-point state is not serialized)")
 	}
+	trOpts := r.opts.Traces
 	snap := &Snapshot{
 		Version:    SnapshotVersion,
 		Step:       r.step,
 		Seed:       r.opts.Seed,
-		Lite:       r.opts.LiteTraces,
+		Lite:       trOpts.Kind == traces.Lite,
+		Traces:     &trOpts,
 		CostParams: r.Model.Params(),
 		Cluster:    r.Cluster.Snapshot(),
 		Flows:      r.Flows.Snapshot(),
@@ -112,7 +115,7 @@ func (r *Runtime) Snapshot() (*Snapshot, error) {
 			if sh.lite != nil {
 				pos = sh.lite[i].Pos()
 			} else {
-				pos = sh.gens[i].Pos()
+				pos = sh.srcs[i].Pos()
 			}
 			vs := VMSnap{ID: sh.vms[i].ID, GenPos: pos, Current: sh.cur[i], Hist: int(sh.nObs[i])}
 			for c := 0; c < 4; c++ {
@@ -189,8 +192,25 @@ func Restore(cluster *dcn.Cluster, model *cost.Model, opts Options, snap *Snapsh
 	if opts.Reference {
 		return nil, fmt.Errorf("runtime: restore into the reference engine is not supported")
 	}
-	if snap.Lite != opts.LiteTraces {
-		return nil, fmt.Errorf("runtime: snapshot traces regime (lite=%v) does not match options (lite=%v)", snap.Lite, opts.LiteTraces)
+	if snap.Traces != nil {
+		// Modern snapshot: the resolved trace options travel whole — adopt
+		// them verbatim (the generators must replay the exact streams), but
+		// refuse a caller who explicitly asked for a different family.
+		if opts.Traces.Kind != traces.Diurnal && opts.Traces.Kind != snap.Traces.Kind {
+			return nil, fmt.Errorf("runtime: snapshot traces kind %v does not match options kind %v",
+				snap.Traces.Kind, opts.Traces.Kind)
+		}
+		if opts.LiteTraces && snap.Traces.Kind != traces.Lite {
+			return nil, fmt.Errorf("runtime: snapshot traces kind %v conflicts with deprecated LiteTraces", snap.Traces.Kind)
+		}
+		opts.Traces = *snap.Traces
+		opts.LiteTraces = false
+	} else {
+		// Legacy snapshot: only the lite flag survives.
+		wantLite := opts.LiteTraces || opts.Traces.Kind == traces.Lite
+		if snap.Lite != wantLite {
+			return nil, fmt.Errorf("runtime: snapshot traces regime (lite=%v) does not match options (lite=%v)", snap.Lite, wantLite)
+		}
 	}
 	opts.Seed = snap.Seed
 	r, err := New(cluster, model, opts)
@@ -218,7 +238,7 @@ func Restore(cluster *dcn.Cluster, model *cost.Model, opts Options, snap *Snapsh
 		if sh.lite != nil {
 			sh.lite[i].Skip(vs.GenPos)
 		} else {
-			sh.gens[i].Skip(vs.GenPos)
+			sh.srcs[i].Skip(vs.GenPos)
 		}
 		sh.cur[i] = vs.Current
 		sh.nObs[i] = int32(vs.Hist)

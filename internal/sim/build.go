@@ -8,6 +8,7 @@ import (
 	"sheriff/internal/dcn"
 	"sheriff/internal/runtime"
 	"sheriff/internal/topology"
+	"sheriff/internal/traces"
 )
 
 // ParseKind decodes a topology name ("fat-tree"/"ft" or "bcube"/"bc").
@@ -34,6 +35,9 @@ type RuntimeConfig struct {
 	VMsPerHost     int     `json:"vms_per_host"`    // default 3
 	DependencyProb float64 `json:"dependency_prob"` // default 0.5
 	Seed           int64   `json:"seed"`
+	// TraceKind selects the trace-generator family ("" = diurnal); it is
+	// part of the config identity a daemon snapshot is checked against.
+	TraceKind string `json:"trace_kind,omitempty"`
 }
 
 func (c RuntimeConfig) withDefaults() RuntimeConfig {
@@ -111,6 +115,13 @@ func BuildRuntime(cfg RuntimeConfig, opts runtime.Options) (*runtime.Runtime, er
 	})
 	if opts.Seed == 0 {
 		opts.Seed = cfg.Seed
+	}
+	if cfg.TraceKind != "" && opts.Traces.Kind == traces.Diurnal {
+		kind, err := traces.ParseKind(cfg.TraceKind)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		opts.Traces.Kind = kind
 	}
 	return runtime.New(cluster, model, opts)
 }

@@ -13,6 +13,7 @@ import (
 	"sheriff/internal/dcn"
 	"sheriff/internal/runtime"
 	"sheriff/internal/topology"
+	"sheriff/internal/traces"
 )
 
 // ScaleConfig sizes one hyperscale step-engine run: a leaf–spine fabric
@@ -37,8 +38,14 @@ type ScaleConfig struct {
 	// that isolates pure step-engine throughput.
 	Threshold    float64 `json:"threshold"`
 	HistoryLimit int     `json:"history_limit"` // default 64
-	LiteTraces   bool    `json:"lite_traces"`
-	Reference    bool    `json:"reference"`
+	// TraceKind selects the trace-generator family ("diurnal", "lite",
+	// "surge", "surge-lite"; "" = diurnal) — see traces.ParseKind.
+	TraceKind string `json:"trace_kind,omitempty"`
+	// LiteTraces selects the lite generators.
+	//
+	// Deprecated: set TraceKind to "lite". Kept one PR as a shim.
+	LiteTraces bool `json:"lite_traces,omitempty"`
+	Reference  bool `json:"reference"`
 }
 
 func (c ScaleConfig) withDefaults() ScaleConfig {
@@ -125,11 +132,16 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	kind, err := traces.ParseKind(cfg.TraceKind)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	th := cfg.Threshold
 	rt, err := runtime.New(cluster, model, runtime.Options{
 		Seed:         cfg.Seed,
 		Shards:       cfg.Shards,
 		HistoryLimit: cfg.HistoryLimit,
+		Traces:       traces.Options{Kind: kind},
 		LiteTraces:   cfg.LiteTraces,
 		Reference:    cfg.Reference,
 		Thresholds:   alert.Thresholds{CPU: th, Mem: th, IO: th, TRF: th},

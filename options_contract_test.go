@@ -9,6 +9,7 @@ import (
 	"sheriff/internal/placement"
 	"sheriff/internal/predictor"
 	"sheriff/internal/runtime"
+	"sheriff/internal/traces"
 )
 
 // TestOptionsContract sweeps the library's option structs through the
@@ -129,6 +130,39 @@ func TestOptionsContract(t *testing.T) {
 			},
 			preserved: func() (any, any) {
 				return PredictorOptions{Window: 11}.WithDefaults().Window, 11
+			},
+		},
+		{
+			name:     "TraceOptions",
+			negative: func() error { return TraceOptions{Hours: -1}.Validate() },
+			zeroOK:   func() error { return TraceOptions{}.Validate() },
+			defaulted: func() (any, any) {
+				return TraceOptions{}.WithDefaults().Hours, 24
+			},
+			preserved: func() (any, any) {
+				return TraceOptions{Hours: 6}.WithDefaults().Hours, 6
+			},
+		},
+		{
+			name:     "traces.SurgeParams",
+			negative: func() error { return traces.SurgeParams{MeanDwell: -2}.Validate() },
+			zeroOK:   func() error { return traces.SurgeParams{}.Validate() },
+			defaulted: func() (any, any) {
+				return traces.SurgeParams{}.WithDefaults().MeanDwell, 45
+			},
+			preserved: func() (any, any) {
+				return traces.SurgeParams{MeanDwell: 9}.WithDefaults().MeanDwell, 9
+			},
+		},
+		{
+			name:     "BurstConfig",
+			negative: func() error { return BurstConfig{Hold: -1}.Validate() },
+			zeroOK:   func() error { return BurstConfig{}.Validate() },
+			defaulted: func() (any, any) {
+				return BurstConfig{}.WithDefaults().Hold, 30
+			},
+			preserved: func() (any, any) {
+				return BurstConfig{Hold: 5}.WithDefaults().Hold, 5
 			},
 		},
 	}

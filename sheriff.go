@@ -152,6 +152,42 @@ type (
 	PolicyGridConfig = sim.PolicyConfig
 	// PolicyGridResult is one cell's outcome.
 	PolicyGridResult = sim.PolicyResult
+
+	// TraceOptions selects and configures a trace-generator family
+	// (kind, seed, hours, surge parameters) behind NewTraceGenerator —
+	// the unified entry point that subsumed the per-family constructors.
+	TraceOptions = traces.Options
+	// TraceKind names a trace-generator family (diurnal, lite, surge,
+	// surge-lite).
+	TraceKind = traces.Kind
+	// TraceGenerator mints per-VM profile streams for one family.
+	TraceGenerator = traces.Generator
+	// TraceSource is one VM's replayable profile stream.
+	TraceSource = traces.Source
+	// TraceRegime is a surge generator's regime label at one step.
+	TraceRegime = traces.Regime
+	// SurgeParams tunes the regime-switching surge model (dwell time,
+	// regime mix, rack correlation, intensity).
+	SurgeParams = traces.SurgeParams
+	// BurstModel is the change-point-gated Holt forecaster: Page–Hinkley
+	// detection on one-step residuals re-anchors a fast-adapting trend
+	// when the workload jumps regimes.
+	BurstModel = predictor.Burst
+	// BurstConfig tunes the burst forecaster's detector and smoothing.
+	BurstConfig = predictor.BurstConfig
+	// EarlyWarnScore grades a forecast as an operator would: overload
+	// episodes detected, pre-alert precision, and lead time.
+	EarlyWarnScore = experiments.EarlyWarnScore
+	// EarlyWarnPoint is one alert threshold's operating point on the
+	// lead-time vs false-alarm curve.
+	EarlyWarnPoint = experiments.EarlyWarnPoint
+	// SurgeGridConfig sizes the regime × predictor surge evaluation
+	// (`sheriffsim -mode surge`).
+	SurgeGridConfig = experiments.SurgeConfig
+	// SurgeGridResult is the full surge grid plus the cluster pass.
+	SurgeGridResult = experiments.SurgeResult
+	// SurgeGridCell is one (regime, candidate) cell of the surge grid.
+	SurgeGridCell = experiments.SurgeCell
 )
 
 // Built-in placement policy kinds for PolicyOptions.Kind.
@@ -184,6 +220,20 @@ const (
 const (
 	FatTree = sim.FatTree
 	BCube   = sim.BCube
+)
+
+// Trace-generator families for TraceOptions.Kind.
+const (
+	// TraceDiurnal is the paper's diurnal workload model (the default).
+	TraceDiurnal = traces.Diurnal
+	// TraceLite is the memory-lean counter-based generator.
+	TraceLite = traces.Lite
+	// TraceSurge layers regime-switching surges (training-job waves,
+	// flash crowds, correlated rack bursts) over the diurnal base.
+	TraceSurge = traces.Surge
+	// TraceSurgeLite layers the same surges over the lite base, with
+	// O(1) random access.
+	TraceSurgeLite = traces.SurgeLite
 )
 
 // NewSeries wraps raw observations in a Series.
@@ -374,3 +424,41 @@ func NewRecorder(sinks ...EventSink) (*Recorder, error) {
 func TraceTo(w io.Writer) (*Recorder, error) {
 	return NewRecorder(obs.NewJSONL(w))
 }
+
+// NewTraceGenerator builds a trace generator for the options' family —
+// the unified API behind RuntimeOptions.Traces, tracegen -kind, and
+// sheriffd -traces. The zero TraceOptions give the paper's diurnal model.
+func NewTraceGenerator(o TraceOptions) (TraceGenerator, error) { return traces.New(o) }
+
+// ParseTraceKind resolves a family name ("diurnal", "lite", "surge",
+// "surge-lite") to its kind; "" is TraceDiurnal.
+func ParseTraceKind(name string) (TraceKind, error) { return traces.ParseKind(name) }
+
+// TraceKinds lists the built-in trace-generator families.
+func TraceKinds() []TraceKind { return traces.Kinds() }
+
+// FitBurst fits the change-point-gated Holt forecaster to the data; add
+// it to a selection pool via PredictorOptions.Burst to let it compete
+// under surge workloads.
+func FitBurst(data []float64, cfg BurstConfig) (*BurstModel, error) {
+	return predictor.FitBurst(timeseries.New(data), cfg)
+}
+
+// ScoreEarlyWarning grades predicted against actual as an operator
+// would: episodes detected, pre-alert precision, and mean lead time at
+// the overload threshold within the maxLead horizon.
+func ScoreEarlyWarning(actual, predicted []float64, threshold float64, maxLead int) (EarlyWarnScore, error) {
+	return experiments.ScoreEarlyWarning(actual, predicted, threshold, maxLead)
+}
+
+// EarlyWarnTradeoff sweeps the alert threshold to trace the lead-time vs
+// false-alarm curve; the truth threshold (the overload definition) stays
+// fixed.
+func EarlyWarnTradeoff(actual, predicted []float64, truthThreshold float64, alertThresholds []float64, maxLead int) ([]EarlyWarnPoint, error) {
+	return experiments.EarlyWarnCurve(actual, predicted, truthThreshold, alertThresholds, maxLead)
+}
+
+// RunSurgeGrid evaluates the burst-extended predictor pool over the
+// surge regime grid and drives correlated rack bursts through the
+// sharded step engine (`sheriffsim -mode surge`).
+func RunSurgeGrid(cfg SurgeGridConfig) (*SurgeGridResult, error) { return experiments.RunSurge(cfg) }
