@@ -18,6 +18,7 @@
 //	sheriffd -topology fat-tree -size 8 -steps 50
 //	sheriffd -size 8 -steps 20 -trace run.jsonl -snapshot run.snap
 //	sheriffd -size 8 -steps 30 -deep -listen 127.0.0.1:7070
+//	sheriffd -size 8 -steps 30 -triage quantized
 package main
 
 import (
@@ -76,6 +77,7 @@ func run(args []string, out io.Writer) (err error) {
 	listen := fs.String("listen", "", "serve the live JSONL event stream to TCP subscribers on this address")
 	deep := fs.Bool("deep", false, "enable per-rack deep forecasting pools (ARIMA/NARNET dynamic selection)")
 	tracesKind := fs.String("traces", "", "trace-generator family: diurnal, lite, surge, surge-lite (\"\" = diurnal)")
+	triage := fs.String("triage", "", "ingest triage arithmetic: float or quantized (\"\" = float); snapshots restore across modes")
 	failStep := fs.Int("fail-step", 0, "inject a failure after this step (testing the crash-safe trace path)")
 	shards := fs.Int("shards", 0, "step-engine shard workers (0 = number of CPUs)")
 	historyLimit := fs.Int("history-limit", 0, "retain only the last N steps of in-memory stats (0 = unbounded)")
@@ -90,6 +92,10 @@ func run(args []string, out io.Writer) (err error) {
 		return err
 	}
 	tkind, err := traces.ParseKind(*tracesKind)
+	if err != nil {
+		return err
+	}
+	tmode, err := ingest.ParseTriageMode(*triage)
 	if err != nil {
 		return err
 	}
@@ -145,7 +151,7 @@ func run(args []string, out io.Writer) (err error) {
 	rtOpts := runtime.Options{Seed: cfg.Seed, Recorder: rec, DeepPredict: *deep,
 		Shards: *shards, HistoryLimit: *historyLimit,
 		Traces: traces.Options{Kind: tkind}}
-	inOpts := ingest.Options{Recorder: rec}
+	inOpts := ingest.Options{Recorder: rec, Mode: tmode}
 
 	// Restore from the snapshot file when it exists; build fresh otherwise.
 	var rt *runtime.Runtime

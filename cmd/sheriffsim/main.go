@@ -13,6 +13,7 @@
 //	sheriffsim -mode scale -racks 5000 -hosts 20 -vms 10 -traces lite -threshold 2  # 1M VMs
 //	sheriffsim -mode policy -size 4 -json BENCH_policy.json
 //	sheriffsim -mode surge -seed 1 -json BENCH_surge.json
+//	sheriffsim -mode ingest -seed 1 -json BENCH_ingest.json
 //
 // Surge mode evaluates the burst-extended predictor pool over the regime
 // grid (diurnal control, training-job waves, flash crowds, correlated
@@ -20,6 +21,11 @@
 // sliding-window win share, and the operator's early-warning scores
 // (lead time, precision, recall), then a cluster pass drives correlated
 // multi-rack bursts through the sharded step engine.
+//
+// Ingest mode distills the deep pool into the fixed-point triage filter
+// and grades it: per-regime alert precision/recall/lead-time of the
+// quantized filter against the pool's alerts, plus the float-vs-quantized
+// ingest service benchmark (throughput, drain p99, allocs/update).
 //
 // -trace writes a JSONL event stream (see internal/obs); with no explicit
 // -mode it implies -mode dist, the message-level protocol whose
@@ -62,7 +68,7 @@ func main() {
 // parseable JSONL trace.
 func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("sheriffsim", flag.ContinueOnError)
-	mode := fs.String("mode", "balance", "balance, compare, sweep, plan, dist, chaos, scale, policy, or surge")
+	mode := fs.String("mode", "balance", "balance, compare, sweep, plan, dist, chaos, scale, policy, surge, or ingest")
 	topo := fs.String("topology", "fat-tree", "fat-tree or bcube")
 	size := fs.Int("size", 8, "pods (fat-tree) or switches per level (bcube)")
 	sizes := fs.String("sizes", "", "comma-separated size sweep (mode=sweep)")
@@ -87,14 +93,17 @@ func run(args []string, out io.Writer) (err error) {
 	shards := fs.Int("shards", 0, "shard workers (mode=scale; 0 = number of CPUs)")
 	threshold := fs.Float64("threshold", 0.9, "alert threshold for all profile components (mode=scale; >1 = alert-free)")
 	dep := fs.Float64("dep", 0, "dependency probability (mode=scale)")
-	lite := fs.Bool("lite", false, "deprecated: use -traces lite (mode=scale)")
 	tracesKind := fs.String("traces", "", "trace-generator family: diurnal, lite, surge, surge-lite (mode=scale; \"\" = diurnal)")
 	reference := fs.Bool("reference", false, "drive the seed reference engine instead of the sharded one (mode=scale)")
 	jsonOut := fs.String("json", "", "append results as JSON lines to this file (mode=scale, policy, surge)")
-	hours := fs.Int("hours", 12, "trace hours per surge regime; first half trains the pool (mode=surge)")
-	window := fs.Int("window", 0, "selector sliding-MSE window (mode=surge; 0 = predictor default)")
-	maxLead := fs.Int("max-lead", 10, "alert horizon in steps (mode=surge)")
-	intensity := fs.Float64("intensity", 1.5, "surge amplitude scale (mode=surge)")
+	hours := fs.Int("hours", 12, "trace hours per surge regime; first half trains the pool (mode=surge, ingest)")
+	window := fs.Int("window", 0, "selector sliding-MSE window (mode=surge, ingest; 0 = predictor default)")
+	maxLead := fs.Int("max-lead", 10, "alert horizon in steps (mode=surge, ingest)")
+	intensity := fs.Float64("intensity", 1.5, "surge amplitude scale (mode=surge, ingest)")
+	tolerance := fs.Int("tolerance", 0, "alert-matching window in steps vs the pool's alerts (mode=ingest; 0 = 3)")
+	benchRacks := fs.Int("bench-racks", 0, "benchmarked ingest service racks (mode=ingest; 0 = 32)")
+	benchVMs := fs.Int("bench-vms", 0, "benchmarked VMs per rack (mode=ingest; 0 = 32)")
+	benchRounds := fs.Int("bench-rounds", 0, "timed full-fleet sweeps per mode (mode=ingest; 0 = 2000)")
 	clusterRacks := fs.Int("cluster-racks", 0, "racks in the correlated-burst cluster pass (mode=surge; 0 = 8)")
 	clusterSteps := fs.Int("cluster-steps", 0, "steps in the cluster pass (mode=surge; 0 = 120)")
 	noCluster := fs.Bool("no-cluster", false, "skip the cluster pass (mode=surge)")
@@ -202,7 +211,6 @@ func run(args []string, out io.Writer) (err error) {
 			DependencyProb: *dep,
 			Threshold:      *threshold,
 			TraceKind:      *tracesKind,
-			LiteTraces:     *lite,
 			Reference:      *reference,
 		}, *jsonOut)
 	case "surge":
@@ -215,6 +223,20 @@ func run(args []string, out io.Writer) (err error) {
 			ClusterRacks: *clusterRacks,
 			ClusterSteps: *clusterSteps,
 			SkipCluster:  *noCluster,
+		}, *jsonOut)
+	case "ingest":
+		return runIngest(out, experiments.IngestConfig{
+			DistillConfig: experiments.DistillConfig{
+				Seed:      *seed,
+				Hours:     *hours,
+				Window:    *window,
+				MaxLead:   *maxLead,
+				Intensity: *intensity,
+				Tolerance: *tolerance,
+			},
+			BenchRacks:  *benchRacks,
+			BenchVMs:    *benchVMs,
+			BenchRounds: *benchRounds,
 		}, *jsonOut)
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
@@ -269,6 +291,44 @@ func runSurge(out io.Writer, cfg experiments.SurgeConfig, jsonPath string) error
 		Cluster *experiments.SurgeClusterStats `json:"cluster,omitempty"`
 	}{res.Config, res.Winners, res.Cluster}
 	if err := enc.Encode(summary); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runIngest distills the fixed-point triage filter from the deep pool and
+// grades it, printing the per-regime fidelity rows and the two-mode
+// service benchmark; with -json the whole report is appended as one JSON
+// line (BENCH_ingest.json).
+func runIngest(out io.Writer, cfg experiments.IngestConfig, jsonPath string) error {
+	res, err := experiments.RunIngest(cfg)
+	if err != nil {
+		return err
+	}
+	d := res.Distill
+	fmt.Fprintf(out, "ingest distilled: alpha %d/%d beta %d/%d (α %.3f β %.3f) lead %d | fit score %.2f/%d\n",
+		d.Coeffs.AlphaNum, int64(1)<<d.Coeffs.Shift, d.Coeffs.BetaNum, int64(1)<<d.Coeffs.Shift,
+		d.Coeffs.Alpha(), d.Coeffs.Beta(), d.Coeffs.Lead, d.Score, len(d.Regimes))
+	for _, reg := range d.Regimes {
+		fmt.Fprintf(out, "ingest %-12s threshold %.3f alert-at %.3f | pool %3d quant %3d matched %3d | prec %4.2f rec %4.2f lead %5.2f (pool %5.2f)\n",
+			reg.Regime, reg.Threshold, reg.AlertAt,
+			reg.PoolAlerts, reg.QuantAlerts, reg.Matched,
+			reg.Precision, reg.Recall, reg.MeanLead, reg.PoolLead)
+	}
+	for _, p := range []experiments.IngestModePerf{res.Float, res.Quant} {
+		fmt.Fprintf(out, "ingest bench %-9s: %10.0f updates/s | p99 %6.1f µs | %.3f allocs/update | alerts %d\n",
+			p.Mode, p.UpdatesPerSec, p.P99Micros, p.AllocsPerUpdate, p.Alerts)
+	}
+	fmt.Fprintf(out, "ingest speedup: %.2fx quantized over float\n", res.Speedup)
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.OpenFile(jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := json.NewEncoder(f).Encode(res); err != nil {
 		f.Close()
 		return err
 	}

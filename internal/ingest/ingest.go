@@ -33,6 +33,7 @@ import (
 	"sheriff/internal/metrics"
 	"sheriff/internal/obs"
 	"sheriff/internal/pool"
+	"sheriff/internal/quant"
 	"sheriff/internal/traces"
 )
 
@@ -63,6 +64,17 @@ type Options struct {
 	// Alpha and Beta are the Holt triage smoothing factors. Zero means
 	// the defaults (0.5 and 0.3); out of (0,1] is an error.
 	Alpha, Beta float64
+	// Mode selects the triage arithmetic: TriageFloat (default) runs the
+	// float64 Holt smoother, TriageQuant the Q16.16 fixed-point twin with
+	// dyadic coefficients and saturating overflow semantics (see
+	// internal/quant and quant.go in this package).
+	Mode TriageMode
+	// Quant supplies the fixed-point coefficients for TriageQuant —
+	// typically the output of experiments.DistillQuant, which fits them
+	// (plus the alert lead horizon) against the deep pool's alerts. The
+	// zero value snaps Alpha and Beta at quant.DefaultShift with Lead 1,
+	// mirroring the float filter. Ignored under TriageFloat.
+	Quant quant.Coeffs
 	// Recorder receives KindIngest events (drains, drops, alerts) and is
 	// the hub Subscribe attaches sinks to. Nil disables both.
 	Recorder *obs.Recorder
@@ -90,7 +102,13 @@ func (o Options) Validate() error {
 	if err := check("Alpha", o.Alpha); err != nil {
 		return err
 	}
-	return check("Beta", o.Beta)
+	if err := check("Beta", o.Beta); err != nil {
+		return err
+	}
+	if o.Mode != TriageFloat && o.Mode != TriageQuant {
+		return fmt.Errorf("ingest: unknown triage mode %d", int(o.Mode))
+	}
+	return o.Quant.Validate()
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +130,12 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = time.Now
 	}
+	if o.Mode == TriageQuant {
+		if o.Quant == (quant.Coeffs{}) {
+			o.Quant = quant.Snap(o.Alpha, o.Beta, quant.DefaultShift)
+		}
+		o.Quant = o.Quant.WithDefaults()
+	}
 	return o
 }
 
@@ -129,10 +153,13 @@ type Stats struct {
 	LatencyP99 float64
 }
 
-// queued is one accepted update awaiting triage.
+// queued is one accepted update awaiting triage. qv is the Q16.16 image
+// of v, captured at offer time so the quantized drain path never touches
+// a float; it is zero (and unused) under TriageFloat.
 type queued struct {
 	slot int
 	v    float64
+	qv   quant.Q
 	at   time.Time
 }
 
@@ -147,15 +174,34 @@ type slot struct {
 
 // shard is one rack's intake lane. All fields past the lock are guarded
 // by it; the queue and scratch buffers are allocated once at capacity.
+// Exactly one of slots (TriageFloat) and qslots (TriageQuant) is
+// populated, depending on the service mode.
 type shard struct {
 	rack int
 
 	mu     sync.Mutex
 	queue  []queued
 	slots  []slot
+	qslots []qslot
 	alerts []Alert   // raised, not yet polled
 	lat    []float64 // drain scratch: latencies in seconds
 	drains int       // drain cycles with at least one update
+}
+
+// numSlots returns the VM count regardless of mode.
+func (sh *shard) numSlots() int {
+	if sh.qslots != nil {
+		return len(sh.qslots)
+	}
+	return len(sh.slots)
+}
+
+// slotVM returns slot j's VM ID regardless of mode.
+func (sh *shard) slotVM(j int) int {
+	if sh.qslots != nil {
+		return sh.qslots[j].vm
+	}
+	return sh.slots[j].vm
 }
 
 // loc addresses one VM's triage slot.
@@ -166,10 +212,11 @@ type loc struct {
 // Service is the sharded ingest front end. All methods are safe for
 // concurrent use.
 type Service struct {
-	opts  Options
-	rec   *obs.Recorder
-	shard []*shard
-	vmLoc map[int]loc
+	opts    Options
+	rec     *obs.Recorder
+	shard   []*shard
+	vmLoc   map[int]loc
+	qthresh quant.Q // HotThreshold in Q16.16 (TriageQuant only)
 
 	offered   atomic.Uint64
 	accepted  atomic.Uint64
@@ -202,17 +249,22 @@ func New(vmsByRack [][]int, opts Options) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		opts:   opts,
-		rec:    opts.Recorder,
-		vmLoc:  make(map[int]loc),
-		latP99: p99,
+		opts:    opts,
+		rec:     opts.Recorder,
+		vmLoc:   make(map[int]loc),
+		qthresh: quant.FromFloat(opts.HotThreshold),
+		latP99:  p99,
 	}
 	for i, vms := range vmsByRack {
 		sh := &shard{
 			rack:  i,
 			queue: make([]queued, 0, opts.QueueLimit),
-			slots: make([]slot, 0, len(vms)),
 			lat:   make([]float64, 0, opts.QueueLimit),
+		}
+		if opts.Mode == TriageQuant {
+			sh.qslots = make([]qslot, 0, len(vms))
+		} else {
+			sh.slots = make([]slot, 0, len(vms))
 		}
 		for _, vm := range vms {
 			if vm < 0 {
@@ -221,8 +273,12 @@ func New(vmsByRack [][]int, opts Options) (*Service, error) {
 			if _, dup := s.vmLoc[vm]; dup {
 				return nil, fmt.Errorf("ingest: VM %d assigned to more than one rack", vm)
 			}
-			s.vmLoc[vm] = loc{shard: i, slot: len(sh.slots)}
-			sh.slots = append(sh.slots, slot{vm: vm})
+			s.vmLoc[vm] = loc{shard: i, slot: sh.numSlots()}
+			if opts.Mode == TriageQuant {
+				sh.qslots = append(sh.qslots, qslot{vm: vm})
+			} else {
+				sh.slots = append(sh.slots, slot{vm: vm})
+			}
 		}
 		s.shard = append(s.shard, sh)
 	}
@@ -258,6 +314,10 @@ func (s *Service) Shards() int { return len(s.shard) }
 // and counted), and an error for a VM the service was not built for.
 // The accept path performs no allocation.
 func (s *Service) Offer(u Update) (bool, error) {
+	return s.offerAt(u, s.opts.Clock())
+}
+
+func (s *Service) offerAt(u Update, at time.Time) (bool, error) {
 	l, ok := s.vmLoc[u.VM]
 	if !ok {
 		return false, fmt.Errorf("ingest: unknown VM %d", u.VM)
@@ -271,7 +331,16 @@ func (s *Service) Offer(u Update) (bool, error) {
 		s.rec.Record(obs.Event{Kind: obs.KindIngest, Phase: "drop", Shim: sh.rack, VM: u.VM, Host: -1, Value: 1})
 		return false, nil
 	}
-	sh.queue = append(sh.queue, queued{slot: l.slot, v: u.Profile.Max(), at: s.opts.Clock()})
+	q := queued{slot: l.slot, at: at}
+	if s.opts.Mode == TriageQuant {
+		// The one float→fixed conversion on the quantized path: everything
+		// downstream of the intake boundary is integer arithmetic. Only the
+		// fixed-point image is queued — the drain never reads the float.
+		q.qv = quant.FromFloat(u.Profile.Max())
+	} else {
+		q.v = u.Profile.Max()
+	}
+	sh.queue = append(sh.queue, q)
 	sh.mu.Unlock()
 	s.accepted.Add(1)
 	return true, nil
@@ -279,11 +348,15 @@ func (s *Service) Offer(u Update) (bool, error) {
 
 // OfferBatch offers each update in order and returns how many were
 // accepted. Overflow drops are not errors; an unknown VM is, and stops
-// the batch.
+// the batch. The whole batch shares one arrival stamp — the updates
+// arrived together, and a single clock read per batch keeps the
+// per-update accept cost to the queue append itself (time.Now dominated
+// the ingest cycle when read per offer).
 func (s *Service) OfferBatch(updates []Update) (int, error) {
+	at := s.opts.Clock()
 	accepted := 0
 	for _, u := range updates {
-		ok, err := s.Offer(u)
+		ok, err := s.offerAt(u, at)
 		if err != nil {
 			return accepted, err
 		}
@@ -310,10 +383,11 @@ func (s *Service) ProcessPending() int {
 	return int(total.Load())
 }
 
-// drainShard runs triage over one shard's queue. The shard lock is held
-// for the whole drain, so offers to this shard wait — that is the
-// backpressure contract: accepted updates are processed exactly once, in
-// order, before anything newer.
+// drainShard runs triage over one shard's queue, dispatching to the
+// mode's drain loop. The shard lock is held for the whole drain, so
+// offers to this shard wait — that is the backpressure contract:
+// accepted updates are processed exactly once, in order, before anything
+// newer.
 func (s *Service) drainShard(sh *shard, now time.Time) int {
 	sh.mu.Lock()
 	n := len(sh.queue)
@@ -322,6 +396,30 @@ func (s *Service) drainShard(sh *shard, now time.Time) int {
 		return 0
 	}
 	sh.lat = sh.lat[:0]
+	if s.opts.Mode == TriageQuant {
+		s.drainQuant(sh, now)
+	} else {
+		s.drainFloat(sh, now)
+	}
+	sh.queue = sh.queue[:0]
+	sh.drains++
+	sh.mu.Unlock()
+
+	s.processed.Add(uint64(n))
+	s.statsMu.Lock()
+	for _, l := range sh.lat {
+		s.latSum.Observe(l)
+		s.latP99.Observe(l)
+	}
+	s.statsMu.Unlock()
+	s.rec.Record(obs.Event{Kind: obs.KindIngest, Phase: "drain", Shim: sh.rack, VM: -1, Host: -1, Value: float64(n)})
+	return n
+}
+
+// drainFloat is the float64 triage loop — the seed path, bit-exact with
+// the pre-quantization service. It runs under the shard lock and is
+// allocation-free in steady state.
+func (s *Service) drainFloat(sh *shard, now time.Time) {
 	for i := range sh.queue {
 		q := &sh.queue[i]
 		sl := &sh.slots[q.slot]
@@ -338,19 +436,6 @@ func (s *Service) drainShard(sh *shard, now time.Time) int {
 			sl.alerted = false
 		}
 	}
-	sh.queue = sh.queue[:0]
-	sh.drains++
-	sh.mu.Unlock()
-
-	s.processed.Add(uint64(n))
-	s.statsMu.Lock()
-	for _, l := range sh.lat {
-		s.latSum.Observe(l)
-		s.latP99.Observe(l)
-	}
-	s.statsMu.Unlock()
-	s.rec.Record(obs.Event{Kind: obs.KindIngest, Phase: "drain", Shim: sh.rack, VM: -1, Host: -1, Value: float64(n)})
-	return n
 }
 
 // observe folds one observation into the Holt state and returns the

@@ -330,24 +330,29 @@ func TestStartStopDrainLoop(t *testing.T) {
 	}
 }
 
-// TestHotPathZeroAlloc pins the steady-state allocation contract: once
-// queues are warm, an offer+drain cycle does not allocate.
+// TestHotPathZeroAlloc pins the steady-state allocation contract for
+// both triage modes: once queues are warm, an offer+drain cycle does not
+// allocate.
 func TestHotPathZeroAlloc(t *testing.T) {
-	s := build(t, Options{})
-	u := Update{VM: 0, Profile: cool()}
-	// Warm up: populate quantile markers and scratch buffers.
-	for i := 0; i < 64; i++ {
-		s.Offer(u)
-		s.ProcessPending()
-	}
-	allocs := testing.AllocsPerRun(200, func() {
-		if ok, err := s.Offer(u); err != nil || !ok {
-			t.Fatalf("offer failed: %v %v", ok, err)
-		}
-		s.drainShard(s.shard[0], s.opts.Clock())
-	})
-	if allocs != 0 {
-		t.Fatalf("hot path allocates %.1f per offer+drain cycle, want 0", allocs)
+	for _, mode := range []TriageMode{TriageFloat, TriageQuant} {
+		t.Run(mode.String(), func(t *testing.T) {
+			s := build(t, Options{Mode: mode})
+			u := Update{VM: 0, Profile: cool()}
+			// Warm up: populate quantile markers and scratch buffers.
+			for i := 0; i < 64; i++ {
+				s.Offer(u)
+				s.ProcessPending()
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if ok, err := s.Offer(u); err != nil || !ok {
+					t.Fatalf("offer failed: %v %v", ok, err)
+				}
+				s.drainShard(s.shard[0], s.opts.Clock())
+			})
+			if allocs != 0 {
+				t.Fatalf("hot path allocates %.1f per offer+drain cycle, want 0", allocs)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,285 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sheriff/internal/quant"
+	"sheriff/internal/traces"
+)
+
+func TestParseTriageMode(t *testing.T) {
+	for s, want := range map[string]TriageMode{
+		"": TriageFloat, "float": TriageFloat, "Float": TriageFloat,
+		"quantized": TriageQuant, "quant": TriageQuant, "fixed-point": TriageQuant,
+	} {
+		got, err := ParseTriageMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseTriageMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseTriageMode("analog"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if TriageFloat.String() != "float" || TriageQuant.String() != "quantized" {
+		t.Errorf("mode names: %q %q", TriageFloat, TriageQuant)
+	}
+}
+
+func TestQuantOptionsValidation(t *testing.T) {
+	if _, err := New([][]int{{0}}, Options{Mode: TriageMode(7)}); err == nil {
+		t.Error("unknown triage mode accepted")
+	}
+	if _, err := New([][]int{{0}}, Options{Mode: TriageQuant, Quant: quant.Coeffs{AlphaNum: -1}}); err == nil {
+		t.Error("invalid coefficients accepted")
+	}
+	// Zero coefficients under TriageQuant snap to the float path's α/β.
+	s := build(t, Options{Mode: TriageQuant})
+	if got, want := s.opts.Quant, quant.Snap(0.5, 0.3, quant.DefaultShift); got != want {
+		t.Errorf("defaulted coefficients %+v, want %+v", got, want)
+	}
+}
+
+// TestQuantTriageAlertFlow runs the edge-trigger scenario on the
+// quantized path: same latch discipline as float, alert values carry the
+// fixed-point signal.
+func TestQuantTriageAlertFlow(t *testing.T) {
+	s := build(t, Options{Mode: TriageQuant})
+	feed := func(vm int, p traces.Profile, times int) {
+		t.Helper()
+		for i := 0; i < times; i++ {
+			if ok, err := s.Offer(Update{VM: vm, Profile: p}); err != nil || !ok {
+				t.Fatalf("offer vm %d: %v %v", vm, ok, err)
+			}
+		}
+	}
+	feed(4, hot(), 3)
+	feed(1, hot(), 3)
+	feed(0, cool(), 3)
+	s.ProcessPending()
+	alerts := s.Poll()
+	if len(alerts) != 2 || alerts[0].VM != 1 || alerts[1].VM != 4 {
+		t.Fatalf("quantized alerts %+v, want VMs 1 and 4", alerts)
+	}
+	if alerts[0].Value <= 0.9 {
+		t.Fatalf("alert value %v not above threshold", alerts[0].Value)
+	}
+	// Edge-triggered: no duplicate while latched, re-alert after recovery.
+	feed(1, hot(), 2)
+	s.ProcessPending()
+	if got := s.Poll(); len(got) != 0 {
+		t.Fatalf("duplicate quantized alerts: %+v", got)
+	}
+	feed(1, cool(), 6)
+	s.ProcessPending()
+	s.Poll()
+	feed(1, hot(), 4)
+	s.ProcessPending()
+	if got := s.Poll(); len(got) != 1 || got[0].VM != 1 {
+		t.Fatalf("re-alert after recovery missing: %+v", got)
+	}
+}
+
+// TestQuantMatchesFloatAtDefaults pins the approximation quality of the
+// default (undistilled) coefficients: on a realistic workload stream the
+// two modes raise alerts for the same VMs.
+func TestQuantMatchesFloatAtDefaults(t *testing.T) {
+	fs := build(t, Options{})
+	qs := build(t, Options{Mode: TriageQuant})
+	gen := traces.NewWorkloadGen(24, 7)
+	seen := map[string]map[int]bool{"float": {}, "quant": {}}
+	for step := 0; step < 200; step++ {
+		for vm := 0; vm < 5; vm++ {
+			p := gen.Next()
+			for _, svc := range []*Service{fs, qs} {
+				if ok, err := svc.Offer(Update{VM: vm, Profile: p}); err != nil || !ok {
+					t.Fatalf("offer: %v %v", ok, err)
+				}
+			}
+		}
+		fs.ProcessPending()
+		qs.ProcessPending()
+		for _, a := range fs.Poll() {
+			seen["float"][a.VM] = true
+		}
+		for _, a := range qs.Poll() {
+			seen["quant"][a.VM] = true
+		}
+	}
+	if fmt.Sprint(seen["float"]) != fmt.Sprint(seen["quant"]) {
+		t.Fatalf("alerted VM sets diverged:\n float: %v\n quant: %v", seen["float"], seen["quant"])
+	}
+}
+
+// TestDrainQuantMatchesHolt pins the unrolled drain recursion to
+// quant.(*Holt).Observe bit for bit: the service's in-loop integer math
+// and the method the distiller grades offline must be the same filter,
+// including at the saturation rails (huge Lead drives the signal clamp).
+func TestDrainQuantMatchesHolt(t *testing.T) {
+	// Several coefficient shapes spanning both drain loops: the
+	// (Shift=DefaultShift, Lead=1) case takes the specialized
+	// drainQuantDefault path, every other shape the generic loop.
+	for _, coeffs := range []quant.Coeffs{
+		{AlphaNum: 200, BetaNum: 90, Shift: 8, Lead: 1},
+		{AlphaNum: 200, BetaNum: 90, Shift: 8, Lead: 30000},
+		{AlphaNum: 700, BetaNum: 150, Shift: 11, Lead: 1},
+		{AlphaNum: 1, BetaNum: 65536, Shift: 16, Lead: 4},
+	} {
+		s, err := New([][]int{{0}}, Options{Mode: TriageQuant, Quant: coeffs, Clock: fixedClock(), HotThreshold: 1e9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref quant.Holt
+		rng := rand.New(rand.NewSource(21))
+		for i := 0; i < 5000; i++ {
+			v := rng.Float64() * 2e5 // wide swings: the Lead extrapolation hits the rails
+			s.Offer(Update{VM: 0, Profile: traces.Profile{CPU: v}})
+			s.ProcessPending()
+			ref.Observe(quant.FromFloat(v), coeffs)
+			if got := s.shard[0].qslots[0].h; got != ref {
+				t.Fatalf("coeffs %+v step %d: drain state %+v, Holt.Observe %+v", coeffs, i, got, ref)
+			}
+		}
+	}
+}
+
+// quantState flattens every quantized slot's raw int32 words.
+func quantState(s *Service) []quant.Holt {
+	var out []quant.Holt
+	for _, sh := range s.shard {
+		for _, sl := range sh.qslots {
+			out = append(out, sl.h)
+		}
+	}
+	return out
+}
+
+// TestQuantSnapshotRoundTrip is the same-mode restart contract for the
+// quantized path: the restored int32 state is bit-identical, through a
+// real JSON encode.
+func TestQuantSnapshotRoundTrip(t *testing.T) {
+	s := build(t, Options{Mode: TriageQuant})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		s.Offer(Update{VM: rng.Intn(5), Profile: traces.Profile{CPU: rng.Float64(), Mem: rng.Float64()}})
+	}
+	s.ProcessPending()
+	s.Poll()
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != SnapshotVersion || snap.Mode != "quantized" {
+		t.Fatalf("snapshot header: version %d mode %q", snap.Version, snap.Mode)
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Snapshot
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	restored := build(t, Options{Mode: TriageQuant})
+	if err := restored.Restore(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(quantState(restored)) != fmt.Sprint(quantState(s)) {
+		t.Fatalf("restored quantized state not bit-identical:\n want %v\n got  %v", quantState(s), quantState(restored))
+	}
+}
+
+// TestCrossModeSnapshotRestore pins the conversion contract in both
+// directions: float snapshots restore into quantized services
+// deterministically, and quantized state survives a quantized → float →
+// quantized round trip bit-exactly (Float() is lossless and
+// FromFloat(Float(q)) == q).
+func TestCrossModeSnapshotRestore(t *testing.T) {
+	run := func(s *Service) *Snapshot {
+		t.Helper()
+		rng := rand.New(rand.NewSource(12))
+		for i := 0; i < 300; i++ {
+			s.Offer(Update{VM: rng.Intn(5), Profile: traces.Profile{CPU: rng.Float64(), Mem: rng.Float64()}})
+		}
+		s.ProcessPending()
+		s.Poll()
+		snap, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+
+	// float → quantized: deterministic (two restores agree) and exact where
+	// exactness is possible — each slot equals FromFloat of the float state.
+	fsnap := run(build(t, Options{}))
+	q1, q2 := build(t, Options{Mode: TriageQuant}), build(t, Options{Mode: TriageQuant})
+	if err := q1.Restore(fsnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Restore(fsnap); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(quantState(q1)) != fmt.Sprint(quantState(q2)) {
+		t.Fatal("float → quantized restore is not deterministic")
+	}
+	i := 0
+	for _, ss := range fsnap.Shards {
+		for _, sl := range ss.Slots {
+			got := quantState(q1)[i]
+			if got.Level != quant.FromFloat(sl.Level) || got.Trend != quant.FromFloat(sl.Trend) {
+				t.Fatalf("VM %d: float state (%v, %v) quantized to (%v, %v)", sl.VM, sl.Level, sl.Trend, got.Level, got.Trend)
+			}
+			i++
+		}
+	}
+
+	// quantized → float → quantized: bit-exact.
+	qsnap := run(build(t, Options{Mode: TriageQuant}))
+	fsvc := build(t, Options{})
+	if err := fsvc.Restore(qsnap); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := fsvc.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := build(t, Options{Mode: TriageQuant})
+	if err := back.Restore(s2); err != nil {
+		t.Fatal(err)
+	}
+	orig := build(t, Options{Mode: TriageQuant})
+	if err := orig.Restore(qsnap); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(quantState(back)) != fmt.Sprint(quantState(orig)) {
+		t.Fatalf("quant → float → quant round trip not bit-exact:\n want %v\n got  %v", quantState(orig), quantState(back))
+	}
+}
+
+// TestV1SnapshotRestores pins backward compatibility: a version-1 (float,
+// pre-Mode) snapshot restores into both modes.
+func TestV1SnapshotRestores(t *testing.T) {
+	s := build(t, Options{})
+	s.Offer(Update{VM: 0, Profile: cool()})
+	s.ProcessPending()
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Version, snap.Mode = 1, ""
+	for _, opts := range []Options{{}, {Mode: TriageQuant}} {
+		r := build(t, opts)
+		if err := r.Restore(snap); err != nil {
+			t.Fatalf("v1 restore into %v: %v", opts.Mode, err)
+		}
+	}
+	snap.Version = 2
+	snap.Mode = "analog"
+	r := build(t, Options{})
+	if err := r.Restore(snap); err == nil {
+		t.Fatal("v2 snapshot with bad mode accepted")
+	}
+}

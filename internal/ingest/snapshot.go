@@ -1,17 +1,29 @@
 package ingest
 
-import "fmt"
+import (
+	"fmt"
 
-// SnapshotVersion is the ingest snapshot format version.
-const SnapshotVersion = 1
+	"sheriff/internal/quant"
+)
 
-// SlotSnap is one VM's serialized triage state.
+// SnapshotVersion is the ingest snapshot format version. Version 2 added
+// the triage mode and the fixed-point state mirror; version 1 snapshots
+// (float-only) are still restored, into either mode.
+const SnapshotVersion = 2
+
+// SlotSnap is one VM's serialized triage state. Level/Trend always carry
+// the float view of the state; under TriageQuant they are the exact
+// float64 image of the int32 words (quant.Q.Float is lossless), and
+// QLevel/QTrend carry the words themselves so a same-mode restore is
+// bit-exact without any float round trip.
 type SlotSnap struct {
 	VM      int     `json:"vm"`
 	Level   float64 `json:"level"`
 	Trend   float64 `json:"trend"`
 	Seen    int     `json:"seen"`
 	Alerted bool    `json:"alerted"`
+	QLevel  int32   `json:"qlevel,omitempty"`
+	QTrend  int32   `json:"qtrend,omitempty"`
 }
 
 // ShardSnap is one rack shard's serialized triage state.
@@ -20,12 +32,22 @@ type ShardSnap struct {
 	Slots []SlotSnap `json:"slots"`
 }
 
-// Snapshot is the service's serializable state: every VM's Holt triage
+// Snapshot is the service's serializable state: every VM's triage
 // smoother and alert latch, plus the lifetime counters. Pending queue
 // contents and latency statistics are transient and not carried —
 // callers drain (ProcessPending) before snapshotting.
+//
+// Cross-mode restores are deterministic in both directions. A float
+// snapshot restores into a quantized service by quantizing each state
+// word once (quant.FromFloat — the only lossy, deterministic step); a
+// quantized snapshot restores into a float service through the exact
+// float mirror, and because quant.FromFloat(q.Float()) == q, quantized
+// state survives a quantized → float → quantized round trip bit-exactly.
 type Snapshot struct {
-	Version   int         `json:"version"`
+	Version int `json:"version"`
+	// Mode records the triage arithmetic the state was captured under
+	// ("float" or "quantized"; "" in version-1 snapshots means float).
+	Mode      string      `json:"mode,omitempty"`
 	Shards    []ShardSnap `json:"shards"`
 	Offered   uint64      `json:"offered"`
 	Accepted  uint64      `json:"accepted"`
@@ -40,6 +62,7 @@ type Snapshot struct {
 func (s *Service) Snapshot() (*Snapshot, error) {
 	snap := &Snapshot{
 		Version:   SnapshotVersion,
+		Mode:      s.opts.Mode.String(),
 		Offered:   s.offered.Load(),
 		Accepted:  s.accepted.Load(),
 		Dropped:   s.dropped.Load(),
@@ -56,9 +79,22 @@ func (s *Service) Snapshot() (*Snapshot, error) {
 			sh.mu.Unlock()
 			return nil, fmt.Errorf("ingest: snapshot with %d unpolled alerts on shard %d (Poll first)", n, sh.rack)
 		}
-		ss := ShardSnap{Rack: sh.rack, Slots: make([]SlotSnap, 0, len(sh.slots))}
-		for _, sl := range sh.slots {
-			ss.Slots = append(ss.Slots, SlotSnap{VM: sl.vm, Level: sl.level, Trend: sl.trend, Seen: sl.seen, Alerted: sl.alerted})
+		ss := ShardSnap{Rack: sh.rack, Slots: make([]SlotSnap, 0, sh.numSlots())}
+		if s.opts.Mode == TriageQuant {
+			for _, sl := range sh.qslots {
+				ss.Slots = append(ss.Slots, SlotSnap{
+					VM:     sl.vm,
+					Level:  sl.h.Level.Float(),
+					Trend:  sl.h.Trend.Float(),
+					Seen:   int(sl.h.Seen),
+					QLevel: int32(sl.h.Level), QTrend: int32(sl.h.Trend),
+					Alerted: sl.alerted,
+				})
+			}
+		} else {
+			for _, sl := range sh.slots {
+				ss.Slots = append(ss.Slots, SlotSnap{VM: sl.vm, Level: sl.level, Trend: sl.trend, Seen: sl.seen, Alerted: sl.alerted})
+			}
 		}
 		sh.mu.Unlock()
 		snap.Shards = append(snap.Shards, ss)
@@ -70,7 +106,8 @@ func (s *Service) Snapshot() (*Snapshot, error) {
 // and restores it. This is the daemon restart path: VMs may have
 // migrated since the service was built, so the live cluster's current
 // placement is the wrong partition — the snapshot's admission partition
-// is authoritative.
+// is authoritative. The restored service runs in opts.Mode, which need
+// not match the snapshot's (cross-mode restores convert deterministically).
 func FromSnapshot(snap *Snapshot, opts Options) (*Service, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("ingest: restore from nil snapshot")
@@ -94,16 +131,32 @@ func FromSnapshot(snap *Snapshot, opts Options) (*Service, error) {
 	return s, nil
 }
 
+// snapMode resolves a snapshot's recorded triage mode. Version-1
+// snapshots predate the field and are always float.
+func snapMode(snap *Snapshot) (TriageMode, error) {
+	if snap.Version == 1 {
+		return TriageFloat, nil
+	}
+	return ParseTriageMode(snap.Mode)
+}
+
 // Restore installs a snapshot into a freshly built service with the
-// same rack partition: per-VM triage continues bit-exactly (same Holt
-// state, same alert latches, so no spurious re-alerts after a restart)
-// and counters resume from their saved values.
+// same rack partition. A same-mode restore continues bit-exactly (same
+// smoother state, same alert latches, so no spurious re-alerts after a
+// restart); a cross-mode restore converts each state word once,
+// deterministically (float → quantized via quant.FromFloat, quantized →
+// float via the exact mirror). Counters resume from their saved values
+// either way.
 func (s *Service) Restore(snap *Snapshot) error {
 	if snap == nil {
 		return fmt.Errorf("ingest: restore from nil snapshot")
 	}
-	if snap.Version != SnapshotVersion {
-		return fmt.Errorf("ingest: snapshot version %d not supported (want %d)", snap.Version, SnapshotVersion)
+	if snap.Version < 1 || snap.Version > SnapshotVersion {
+		return fmt.Errorf("ingest: snapshot version %d not supported (want 1..%d)", snap.Version, SnapshotVersion)
+	}
+	mode, err := snapMode(snap)
+	if err != nil {
+		return fmt.Errorf("ingest: snapshot %w", err)
 	}
 	if s.offered.Load() != 0 || s.processed.Load() != 0 {
 		return fmt.Errorf("ingest: restore into a service that has already ingested")
@@ -116,12 +169,12 @@ func (s *Service) Restore(snap *Snapshot) error {
 		if ss.Rack != sh.rack {
 			return fmt.Errorf("ingest: snapshot shard %d is rack %d, service shard is rack %d", i, ss.Rack, sh.rack)
 		}
-		if len(ss.Slots) != len(sh.slots) {
-			return fmt.Errorf("ingest: snapshot rack %d covers %d VMs, service has %d", ss.Rack, len(ss.Slots), len(sh.slots))
+		if len(ss.Slots) != sh.numSlots() {
+			return fmt.Errorf("ingest: snapshot rack %d covers %d VMs, service has %d", ss.Rack, len(ss.Slots), sh.numSlots())
 		}
 		for j, sl := range ss.Slots {
-			if sl.VM != sh.slots[j].vm {
-				return fmt.Errorf("ingest: snapshot rack %d slot %d is VM %d, service has VM %d", ss.Rack, j, sl.VM, sh.slots[j].vm)
+			if sl.VM != sh.slotVM(j) {
+				return fmt.Errorf("ingest: snapshot rack %d slot %d is VM %d, service has VM %d", ss.Rack, j, sl.VM, sh.slotVM(j))
 			}
 			if sl.Seen < 0 {
 				return fmt.Errorf("ingest: snapshot VM %d has negative observation count", sl.VM)
@@ -132,7 +185,17 @@ func (s *Service) Restore(snap *Snapshot) error {
 		sh := s.shard[i]
 		sh.mu.Lock()
 		for j, sl := range ss.Slots {
-			sh.slots[j] = slot{vm: sl.VM, level: sl.Level, trend: sl.Trend, seen: sl.Seen, alerted: sl.Alerted}
+			if s.opts.Mode == TriageQuant {
+				h := quant.Holt{Level: quant.Q(sl.QLevel), Trend: quant.Q(sl.QTrend), Seen: clampSeen(sl.Seen)}
+				if mode == TriageFloat {
+					// The one lossy, deterministic conversion: quantize the
+					// float state at the restore boundary.
+					h.Level, h.Trend = quant.FromFloat(sl.Level), quant.FromFloat(sl.Trend)
+				}
+				sh.qslots[j] = qslot{vm: sl.VM, h: h, alerted: sl.Alerted}
+			} else {
+				sh.slots[j] = slot{vm: sl.VM, level: sl.Level, trend: sl.Trend, seen: sl.Seen, alerted: sl.Alerted}
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -142,4 +205,15 @@ func (s *Service) Restore(snap *Snapshot) error {
 	s.processed.Store(snap.Processed)
 	s.alerts.Store(snap.Alerts)
 	return nil
+}
+
+// clampSeen narrows a snapshot observation count into the int32 the
+// quantized smoother keeps (the count only gates the cold-start branch,
+// so pinning at the rail preserves behavior).
+func clampSeen(n int) int32 {
+	const maxInt32 = 1<<31 - 1
+	if n > maxInt32 {
+		return maxInt32
+	}
+	return int32(n)
 }

@@ -1,0 +1,246 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	// Every Q value survives the float round trip exactly: Q16.16 has 31
+	// significant bits, float64 has 52.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		q := Q(rng.Int31()) - Q(rng.Int31())
+		if got := FromFloat(q.Float()); got != q {
+			t.Fatalf("FromFloat(%v.Float()) = %v", q, got)
+		}
+	}
+	for _, q := range []Q{0, 1, -1, One, -One, Max, Min, Max - 1, Min + 1} {
+		if got := FromFloat(q.Float()); got != q {
+			t.Fatalf("FromFloat(%v.Float()) = %v", q, got)
+		}
+	}
+}
+
+func TestFromFloatRoundingAndSaturation(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want Q
+	}{
+		{0, 0},
+		{1, One},
+		{0.5, One / 2},
+		{1.0 / (1 << 17), 1}, // half a ULP rounds away from zero
+		{-1.0 / (1 << 17), -1},
+		{1e9, Max},
+		{-1e9, Min},
+		{math.Inf(1), Max},
+		{math.Inf(-1), Min},
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := FromFloat(c.f); got != c.want {
+			t.Errorf("FromFloat(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestSaturatingOps(t *testing.T) {
+	if got := Add(Max, 1); got != Max {
+		t.Errorf("Add(Max, 1) = %v, want saturation at Max", got)
+	}
+	if got := Add(Min, -1); got != Min {
+		t.Errorf("Add(Min, -1) = %v, want saturation at Min", got)
+	}
+	if got := Sub(Min, 1); got != Min {
+		t.Errorf("Sub(Min, 1) = %v, want saturation at Min", got)
+	}
+	if got := Sub(Max, -1); got != Max {
+		t.Errorf("Sub(Max, -1) = %v, want saturation at Max", got)
+	}
+	if got := MulInt(Max/2, 3); got != Max {
+		t.Errorf("MulInt(Max/2, 3) = %v, want saturation at Max", got)
+	}
+	if got := MulInt(Min/2, 3); got != Min {
+		t.Errorf("MulInt(Min/2, 3) = %v, want saturation at Min", got)
+	}
+	// Saturation, not wraparound: the sign never flips.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		a, b := Q(rng.Int31()), Q(rng.Int31())
+		if got, want := Add(a, b), int64(a)+int64(b); (want > 0) != (got > 0) && got != 0 {
+			t.Fatalf("Add(%v, %v) = %v flipped sign vs exact %d", a, b, got, want)
+		}
+	}
+}
+
+func TestSnapCoeffs(t *testing.T) {
+	c := Snap(0.5, 0.3, 0)
+	if c.Shift != DefaultShift || c.Lead != 1 {
+		t.Fatalf("Snap defaults: %+v", c)
+	}
+	if c.AlphaNum != 128 {
+		t.Errorf("alpha 0.5 at shift 8 snapped to %d, want 128", c.AlphaNum)
+	}
+	if c.BetaNum != 77 { // 0.3·256 = 76.8 rounds to 77
+		t.Errorf("beta 0.3 at shift 8 snapped to %d, want 77", c.BetaNum)
+	}
+	if math.Abs(c.Alpha()-0.5) > 1e-12 || math.Abs(c.Beta()-0.3) > 1.0/(1<<DefaultShift) {
+		t.Errorf("snapped factors drifted: alpha %v beta %v", c.Alpha(), c.Beta())
+	}
+	// Clamps: out-of-range factors pin to the rails, alpha floors at one ULP.
+	if c := Snap(7, -3, 4); c.AlphaNum != 16 || c.BetaNum != 0 {
+		t.Errorf("clamped snap: %+v", c)
+	}
+	if c := Snap(0.0001, 0.5, 4); c.AlphaNum != 1 {
+		t.Errorf("tiny alpha should floor at 1, got %d", c.AlphaNum)
+	}
+}
+
+func TestCoeffsOptionConvention(t *testing.T) {
+	if err := (Coeffs{}).Validate(); err != nil {
+		t.Errorf("zero value failed Validate: %v", err)
+	}
+	if err := (Coeffs{AlphaNum: -1}).Validate(); err == nil {
+		t.Error("negative AlphaNum passed Validate")
+	}
+	if err := (Coeffs{Lead: -1}).Validate(); err == nil {
+		t.Error("negative Lead passed Validate")
+	}
+	if err := (Coeffs{Shift: MaxShift + 1}).Validate(); err == nil {
+		t.Error("oversized Shift passed Validate")
+	}
+	if err := (Coeffs{AlphaNum: 300, Shift: 8}).Validate(); err == nil {
+		t.Error("numerator above denominator passed Validate")
+	}
+	d := Coeffs{}.WithDefaults()
+	if d != Snap(0.5, 0.3, DefaultShift) {
+		t.Errorf("zero coeffs defaulted to %+v", d)
+	}
+	set := Coeffs{AlphaNum: 64, BetaNum: 16, Shift: 8, Lead: 4}
+	if got := set.WithDefaults(); got != set {
+		t.Errorf("WithDefaults overwrote set fields: %+v", got)
+	}
+}
+
+// floatHolt is the reference recursion the quantized smoother
+// approximates — the same α/β fold the float triage path runs.
+func floatHolt(vals []float64, alpha, beta float64) (level, trend float64) {
+	level, trend = vals[0], 0
+	for _, v := range vals[1:] {
+		prev := level
+		level = alpha*v + (1-alpha)*(level+trend)
+		trend = beta*(level-prev) + (1-beta)*trend
+	}
+	return level, trend
+}
+
+// TestHoltTracksFloatReference pins the quantization error: over long
+// random [0,1] streams the integer state stays within a few coefficient
+// ULPs of the float recursion run at the snapped factors.
+func TestHoltTracksFloatReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := Snap(0.5, 0.3, DefaultShift)
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(400)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		var h Holt
+		for _, v := range vals {
+			h.Observe(FromFloat(v), c)
+		}
+		level, trend := floatHolt(vals, c.Alpha(), c.Beta())
+		// Each fold contributes at most one rounding step of 2^-17 on the
+		// value; the β recursion compounds it geometrically but 1e-3 is a
+		// generous ceiling for any contraction α, β in (0,1].
+		if d := math.Abs(h.Level.Float() - level); d > 1e-3 {
+			t.Fatalf("trial %d: level drifted %v (quant %v float %v)", trial, d, h.Level.Float(), level)
+		}
+		if d := math.Abs(h.Trend.Float() - trend); d > 1e-3 {
+			t.Fatalf("trial %d: trend drifted %v (quant %v float %v)", trial, d, h.Trend.Float(), trend)
+		}
+	}
+}
+
+// TestHoltSaturation drives the smoother with rail values: the state must
+// pin at the rails instead of wrapping, and recover once inputs return to
+// range.
+func TestHoltSaturation(t *testing.T) {
+	c := Coeffs{AlphaNum: 255, BetaNum: 255, Shift: 8, Lead: 10}
+	var h Holt
+	for i := 0; i < 100; i++ {
+		sig := h.Observe(Max, c)
+		if sig < 0 {
+			t.Fatalf("step %d: signal wrapped negative under +Max input: %v", i, sig)
+		}
+	}
+	if h.Level < Max/2 {
+		t.Fatalf("level did not chase the rail: %v", h.Level)
+	}
+	for i := 0; i < 100; i++ {
+		sig := h.Observe(Min, c)
+		if i > 10 && sig > 0 {
+			t.Fatalf("step %d: signal stuck positive under -Min input: %v", i, sig)
+		}
+	}
+	// Recovery: back to in-range inputs, the state re-converges.
+	for i := 0; i < 500; i++ {
+		h.Observe(One/2, c)
+	}
+	if d := math.Abs(h.Level.Float() - 0.5); d > 0.01 {
+		t.Fatalf("level did not recover after saturation: %v", h.Level.Float())
+	}
+}
+
+// TestHoltSignalLead pins the extrapolation: with a clean linear ramp the
+// Lead-step signal leads the level by Lead·trend.
+func TestHoltSignalLead(t *testing.T) {
+	c := Coeffs{AlphaNum: 256, BetaNum: 256, Shift: 8, Lead: 5}
+	var h Holt
+	for i := 0; i < 50; i++ {
+		h.Observe(FromFloat(float64(i)*0.01), c)
+	}
+	// α=β=1 makes level track the input exactly and trend the last delta.
+	want := h.Level.Float() + 5*h.Trend.Float()
+	if got := h.Signal(c).Float(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("signal %v, want %v", got, want)
+	}
+	one := c
+	one.Lead = 1
+	if got, want := h.Signal(one), Add(h.Level, h.Trend); got != want {
+		t.Fatalf("lead-1 signal %v != level+trend %v", got, want)
+	}
+}
+
+// TestObserveDeterminism: the recursion is pure integer state — identical
+// inputs give bit-identical states, the property the snapshot codec and
+// the cross-engine restore rely on.
+func TestObserveDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := Snap(0.625, 0.125, 8)
+	c.Lead = 3
+	var a, b Holt
+	for i := 0; i < 5000; i++ {
+		v := FromFloat(rng.Float64()*4 - 2)
+		sa, sb := a.Observe(v, c), b.Observe(v, c)
+		if sa != sb || a != b {
+			t.Fatalf("step %d: states diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func BenchmarkHoltObserve(b *testing.B) {
+	c := Coeffs{}.WithDefaults()
+	var h Holt
+	v := FromFloat(0.7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(v, c)
+	}
+	if h.Seen == 0 {
+		b.Fatal("unreachable")
+	}
+}

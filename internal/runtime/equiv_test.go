@@ -34,7 +34,7 @@ func equivScenarios() []equivScenario {
 		}},
 		{name: "external", steps: 10, external: true},
 		{name: "lite", steps: 12, mutate: func(o *Options) {
-			o.LiteTraces = true
+			o.Traces = traces.Options{Kind: traces.Lite}
 		}},
 		{name: "surge", steps: 12, mutate: func(o *Options) {
 			o.Traces = traces.Options{Kind: traces.Surge,
@@ -299,8 +299,5 @@ func TestSnapshotRestoreSurgeRegime(t *testing.T) {
 	if _, err := Restore(otherCluster, otherModel,
 		Options{Traces: traces.Options{Kind: traces.Lite}}, &loaded); err == nil {
 		t.Fatal("restore accepted a conflicting trace kind")
-	}
-	if _, err := Restore(otherCluster, otherModel, Options{LiteTraces: true}, &loaded); err == nil {
-		t.Fatal("restore accepted conflicting deprecated LiteTraces")
 	}
 }

@@ -79,11 +79,6 @@ type Options struct {
 	// Seed when zero, so the default configuration stays bit-exact with
 	// the pre-Options engines.
 	Traces traces.Options
-	// LiteTraces selects the counter-based hashed generators.
-	//
-	// Deprecated: set Traces.Kind = traces.Lite. Kept one PR as a shim;
-	// WithDefaults upgrades it into Traces.
-	LiteTraces bool
 	// Reference selects the seed step engine instead of the sharded one.
 	// Slower and memory-hungry at scale; used as the equivalence oracle.
 	Reference bool
@@ -109,9 +104,6 @@ func (o Options) Validate() error {
 	}
 	if err := o.Traces.Validate(); err != nil {
 		return err
-	}
-	if o.LiteTraces && o.Traces.Kind != traces.Diurnal && o.Traces.Kind != traces.Lite {
-		return fmt.Errorf("runtime: deprecated LiteTraces conflicts with Traces.Kind=%v", o.Traces.Kind)
 	}
 	return o.Migrate.Validate()
 }
@@ -143,12 +135,8 @@ func (o Options) WithDefaults() Options {
 	if o.Shards == 0 {
 		o.Shards = stdruntime.NumCPU()
 	}
-	// Upgrade the deprecated LiteTraces shim into the kind-carrying field,
-	// and let the trace seed default to the runtime seed so pre-Options
+	// The trace seed defaults to the runtime seed so pre-Options
 	// configurations replay bit-exactly.
-	if o.LiteTraces && o.Traces.Kind == traces.Diurnal {
-		o.Traces.Kind = traces.Lite
-	}
 	if o.Traces.Seed == 0 {
 		o.Traces.Seed = o.Seed
 	}

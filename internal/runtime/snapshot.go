@@ -172,7 +172,7 @@ func less3(a, b [3]int) bool {
 // then dcn.Cluster.Restore) and a cost model built over that cluster.
 // opts must describe the same regime as the original run — in particular
 // Seed is taken from the snapshot (the generators replay from it),
-// LiteTraces must match the snapshot's regime, and UseQCN must be off.
+// Traces must match the snapshot's regime, and UseQCN must be off.
 // The restored runtime always uses the sharded engine; the shard count
 // may differ from the run that produced the snapshot (the state is
 // global, so the partition is free to change). A restored runtime
@@ -200,14 +200,10 @@ func Restore(cluster *dcn.Cluster, model *cost.Model, opts Options, snap *Snapsh
 			return nil, fmt.Errorf("runtime: snapshot traces kind %v does not match options kind %v",
 				snap.Traces.Kind, opts.Traces.Kind)
 		}
-		if opts.LiteTraces && snap.Traces.Kind != traces.Lite {
-			return nil, fmt.Errorf("runtime: snapshot traces kind %v conflicts with deprecated LiteTraces", snap.Traces.Kind)
-		}
 		opts.Traces = *snap.Traces
-		opts.LiteTraces = false
 	} else {
 		// Legacy snapshot: only the lite flag survives.
-		wantLite := opts.LiteTraces || opts.Traces.Kind == traces.Lite
+		wantLite := opts.Traces.Kind == traces.Lite
 		if snap.Lite != wantLite {
 			return nil, fmt.Errorf("runtime: snapshot traces regime (lite=%v) does not match options (lite=%v)", snap.Lite, wantLite)
 		}

@@ -41,11 +41,7 @@ type ScaleConfig struct {
 	// TraceKind selects the trace-generator family ("diurnal", "lite",
 	// "surge", "surge-lite"; "" = diurnal) — see traces.ParseKind.
 	TraceKind string `json:"trace_kind,omitempty"`
-	// LiteTraces selects the lite generators.
-	//
-	// Deprecated: set TraceKind to "lite". Kept one PR as a shim.
-	LiteTraces bool `json:"lite_traces,omitempty"`
-	Reference  bool `json:"reference"`
+	Reference bool   `json:"reference"`
 }
 
 func (c ScaleConfig) withDefaults() ScaleConfig {
@@ -142,7 +138,6 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 		Shards:       cfg.Shards,
 		HistoryLimit: cfg.HistoryLimit,
 		Traces:       traces.Options{Kind: kind},
-		LiteTraces:   cfg.LiteTraces,
 		Reference:    cfg.Reference,
 		Thresholds:   alert.Thresholds{CPU: th, Mem: th, IO: th, TRF: th},
 	})

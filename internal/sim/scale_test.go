@@ -54,7 +54,7 @@ func TestRunScaleLite(t *testing.T) {
 		Shards:     3,
 		Seed:       5,
 		Threshold:  2, // alert-free predict plane
-		LiteTraces: true,
+		TraceKind:  "lite",
 	})
 	if err != nil {
 		t.Fatal(err)

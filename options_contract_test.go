@@ -8,6 +8,7 @@ import (
 	"sheriff/internal/migrate"
 	"sheriff/internal/placement"
 	"sheriff/internal/predictor"
+	"sheriff/internal/quant"
 	"sheriff/internal/runtime"
 	"sheriff/internal/traces"
 )
@@ -152,6 +153,17 @@ func TestOptionsContract(t *testing.T) {
 			},
 			preserved: func() (any, any) {
 				return traces.SurgeParams{MeanDwell: 9}.WithDefaults().MeanDwell, 9
+			},
+		},
+		{
+			name:     "quant.Coeffs",
+			negative: func() error { return quant.Coeffs{AlphaNum: -1, Shift: quant.DefaultShift}.Validate() },
+			zeroOK:   func() error { return quant.Coeffs{}.Validate() },
+			defaulted: func() (any, any) {
+				return quant.Coeffs{}.WithDefaults().Shift, uint32(quant.DefaultShift)
+			},
+			preserved: func() (any, any) {
+				return quant.Coeffs{AlphaNum: 3, BetaNum: 2, Shift: 5, Lead: 2}.WithDefaults().Shift, uint32(5)
 			},
 		},
 		{
